@@ -1,0 +1,43 @@
+// Section I anchor reproduction: BER of a photonic link vs MR resonance
+// drift — "even a 0.25 nm drift can cause the BER to degrade from 1e-12 to
+// 1e-6" — using the receiver noise model (shot + thermal + RIN).
+#include <cstdio>
+
+#include "photonics/microring.hpp"
+#include "photonics/noise.hpp"
+
+int main() {
+  using namespace xl::photonics;
+
+  // Interconnect-grade demux ring dropping one WDM channel to a receiver.
+  MicroringDesign design;
+  design.resonance_nm = 1550.0;
+  design.q_factor = 2000.0;
+  design.fsr_nm = 18.0;
+  const Microring ring(design);
+
+  // Calibrate launch power for BER ~ 1e-12 at zero drift (link margin the
+  // designer would provision).
+  double launch_mw = 1e-4;
+  while (link_ber_with_drift(ring, 1550.0, 0.0, launch_mw) > 1e-12) launch_mw *= 1.05;
+
+  std::printf("=== BER vs MR resonance drift (Section I motivation) ===\n");
+  std::printf("(drop-port receiver, Q = %.0f, launch power %.3f mW "
+              "calibrated to BER 1e-12)\n\n",
+              design.q_factor, launch_mw);
+  std::printf("%-12s %-14s %-12s\n", "drift [nm]", "dropped power", "BER");
+  for (double drift : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}) {
+    Microring drifted = ring;
+    drifted.set_fpv_drift_nm(drift);
+    const double dropped = launch_mw * drifted.drop_fraction(1550.0);
+    const double ber = link_ber_with_drift(ring, 1550.0, drift, launch_mw);
+    std::printf("%-12.2f %-14.4f %-12.3e%s\n", drift, dropped, ber,
+                drift == 0.25 ? "   <- paper anchor: ~1e-6" : "");
+  }
+
+  std::printf("\nWith CrossLight's optimized MRs the residual drift after the\n"
+              "one-time TED trim is << 0.1 nm, keeping links at design BER;\n"
+              "conventional devices without compensation (up to 7.1 nm drift)\n"
+              "lose the channel entirely.\n");
+  return 0;
+}

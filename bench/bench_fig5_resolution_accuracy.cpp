@@ -1,0 +1,111 @@
+// Fig. 5 reproduction: inference accuracy of the four DNN models across
+// weight/activation resolutions from 1 to 16 bits, with quantization-aware
+// training (QKeras substitute: our straight-through fake-quant QAT).
+//
+// Substitution note: models are the Table I topologies at reduced geometry,
+// trained on synthetic statistically matched datasets (no offline access to
+// Sign-MNIST / CIFAR-10 / STL-10 / Omniglot). The reproduced *shape*:
+// accuracy is stable at high resolution, collapses below ~4 bits, and the
+// hardest task (STL10-like) is the most resolution-sensitive.
+//
+// Runtime note: this bench trains 32 networks (4 models x 8 bit widths) and
+// takes a few minutes single-threaded — by far the slowest binary in bench/.
+#include <cstdio>
+#include <vector>
+
+#include "dnn/activations.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/reshape.hpp"
+#include "dnn/models.hpp"
+#include "dnn/trainer.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace xl;
+
+struct SweepResult {
+  std::vector<double> accuracy;  // One per bit setting.
+};
+
+const std::vector<int> kBits{1, 2, 3, 4, 6, 8, 12, 16};
+
+SweepResult sweep_classifier(int model_no, const dnn::SyntheticSpec& spec,
+                             std::size_t train_n, std::size_t test_n,
+                             std::size_t epochs) {
+  const dnn::Dataset train = dnn::generate_classification(spec, train_n, 0);
+  const dnn::Dataset test = dnn::generate_classification(spec, test_n, 1);
+  SweepResult out;
+  for (int bits : kBits) {
+    numerics::Rng rng(1234 + model_no);
+    dnn::Network net = model_no == 1   ? dnn::build_lenet5(rng)
+                       : model_no == 2 ? dnn::build_reduced_cifar_cnn(rng)
+                                       : dnn::build_reduced_stl_cnn(rng);
+    net.set_quantization(dnn::QuantizationSpec{bits, bits});
+    dnn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    cfg.learning_rate = 2e-3;
+    out.accuracy.push_back(dnn::train_classifier(net, train, test, cfg).test_accuracy);
+  }
+  return out;
+}
+
+SweepResult sweep_siamese(std::size_t train_pairs, std::size_t test_pairs,
+                          std::size_t epochs) {
+  dnn::SyntheticSpec spec = dnn::omniglot_like();
+  spec.height = 16;
+  spec.width = 16;
+  const dnn::PairDataset train = dnn::generate_pairs(spec, train_pairs, 0);
+  const dnn::PairDataset test = dnn::generate_pairs(spec, test_pairs, 1);
+  SweepResult out;
+  for (int bits : kBits) {
+    numerics::Rng rng(4321);
+    dnn::Network branch;
+    branch.emplace<dnn::Flatten>();
+    branch.emplace<dnn::Dense>(256, 48, rng);
+    branch.emplace<dnn::ReLU>();
+    branch.emplace<dnn::Dense>(48, 16, rng);
+    branch.set_quantization(dnn::QuantizationSpec{bits, bits});
+    dnn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    cfg.learning_rate = 2e-3;
+    out.accuracy.push_back(dnn::train_siamese(branch, train, test, cfg).test_accuracy);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5: accuracy vs weight/activation resolution (QAT) ===\n");
+  std::printf("(reduced-geometry Table I models on synthetic matched datasets)\n\n");
+
+  dnn::SyntheticSpec m2 = dnn::cifar10_like();
+  m2.height = 16;
+  m2.width = 16;
+  dnn::SyntheticSpec m3 = dnn::stl10_like(24);
+
+  const SweepResult r1 = sweep_classifier(1, dnn::signmnist_like(), 320, 160, 3);
+  const SweepResult r2 = sweep_classifier(2, m2, 320, 160, 5);
+  const SweepResult r3 = sweep_classifier(3, m3, 256, 128, 4);
+  const SweepResult r4 = sweep_siamese(224, 96, 5);
+
+  std::printf("%-6s %-14s %-14s %-14s %-14s\n", "bits", "SignMNIST-like",
+              "CIFAR10-like", "STL10-like", "Omniglot-like");
+  for (std::size_t i = 0; i < kBits.size(); ++i) {
+    std::printf("%-6d %-14.3f %-14.3f %-14.3f %-14.3f\n", kBits[i], r1.accuracy[i],
+                r2.accuracy[i], r3.accuracy[i], r4.accuracy[i]);
+  }
+
+  const auto drop = [](const SweepResult& r) {
+    return r.accuracy.back() - r.accuracy.front();
+  };
+  std::printf("\nAccuracy drop from 16-bit to 1-bit: m1 %.3f, m2 %.3f, m3 %.3f, m4 %.3f\n",
+              drop(r1), drop(r2), drop(r3), drop(r4));
+  std::printf("Paper's observation reproduced when the STL10-like model shows the\n"
+              "largest sensitivity among the classifiers and low-bit accuracy collapses.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 8 reproduction: per-model energy-per-bit of the photonic DNN
+// accelerators (DEAP-CNN, Holylight, four CrossLight variants).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/deap_cnn.hpp"
+#include "baselines/holylight.hpp"
+#include "core/accelerator.hpp"
+#include "dnn/models.hpp"
+
+int main() {
+  using namespace xl;
+  const auto models = dnn::table1_models();
+
+  struct Row {
+    std::string name;
+    std::vector<double> epb;  // Per model.
+    double avg = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& params :
+       {baselines::deap_cnn_params(), baselines::holylight_params()}) {
+    Row row;
+    row.name = params.name;
+    for (const auto& m : models) {
+      row.epb.push_back(baselines::evaluate_baseline(params, m).epb_pj());
+    }
+    rows.push_back(row);
+  }
+  for (auto v : {core::Variant::kBase, core::Variant::kBaseTed, core::Variant::kOpt,
+                 core::Variant::kOptTed}) {
+    const core::CrossLightAccelerator accel(core::variant_config(v));
+    Row row;
+    row.name = core::variant_name(v);
+    for (const auto& m : models) row.epb.push_back(accel.evaluate(m).epb_pj());
+    rows.push_back(row);
+  }
+  for (Row& row : rows) {
+    for (double e : row.epb) row.avg += e;
+    row.avg /= static_cast<double>(row.epb.size());
+  }
+
+  std::printf("=== Fig. 8: energy-per-bit of photonic DNN accelerators [pJ/bit] ===\n\n");
+  std::printf("%-16s %-12s %-13s %-12s %-13s %-10s\n", "Accelerator", "LeNet5",
+              "CNN-CIFAR10", "CNN-STL10", "Siamese-CNN", "Average");
+  for (const Row& row : rows) {
+    std::printf("%-16s %-12.4f %-13.4f %-12.4f %-13.4f %-10.4f\n", row.name.c_str(),
+                row.epb[0], row.epb[1], row.epb[2], row.epb[3], row.avg);
+  }
+
+  const double deap = rows[0].avg;
+  const double holy = rows[1].avg;
+  const double best = rows.back().avg;
+  std::printf("\nHeadline ratios (paper -> ours):\n");
+  std::printf("  Cross_opt_TED vs DEAP-CNN : 1544x -> %.0fx lower EPB\n", deap / best);
+  std::printf("  Cross_opt_TED vs Holylight:  9.5x -> %.1fx lower EPB\n", holy / best);
+  std::printf("\nNote: absolute EPB differs from the paper (our EPB definition uses\n"
+              "bits = 2 * MACs * resolution; see EXPERIMENTS.md). The comparative\n"
+              "shape — who wins and by what factor — is the reproduction target.\n");
+  return 0;
+}

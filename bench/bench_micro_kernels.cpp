@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks of the simulator's hot kernels: VDP
+// functional simulation, TED eigen-solve, conv forward, and the full
+// architecture evaluation pipeline.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/vdp_simulator.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/models.hpp"
+#include "numerics/eigen.hpp"
+#include "numerics/rng.hpp"
+#include "thermal/crosstalk_matrix.hpp"
+#include "thermal/ted.hpp"
+
+namespace {
+
+using namespace xl;
+
+void BM_VdpSimulatorDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numerics::Rng rng(1);
+  std::vector<double> x(n);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 1.0);
+    w[i] = rng.uniform(-1.0, 1.0);
+  }
+  const core::VdpSimulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.dot(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VdpSimulatorDot)->Arg(15)->Arg(60)->Arg(150);
+
+void BM_TedSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto coupling = thermal::coupling_matrix_exponential(n, 5.0);
+  const thermal::TedTuner tuner(coupling);
+  numerics::Rng rng(2);
+  numerics::Vector targets(n);
+  for (std::size_t i = 0; i < n; ++i) targets[i] = rng.uniform(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.solve(targets).total_power_mw);
+  }
+}
+BENCHMARK(BM_TedSolve)->Arg(10)->Arg(15)->Arg(30);
+
+void BM_EigenSymmetric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = thermal::coupling_matrix_exponential(n, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::eigen_symmetric(m).eigenvalues.sum());
+  }
+}
+BENCHMARK(BM_EigenSymmetric)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  numerics::Rng rng(3);
+  dnn::Conv2d conv(dnn::Conv2dConfig{8, 16, 3, 1, 1}, rng);
+  dnn::Tensor x({1, 8, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false).sum());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_EvaluateModelOnAccelerator(benchmark::State& state) {
+  const core::CrossLightAccelerator accel(core::best_config());
+  const auto model = dnn::cnn_cifar10_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.evaluate(model).epb_pj());
+  }
+}
+BENCHMARK(BM_EvaluateModelOnAccelerator);
+
+void BM_MapModel(benchmark::State& state) {
+  const auto cfg = core::best_config();
+  const auto model = dnn::siamese_omniglot_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::map_model(model, cfg).total_passes);
+  }
+}
+BENCHMARK(BM_MapModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Section V-B reproduction: achievable resolution from inter-channel
+// crosstalk (Eqs. 8-10) — CrossLight's 16-bit claim at 15 MRs/bank with
+// wavelength reuse, vs the dense combs prior accelerators need.
+#include <cstdio>
+
+#include "photonics/crosstalk.hpp"
+
+int main() {
+  using namespace xl::photonics;
+
+  std::printf("=== Section V-B: crosstalk-limited resolution analysis ===\n");
+  std::printf("(Q = 8000, FSR = 18 nm, lambda0 = 1550 nm; Eqs. 8-10)\n\n");
+
+  std::printf("%-20s %-14s %-16s %-12s\n", "channels per comb", "spacing nm",
+              "max noise power", "resolution bits");
+  for (std::size_t channels : {5ul, 10ul, 15ul, 20ul, 30ul, 45ul, 60ul, 90ul, 120ul}) {
+    const WavelengthGrid grid(channels, 18.0, 1550.0);
+    const CrosstalkAnalysis a = analyze_crosstalk(grid);
+    std::printf("%-20zu %-14.3f %-16.5f %-12d%s\n", channels, grid.spacing_nm(),
+                a.max_noise_power, a.resolution_bits,
+                channels == 15 ? "   <- CrossLight bank (paper: 16 bits)" : "");
+  }
+
+  std::printf("\nInterpretation anchors (Section V-B):\n");
+  std::printf("  CrossLight: wavelength reuse caps combs at 15 channels (1.2 nm\n"
+              "  spacing > 1 nm) -> 16-bit datapath.\n");
+  std::printf("  DEAP-CNN-style dense combs (no reuse, ~60+ channels) -> ~4 bits.\n");
+  std::printf("  Holylight-style per-device combs (~90+ channels) -> ~2 bits/device.\n");
+
+  // Sensitivity to Q factor at the CrossLight operating point.
+  std::printf("\nQ-factor sensitivity at 15 channels:\n");
+  for (double q : {2000.0, 4000.0, 8000.0, 12000.0}) {
+    ResolutionOptions opts;
+    opts.q_factor = q;
+    std::printf("  Q = %6.0f -> %2d bits\n", q, bank_resolution_bits(15, 18.0, opts));
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table I reproduction: the four DNN models and their parameter counts.
+//
+// Prints our reconstructed architecture next to the paper's reported counts.
+// Model 4 matches exactly (it is the Koch et al. Siamese one-shot network);
+// models 1-3 are custom CNNs reconstructed to < 0.2% of the reported counts.
+#include <cstdio>
+
+#include "dnn/models.hpp"
+
+int main() {
+  std::printf("=== Table I: Models and datasets considered for evaluation ===\n\n");
+  std::printf("%-5s %-14s %-11s %-10s %-15s %-15s %-9s %-12s\n", "Model", "Name",
+              "CONV layers", "FC layers", "Params (ours)", "Params (paper)", "Delta",
+              "Dataset");
+
+  const auto models = xl::dnn::table1_models();
+  for (int i = 0; i < 4; ++i) {
+    const auto& m = models[static_cast<std::size_t>(i)];
+    const auto ours = m.total_parameters();
+    const auto paper = xl::dnn::paper_parameter_count(i + 1);
+    const double delta =
+        100.0 * (static_cast<double>(ours) - static_cast<double>(paper)) /
+        static_cast<double>(paper);
+    std::printf("%-5d %-14s %-11zu %-10zu %-15zu %-15zu %+8.3f%% %-12s\n", i + 1,
+                m.name.c_str(), m.conv_layer_count(), m.dense_layer_count(), ours, paper,
+                delta, m.dataset.c_str());
+  }
+
+  std::printf("\nPer-model workload summary (MACs per inference, full scale):\n");
+  for (const auto& m : models) {
+    std::printf("  %-14s input %zux%zux%zu  branches %zu  MACs %zu\n", m.name.c_str(),
+                m.input_height, m.input_width, m.input_channels, m.branches,
+                m.total_macs());
+  }
+  std::printf("\nNote: model 4's 38,951,745 parameters identify the Koch et al.\n"
+              "one-shot Siamese network exactly; models 1-3 are reconstructed\n"
+              "custom CNNs matching Table I's layer counts within 0.2%%.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Command-line evaluation tool: evaluate any Table I model on any
+// architecture configuration and variant, with machine-readable output.
+//
+// Usage:
+//   crosslight_cli [--model 1..4] [--variant base|base_ted|opt|opt_ted]
+//                  [--N <conv unit size>] [--K <fc unit size>]
+//                  [--n <conv units>] [--m <fc units>]
+//                  [--resolution <bits>] [--schedule] [--json]
+//
+// Examples:
+//   crosslight_cli --model 3 --variant opt_ted
+//   crosslight_cli --model 4 --N 30 --K 200 --json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "core/scheduler.hpp"
+#include "dnn/models.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: crosslight_cli [--model 1..4] [--variant "
+               "base|base_ted|opt|opt_ted]\n"
+               "                      [--N size] [--K size] [--n count] [--m count]\n"
+               "                      [--resolution bits] [--schedule] [--json]\n");
+}
+
+xl::core::Variant parse_variant(const std::string& s) {
+  if (s == "base") return xl::core::Variant::kBase;
+  if (s == "base_ted") return xl::core::Variant::kBaseTed;
+  if (s == "opt") return xl::core::Variant::kOpt;
+  if (s == "opt_ted") return xl::core::Variant::kOptTed;
+  throw std::invalid_argument("unknown variant: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xl;
+  int model_no = 2;
+  core::ArchitectureConfig cfg = core::best_config();
+  bool json = false;
+  bool run_schedule = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--model") {
+        model_no = std::atoi(next());
+      } else if (arg == "--variant") {
+        cfg.variant = parse_variant(next());
+      } else if (arg == "--N") {
+        cfg.conv_unit_size = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--K") {
+        cfg.fc_unit_size = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--n") {
+        cfg.conv_units = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--m") {
+        cfg.fc_units = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--resolution") {
+        cfg.resolution_bits = std::atoi(next());
+      } else if (arg == "--schedule") {
+        run_schedule = true;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        usage();
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (model_no < 1 || model_no > 4) {
+    std::fprintf(stderr, "error: --model must be 1..4\n");
+    return 2;
+  }
+
+  try {
+    cfg.validate();
+    const auto models = dnn::table1_models();
+    const auto& model = models[static_cast<std::size_t>(model_no - 1)];
+    const core::CrossLightAccelerator accel(cfg);
+    const auto report = accel.evaluate(model);
+
+    double utilization_conv = 0.0;
+    double utilization_fc = 0.0;
+    if (run_schedule) {
+      const auto schedule = core::EventScheduler(cfg).run(accel.map(model));
+      utilization_conv = schedule.conv_pool_utilization;
+      utilization_fc = schedule.fc_pool_utilization;
+    }
+
+    if (json) {
+      std::printf("{\n");
+      std::printf("  \"model\": \"%s\",\n", model.name.c_str());
+      std::printf("  \"variant\": \"%s\",\n", report.accelerator.c_str());
+      std::printf("  \"config\": {\"N\": %zu, \"K\": %zu, \"n\": %zu, \"m\": %zu, "
+                  "\"resolution_bits\": %d},\n",
+                  cfg.conv_unit_size, cfg.fc_unit_size, cfg.conv_units, cfg.fc_units,
+                  cfg.resolution_bits);
+      std::printf("  \"fps\": %.3f,\n", report.perf.fps);
+      std::printf("  \"frame_latency_us\": %.6f,\n", report.perf.frame_latency_us);
+      std::printf("  \"power_w\": %.4f,\n", report.power.total_w());
+      std::printf("  \"power_breakdown_mw\": {\"laser\": %.2f, \"to_tuning\": %.2f, "
+                  "\"eo_tuning\": %.4f, \"pd\": %.2f, \"tia\": %.2f, \"vcsel\": %.2f, "
+                  "\"adc_dac\": %.2f, \"control\": %.2f},\n",
+                  report.power.laser_mw, report.power.to_tuning_mw,
+                  report.power.eo_tuning_mw, report.power.pd_mw, report.power.tia_mw,
+                  report.power.vcsel_mw, report.power.adc_dac_mw, report.power.control_mw);
+      std::printf("  \"area_mm2\": %.3f,\n", report.area_mm2);
+      std::printf("  \"epb_pj_per_bit\": %.6f,\n", report.epb_pj());
+      std::printf("  \"kfps_per_watt\": %.4f", report.kfps_per_watt());
+      if (run_schedule) {
+        std::printf(",\n  \"conv_pool_utilization\": %.4f,\n", utilization_conv);
+        std::printf("  \"fc_pool_utilization\": %.4f\n", utilization_fc);
+      } else {
+        std::printf("\n");
+      }
+      std::printf("}\n");
+    } else {
+      std::printf("%s on %s (N=%zu K=%zu n=%zu m=%zu, %d-bit)\n", model.name.c_str(),
+                  report.accelerator.c_str(), cfg.conv_unit_size, cfg.fc_unit_size,
+                  cfg.conv_units, cfg.fc_units, cfg.resolution_bits);
+      std::printf("  FPS        : %.0f\n", report.perf.fps);
+      std::printf("  latency    : %.3f us\n", report.perf.frame_latency_us);
+      std::printf("  power      : %.2f W\n", report.power.total_w());
+      std::printf("  area       : %.1f mm2\n", report.area_mm2);
+      std::printf("  EPB        : %.4f pJ/bit\n", report.epb_pj());
+      std::printf("  kFPS/W     : %.3f\n", report.kfps_per_watt());
+      if (run_schedule) {
+        std::printf("  utilization: conv %.1f%%, fc %.1f%% (event-driven)\n",
+                    100.0 * utilization_conv, 100.0 * utilization_fc);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Scenario: architect a CrossLight deployment for a custom model mix under
+// an area budget — the Fig. 6 methodology applied to user workloads.
+//
+// Sweeps (N, K, n, m), filters by the area budget, and recommends the best
+// FPS/EPB configuration plus runner-ups for latency- or power-optimized
+// deployments.
+#include <cstdio>
+
+#include "core/dse.hpp"
+#include "dnn/models.hpp"
+
+int main() {
+  using namespace xl;
+
+  // A custom workload mix: an edge-vision stack (models 1 and 2) — contrast
+  // with the paper's full 4-model zoo.
+  const std::vector<dnn::ModelSpec> workload{dnn::lenet5_spec(), dnn::cnn_cifar10_spec()};
+
+  core::DseSweep sweep;
+  sweep.max_area_mm2 = 25.0;  // Tight edge budget.
+
+  std::printf("Design-space exploration for a 2-model edge workload "
+              "(area budget %.0f mm2)...\n\n",
+              sweep.max_area_mm2);
+  const auto points = core::run_dse(sweep, workload);
+  if (points.empty()) {
+    std::printf("No configuration fits the area budget.\n");
+    return 1;
+  }
+
+  const auto& best = core::best_point(points);
+  std::printf("Recommended (max FPS/EPB): (N, K, n, m) = (%zu, %zu, %zu, %zu)\n",
+              best.conv_unit_size, best.fc_unit_size, best.conv_units, best.fc_units);
+  std::printf("  avg FPS %.0f | avg EPB %.4f pJ/bit | %.1f W | %.1f mm2\n\n",
+              best.avg_fps, best.avg_epb_pj, best.avg_power_w, best.area_mm2);
+
+  // Alternative optimization targets.
+  const core::DsePoint* fastest = &points.front();
+  const core::DsePoint* leanest = &points.front();
+  for (const auto& p : points) {
+    if (p.avg_fps > fastest->avg_fps) fastest = &p;
+    if (p.avg_power_w < leanest->avg_power_w) leanest = &p;
+  }
+  std::printf("Latency-optimized:  (%zu, %zu, %zu, %zu) at %.0f FPS, %.1f W\n",
+              fastest->conv_unit_size, fastest->fc_unit_size, fastest->conv_units,
+              fastest->fc_units, fastest->avg_fps, fastest->avg_power_w);
+  std::printf("Power-optimized:    (%zu, %zu, %zu, %zu) at %.0f FPS, %.1f W\n\n",
+              leanest->conv_unit_size, leanest->fc_unit_size, leanest->conv_units,
+              leanest->fc_units, leanest->avg_fps, leanest->avg_power_w);
+
+  std::printf("Top 5 by FPS/EPB:\n");
+  std::printf("%-4s %-4s %-4s %-4s %-10s %-12s %-9s %-8s\n", "N", "K", "n", "m",
+              "FPS", "EPB pJ/bit", "power W", "mm2");
+  for (std::size_t i = 0; i < points.size() && i < 5; ++i) {
+    const auto& p = points[i];
+    std::printf("%-4zu %-4zu %-4zu %-4zu %-10.0f %-12.4f %-9.1f %-8.1f\n",
+                p.conv_unit_size, p.fc_unit_size, p.conv_units, p.fc_units, p.avg_fps,
+                p.avg_epb_pj, p.avg_power_w, p.area_mm2);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "baselines/deap_cnn.hpp"
+
+#include <cmath>
+
+#include "photonics/laser.hpp"
+#include "photonics/losses.hpp"
+
+namespace xl::baselines {
+
+using xl::photonics::ArmPathSpec;
+using xl::photonics::DeviceParams;
+
+BaselineParams deap_cnn_params(const DeviceParams& devices) {
+  BaselineParams p;
+  p.name = "DEAP_CNN";
+
+  // 5x5-kernel convolution units; unit count chosen to fill the same
+  // ~16-25 mm^2 budget at crosstalk guard spacing.
+  p.unit_size = 25;
+  p.units = 64;
+  p.area_mm2 = 21.0;
+
+  // Activations stream through MZMs at the transceiver symbol rate, as in
+  // CrossLight; resolution-limited symbols are narrower (4 bits).
+  p.resolution_bits = 4;
+  p.cycle_ns = p.resolution_bits / devices.transceiver_max_rate_gbps;
+  p.pipeline_fill_ns = devices.to_tuning_latency_us * 1e3;  // TO settling.
+
+  // Weight imprint is thermo-optic: microsecond reload, serialized.
+  p.fc_weight_reload_ns = devices.to_tuning_latency_us * 1e3;
+  p.conv_weight_reload_ns = devices.to_tuning_latency_us * 1e3;
+
+  // Weight + activation MR per element.
+  p.devices_per_element = 2.0;
+
+  // Static tuning: TO weight hold (~0.5 nm mean excursion) plus conventional
+  // FPV compensation (mean |drift| = half the 7.1 nm worst case) — DEAP has
+  // neither optimized devices nor TED.
+  const double mw_per_nm = devices.to_tuning_power_mw_per_nm();
+  const double weight_hold = 0.5 * mw_per_nm;
+  const double fpv_trim = 0.5 * devices.fpv_drift_conventional_nm * mw_per_nm;
+  p.static_tuning_mw_per_device = weight_hold + fpv_trim;
+
+  // Laser: one wavelength per element (no reuse), guard-spaced bank.
+  ArmPathSpec arm;
+  arm.mrs_on_waveguide = p.unit_size;
+  arm.banks_per_arm = 2;
+  arm.splitter_stages = 0;
+  arm.waveguide_length_cm =
+      static_cast<double>(2 * p.unit_size) * (20.0 + 120.0) * 1e-4;
+  arm.combiner_stages = 1;
+  const auto budget = arm_loss_budget(arm, devices);
+  p.laser_mw_per_unit =
+      required_laser_power(budget, p.unit_size, devices).wall_plug_power_mw;
+
+  // One balanced PD + TIA per unit; no VCSEL partial-sum stage.
+  p.pd_tia_vcsel_mw_per_unit = devices.pd_power_mw + devices.tia_power_mw;
+
+  // Transceiver array per unit (as for CrossLight).
+  p.adc_dac_mw_per_unit = devices.transceiver_max_power_mw;
+
+  return p;
+}
+
+}  // namespace xl::baselines

@@ -1,0 +1,20 @@
+// DEAP-CNN (Bangari et al., IEEE JQE 2020 — paper ref [11]) analytical model.
+//
+// Key properties as characterized by the CrossLight paper:
+//   * convolution-scale units only — 5x5-kernel dot products; FC layers are
+//     forced through the same small units in kernel-size chunks;
+//   * thermo-optic weight imprinting (microsecond latency, mW-scale hold
+//     power) with no hybrid EO path;
+//   * one wavelength per vector element (no reuse);
+//   * 4-bit achievable resolution (Section V-B).
+#pragma once
+
+#include "baselines/photonic_baseline.hpp"
+
+namespace xl::baselines {
+
+/// Build the DEAP-CNN parameterization from shared device parameters.
+[[nodiscard]] BaselineParams deap_cnn_params(
+    const xl::photonics::DeviceParams& devices = xl::photonics::default_device_params());
+
+}  // namespace xl::baselines

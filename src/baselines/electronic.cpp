@@ -1,0 +1,31 @@
+#include "baselines/electronic.hpp"
+
+namespace xl::baselines {
+
+std::vector<ElectronicPlatform> electronic_platforms() {
+  // EPB / kFPS/W straight from Table III; power draws from the platforms'
+  // public ratings as used in the survey [36]: P100 250 W TDP, Xeon Platinum
+  // 9282 400 W, Threadripper 3970x 280 W, DaDianNao 15.97 W, Edge TPU 2 W,
+  // NullHop (Zynq-7100 implementation) ~2.3 W.
+  return {
+      {"P100", 971.31, 24.9, 250.0},
+      {"IXP 9282", 5099.68, 2.39, 400.0},
+      {"AMD-TR", 5831.18, 2.09, 280.0},
+      {"DaDianNao", 58.33, 0.65, 15.97},
+      {"Edge TPU", 697.37, 17.53, 2.0},
+      {"Null Hop", 2727.43, 4.48, 2.3},
+  };
+}
+
+std::vector<PaperPhotonicRow> paper_photonic_rows() {
+  return {
+      {"DEAP_CNN", 44453.88, 0.07},
+      {"Holylight", 274.13, 3.3},
+      {"Cross_base", 142.35, 10.78},
+      {"Cross_base_TED", 92.64, 16.54},
+      {"Cross_opt", 75.58, 20.25},
+      {"Cross_opt_TED", 28.78, 52.59},
+  };
+}
+
+}  // namespace xl::baselines

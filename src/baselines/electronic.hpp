@@ -1,0 +1,32 @@
+// Electronic platform reference points (Fig. 7 / Table III).
+//
+// The paper takes these numbers from the Capra et al. survey [36]; they are
+// literature constants, not simulated. Power values are the platforms'
+// rated/measured inference power draws used for the Fig. 7 comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xl::baselines {
+
+struct ElectronicPlatform {
+  std::string name;
+  double avg_epb_pj = 0.0;        ///< Table III column 2.
+  double avg_kfps_per_watt = 0.0; ///< Table III column 3.
+  double power_w = 0.0;           ///< Typical inference power (Fig. 7).
+};
+
+/// All six electronic platforms of Table III, in the paper's order.
+[[nodiscard]] std::vector<ElectronicPlatform> electronic_platforms();
+
+/// Paper-reported Table III values for the photonic accelerators, used by
+/// benches to print "paper vs measured" columns.
+struct PaperPhotonicRow {
+  std::string name;
+  double avg_epb_pj = 0.0;
+  double avg_kfps_per_watt = 0.0;
+};
+[[nodiscard]] std::vector<PaperPhotonicRow> paper_photonic_rows();
+
+}  // namespace xl::baselines

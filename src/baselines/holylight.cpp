@@ -1,0 +1,61 @@
+#include "baselines/holylight.hpp"
+
+#include <cmath>
+
+#include "photonics/laser.hpp"
+#include "photonics/losses.hpp"
+
+namespace xl::baselines {
+
+using xl::photonics::ArmPathSpec;
+using xl::photonics::DeviceParams;
+
+BaselineParams holylight_params(const DeviceParams& devices) {
+  BaselineParams p;
+  p.name = "Holylight";
+
+  // Microdisk compute slices; FC layers share the CONV-scale fabric.
+  p.unit_size = 16;
+  p.units = 160;
+  p.area_mm2 = 18.0;  // Microdisks are small; density comparable to CrossLight.
+
+  // Effective 16-bit datapath from 8 ganged 2-bit disks; modulation is fast
+  // (PIN-driven), paced by Holylight's 1.2 GHz photonic core clock.
+  p.resolution_bits = 16;
+  p.cycle_ns = 1.0 / 1.2;
+  p.pipeline_fill_ns = 30.0;
+  p.fc_weight_reload_ns = 0.0;
+  p.conv_weight_reload_ns = 0.0;
+
+  // 8 disks per weight element + 8 per activation element.
+  p.devices_per_element = 16.0;
+
+  // Static tuning: microdisks still need conventional FPV trim (half the
+  // 7.1 nm worst case on average) with plain TO heaters; the per-disk hold
+  // excursion is small (2-bit levels).
+  const double mw_per_nm = devices.to_tuning_power_mw_per_nm();
+  p.static_tuning_mw_per_device =
+      (0.15 + 0.5 * devices.fpv_drift_conventional_nm) * mw_per_nm;
+
+  // Laser: lossy microdisk path, one wavelength per element, no reuse. Each
+  // wavelength physically traverses only its own 8-disk significance gang in
+  // the weight plane plus the matching activation gang (2 x 8 disks), not
+  // every disk of the unit.
+  ArmPathSpec arm;
+  arm.mrs_on_waveguide = 8;
+  arm.banks_per_arm = 2;
+  arm.splitter_stages = 0;
+  arm.uses_microdisks = true;
+  arm.waveguide_length_cm = static_cast<double>(2 * p.unit_size) * (10.0 + 60.0) * 1e-4;
+  arm.combiner_stages = 1;
+  const auto budget = arm_loss_budget(arm, devices);
+  p.laser_mw_per_unit =
+      required_laser_power(budget, p.unit_size, devices).wall_plug_power_mw;
+
+  p.pd_tia_vcsel_mw_per_unit = devices.pd_power_mw + devices.tia_power_mw;
+  p.adc_dac_mw_per_unit = devices.transceiver_max_power_mw;
+
+  return p;
+}
+
+}  // namespace xl::baselines

@@ -1,0 +1,19 @@
+// Holylight (Liu et al., DATE 2019 — paper ref [12]) analytical model.
+//
+// Key properties as characterized by the CrossLight paper:
+//   * microdisk devices — smaller but inherently lossy (1.22 dB, tunneling
+//     ray attenuation) and limited to 2-bit resolution per disk;
+//   * 16-bit weights realized by ganging 8 microdisks (8x device count);
+//   * fast (ns) disk modulation — no thermo-optic reload penalty;
+//   * no FPV-optimized devices, no TED, no wavelength reuse.
+#pragma once
+
+#include "baselines/photonic_baseline.hpp"
+
+namespace xl::baselines {
+
+/// Build the Holylight parameterization from shared device parameters.
+[[nodiscard]] BaselineParams holylight_params(
+    const xl::photonics::DeviceParams& devices = xl::photonics::default_device_params());
+
+}  // namespace xl::baselines

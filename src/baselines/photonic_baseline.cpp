@@ -1,0 +1,73 @@
+#include "baselines/photonic_baseline.hpp"
+
+#include <stdexcept>
+
+namespace xl::baselines {
+
+using xl::core::AcceleratorReport;
+using xl::core::PowerBreakdown;
+using xl::dnn::LayerKind;
+using xl::dnn::LayerSpec;
+using xl::dnn::ModelSpec;
+
+AcceleratorReport evaluate_baseline(const BaselineParams& params, const ModelSpec& model) {
+  if (params.unit_size == 0 || params.units == 0) {
+    throw std::invalid_argument("evaluate_baseline: degenerate organization");
+  }
+  if (params.cycle_ns <= 0.0) {
+    throw std::invalid_argument("evaluate_baseline: cycle must be positive");
+  }
+
+  double latency_ns = 0.0;
+  std::size_t total_macs = 0;
+  for (const LayerSpec& layer : model.layers) {
+    if (!layer.is_accelerated()) continue;
+    const std::size_t dps = layer.dot_product_count() * model.branches;
+    const std::size_t len = layer.dot_product_length();
+    const std::size_t passes_per_dot = (len + params.unit_size - 1) / params.unit_size;
+    const std::size_t passes = dps * passes_per_dot;
+    const std::size_t rounds = (passes + params.units - 1) / params.units;
+    total_macs += layer.mac_count() * model.branches;
+
+    latency_ns += static_cast<double>(rounds) * params.cycle_ns + params.pipeline_fill_ns;
+
+    if (layer.kind == LayerKind::kDense && params.fc_weight_reload_ns > 0.0) {
+      // FC weights differ for every pass: the reload serializes per round.
+      latency_ns += static_cast<double>(rounds) * params.fc_weight_reload_ns;
+    }
+    if (layer.kind == LayerKind::kConv && params.conv_weight_reload_ns > 0.0) {
+      // CONV weights are filter-stationary: reload once per (filter x chunk),
+      // amortized over all output pixels of that filter.
+      const std::size_t reloads = layer.out_channels * passes_per_dot * model.branches;
+      const std::size_t reload_rounds = (reloads + params.units - 1) / params.units;
+      latency_ns += static_cast<double>(reload_rounds) * params.conv_weight_reload_ns;
+    }
+  }
+  if (total_macs == 0) {
+    throw std::invalid_argument("evaluate_baseline: model has no accelerated layers");
+  }
+
+  PowerBreakdown power;
+  const double devices =
+      static_cast<double>(params.units) * static_cast<double>(params.unit_size) *
+      params.devices_per_element;
+  power.to_tuning_mw = devices * params.static_tuning_mw_per_device;
+  power.laser_mw = static_cast<double>(params.units) * params.laser_mw_per_unit;
+  power.pd_mw = static_cast<double>(params.units) * params.pd_tia_vcsel_mw_per_unit;
+  power.adc_dac_mw = static_cast<double>(params.units) * params.adc_dac_mw_per_unit;
+  power.control_mw = static_cast<double>(params.units) * params.control_mw_per_unit;
+
+  AcceleratorReport report;
+  report.accelerator = params.name;
+  report.model = model.name;
+  report.perf.cycle_ns = params.cycle_ns;
+  report.perf.frame_latency_us = latency_ns * 1e-3;
+  report.perf.fps = 1e9 / latency_ns;
+  report.power = power;
+  report.area_mm2 = params.area_mm2;
+  report.resolution_bits = params.resolution_bits;
+  report.macs_per_frame = total_macs;
+  return report;
+}
+
+}  // namespace xl::baselines

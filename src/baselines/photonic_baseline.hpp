@@ -1,0 +1,50 @@
+// Generic analytical model for prior photonic DNN accelerators.
+//
+// DEAP-CNN [11] and Holylight [12] are expressed as parameterizations of one
+// shared machinery (the paper's own comparison is likewise analytical). The
+// knobs capture exactly the shortcomings CrossLight's cross-layer design
+// addresses (Sections II/III): thermo-optic weight imprint latency, absent
+// wavelength reuse, lossier devices, no FPV-optimized MRs, no TED.
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+#include "dnn/layer_spec.hpp"
+#include "photonics/device_params.hpp"
+
+namespace xl::baselines {
+
+struct BaselineParams {
+  std::string name;
+
+  // Organization.
+  std::size_t unit_size = 25;  ///< Dot-product length per unit pass.
+  std::size_t units = 100;     ///< Parallel units within the area budget.
+
+  // Timing.
+  double cycle_ns = 0.3;              ///< Pipelined pass-issue interval.
+  double pipeline_fill_ns = 30.0;     ///< Per-layer fill.
+  double fc_weight_reload_ns = 0.0;   ///< Serial weight-reload cost per FC pass.
+  double conv_weight_reload_ns = 0.0; ///< Serial reload per distinct CONV filter pass-chunk.
+
+  // Datapath.
+  int resolution_bits = 16;        ///< Native precision (crosstalk-limited).
+  double devices_per_element = 2.0;///< Weighting devices per vector element.
+
+  // Power (computed by the builders from DeviceParams, see deap_cnn.cpp /
+  // holylight.cpp).
+  double static_tuning_mw_per_device = 0.0;  ///< Weight-hold + FPV trim.
+  double laser_mw_per_unit = 0.0;
+  double pd_tia_vcsel_mw_per_unit = 0.0;
+  double adc_dac_mw_per_unit = 0.0;
+  double control_mw_per_unit = 5.0;
+
+  double area_mm2 = 20.0;
+};
+
+/// Evaluate one model on a baseline accelerator.
+[[nodiscard]] xl::core::AcceleratorReport evaluate_baseline(
+    const BaselineParams& params, const xl::dnn::ModelSpec& model);
+
+}  // namespace xl::baselines

@@ -1,0 +1,39 @@
+#include "core/accelerator.hpp"
+
+namespace xl::core {
+
+CrossLightAccelerator::CrossLightAccelerator(ArchitectureConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  area_ = evaluate_area(config_);
+}
+
+AcceleratorReport CrossLightAccelerator::evaluate(const xl::dnn::ModelSpec& model) const {
+  const ModelMapping mapping = map_model(model, config_);
+  const PerformanceReport perf = evaluate_performance(mapping, config_);
+  const PowerBreakdown power = evaluate_power(mapping, config_, perf);
+
+  AcceleratorReport report;
+  report.accelerator = variant_name(config_.variant);
+  report.model = model.name;
+  report.perf = perf;
+  report.power = power;
+  report.area_mm2 = area_.total_mm2();
+  report.resolution_bits = config_.resolution_bits;
+  report.macs_per_frame = mapping.total_macs;
+  return report;
+}
+
+std::vector<AcceleratorReport> CrossLightAccelerator::evaluate_all(
+    const std::vector<xl::dnn::ModelSpec>& models) const {
+  std::vector<AcceleratorReport> reports;
+  reports.reserve(models.size());
+  for (const auto& m : models) reports.push_back(evaluate(m));
+  return reports;
+}
+
+ModelMapping CrossLightAccelerator::map(const xl::dnn::ModelSpec& model) const {
+  return map_model(model, config_);
+}
+
+}  // namespace xl::core

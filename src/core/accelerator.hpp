@@ -1,0 +1,41 @@
+// CrossLightAccelerator — the top-level facade tying mapper, performance,
+// power, and area models together. This is the main entry point of the
+// public API (see examples/quickstart.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/area.hpp"
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "core/performance.hpp"
+#include "core/power.hpp"
+#include "core/report.hpp"
+#include "dnn/layer_spec.hpp"
+
+namespace xl::core {
+
+class CrossLightAccelerator {
+ public:
+  /// Throws std::invalid_argument on invalid configurations.
+  explicit CrossLightAccelerator(ArchitectureConfig config);
+
+  /// Evaluate one DNN model end to end: mapping, latency, power, area, EPB.
+  [[nodiscard]] AcceleratorReport evaluate(const xl::dnn::ModelSpec& model) const;
+
+  /// Evaluate a set of models (e.g. the Table I zoo).
+  [[nodiscard]] std::vector<AcceleratorReport> evaluate_all(
+      const std::vector<xl::dnn::ModelSpec>& models) const;
+
+  /// Work decomposition only (exposed for tests/benches).
+  [[nodiscard]] ModelMapping map(const xl::dnn::ModelSpec& model) const;
+
+  [[nodiscard]] const ArchitectureConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AreaBreakdown& area() const noexcept { return area_; }
+
+ private:
+  ArchitectureConfig config_;
+  AreaBreakdown area_;
+};
+
+}  // namespace xl::core

@@ -1,0 +1,44 @@
+#include "core/area.hpp"
+
+#include "core/power.hpp"  // kMrDiameterUm
+
+namespace xl::core {
+
+namespace {
+// Footprint constants (um^2 unless noted). Representative silicon-photonic
+// device sizes from the survey literature ([6]).
+constexpr double kArmStripWidthUm = 25.0;      // Waveguide + heater + routing strip.
+constexpr double kPdAreaUm2 = 50.0 * 50.0;     // PD + TIA site.
+constexpr double kVcselAreaUm2 = 40.0 * 40.0;  // Hybrid-integrated VCSEL site.
+constexpr double kTransceiverAreaMm2 = 0.03;   // Per-unit ADC/DAC array.
+constexpr double kLaserAreaPerWavelengthMm2 = 0.02;
+constexpr double kControlPerUnitMm2 = 0.01;
+}  // namespace
+
+AreaBreakdown evaluate_area(const ArchitectureConfig& config) {
+  config.validate();
+  AreaBreakdown a;
+
+  const double pitch = config.mr_pitch_um();
+  const double arm_length_um =
+      static_cast<double>(2 * config.mrs_per_bank) * (kMrDiameterUm + pitch);
+  const double arm_area_um2 = arm_length_um * kArmStripWidthUm;
+  const auto arms = static_cast<double>(config.total_arms());
+  a.mr_arms_mm2 = arms * arm_area_um2 * 1e-6;
+
+  const auto units = static_cast<double>(config.conv_units + config.fc_units);
+  const double pds = arms + units;
+  a.detectors_mm2 = (pds * kPdAreaUm2 + arms * kVcselAreaUm2) * 1e-6;
+
+  a.transceivers_mm2 = units * kTransceiverAreaMm2;
+
+  // Shared laser bank: one line per unique wavelength comb (reuse makes this
+  // bounded by the bank size, not the vector size).
+  a.laser_mm2 =
+      static_cast<double>(config.mrs_per_bank) * kLaserAreaPerWavelengthMm2;
+
+  a.control_mm2 = units * kControlPerUnitMm2;
+  return a;
+}
+
+}  // namespace xl::core

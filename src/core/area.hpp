@@ -1,0 +1,26 @@
+// Chip-area model. Fig. 6's third axis and the Section V-D area constraint
+// (~16-25 mm^2 for all compared accelerators) use this estimate.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace xl::core {
+
+struct AreaBreakdown {
+  double mr_arms_mm2 = 0.0;     ///< Waveguides + MR banks + heaters.
+  double detectors_mm2 = 0.0;   ///< PDs, TIAs, VCSELs.
+  double transceivers_mm2 = 0.0;///< ADC/DAC arrays.
+  double laser_mm2 = 0.0;       ///< Laser bank + AWG mux.
+  double control_mm2 = 0.0;     ///< Digital control and buffers.
+
+  [[nodiscard]] double total_mm2() const noexcept {
+    return mr_arms_mm2 + detectors_mm2 + transceivers_mm2 + laser_mm2 + control_mm2;
+  }
+};
+
+/// Evaluate the silicon area of a configuration. Pitch-dependent: TED
+/// variants pack MRs at 5 um and are several times denser than guard-spaced
+/// (120 um) layouts.
+[[nodiscard]] AreaBreakdown evaluate_area(const ArchitectureConfig& config);
+
+}  // namespace xl::core

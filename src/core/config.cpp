@@ -1,0 +1,74 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace xl::core {
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::kBase: return "Cross_base";
+    case Variant::kBaseTed: return "Cross_base_TED";
+    case Variant::kOpt: return "Cross_opt";
+    case Variant::kOptTed: return "Cross_opt_TED";
+  }
+  throw std::invalid_argument("variant_name: unknown variant");
+}
+
+bool variant_uses_ted(Variant v) noexcept {
+  return v == Variant::kBaseTed || v == Variant::kOptTed;
+}
+
+bool variant_uses_optimized_mr(Variant v) noexcept {
+  return v == Variant::kOpt || v == Variant::kOptTed;
+}
+
+std::size_t ArchitectureConfig::arms_per_unit(std::size_t unit_size) const noexcept {
+  if (unit_size == 0 || mrs_per_bank == 0) return 0;
+  return (unit_size + mrs_per_bank - 1) / mrs_per_bank;
+}
+
+std::size_t ArchitectureConfig::mrs_per_unit(std::size_t unit_size) const noexcept {
+  // Each arm hosts two banks (activation + weight) of up to mrs_per_bank MRs;
+  // count the actual populated MR positions.
+  return 2 * unit_size;
+}
+
+std::size_t ArchitectureConfig::total_mrs() const noexcept {
+  return conv_units * mrs_per_unit(conv_unit_size) + fc_units * mrs_per_unit(fc_unit_size);
+}
+
+std::size_t ArchitectureConfig::total_arms() const noexcept {
+  return conv_units * arms_per_unit(conv_unit_size) + fc_units * arms_per_unit(fc_unit_size);
+}
+
+void ArchitectureConfig::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(conv_unit_size > 0, "ArchitectureConfig: N must be > 0");
+  check(fc_unit_size > 0, "ArchitectureConfig: K must be > 0");
+  check(conv_units > 0, "ArchitectureConfig: n must be > 0");
+  check(fc_units > 0, "ArchitectureConfig: m must be > 0");
+  check(mrs_per_bank > 0 && mrs_per_bank <= 15,
+        "ArchitectureConfig: MRs per bank in [1, 15] (Section IV-C.2)");
+  check(pitch_ted_um > 0.0, "ArchitectureConfig: TED pitch must be > 0");
+  check(pitch_guard_um >= pitch_ted_um,
+        "ArchitectureConfig: guard pitch must be >= TED pitch");
+  check(resolution_bits >= 1 && resolution_bits <= 16,
+        "ArchitectureConfig: resolution in [1, 16]");
+  devices.validate();
+}
+
+ArchitectureConfig best_config() {
+  ArchitectureConfig cfg;  // Defaults are the Fig. 6 winner (20, 150, 100, 60).
+  cfg.validate();
+  return cfg;
+}
+
+ArchitectureConfig variant_config(Variant v) {
+  ArchitectureConfig cfg = best_config();
+  cfg.variant = v;
+  return cfg;
+}
+
+}  // namespace xl::core

@@ -1,0 +1,58 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xl::core {
+
+std::vector<DsePoint> run_dse(const DseSweep& sweep,
+                              const std::vector<xl::dnn::ModelSpec>& models) {
+  if (models.empty()) throw std::invalid_argument("run_dse: no models");
+  std::vector<DsePoint> points;
+  for (std::size_t n_size : sweep.conv_unit_sizes) {
+    for (std::size_t k_size : sweep.fc_unit_sizes) {
+      for (std::size_t n_count : sweep.conv_unit_counts) {
+        for (std::size_t m_count : sweep.fc_unit_counts) {
+          ArchitectureConfig cfg = best_config();
+          cfg.conv_unit_size = n_size;
+          cfg.fc_unit_size = k_size;
+          cfg.conv_units = n_count;
+          cfg.fc_units = m_count;
+          cfg.variant = sweep.variant;
+
+          const CrossLightAccelerator accel(cfg);
+          if (accel.area().total_mm2() > sweep.max_area_mm2) continue;
+
+          DsePoint p;
+          p.conv_unit_size = n_size;
+          p.fc_unit_size = k_size;
+          p.conv_units = n_count;
+          p.fc_units = m_count;
+          p.area_mm2 = accel.area().total_mm2();
+          for (const auto& model : models) {
+            const AcceleratorReport r = accel.evaluate(model);
+            p.avg_fps += r.perf.fps;
+            p.avg_epb_pj += r.epb_pj();
+            p.avg_power_w += r.power.total_w();
+          }
+          const auto count = static_cast<double>(models.size());
+          p.avg_fps /= count;
+          p.avg_epb_pj /= count;
+          p.avg_power_w /= count;
+          points.push_back(p);
+        }
+      }
+    }
+  }
+  std::sort(points.begin(), points.end(), [](const DsePoint& a, const DsePoint& b) {
+    return a.fps_per_epb() > b.fps_per_epb();
+  });
+  return points;
+}
+
+const DsePoint& best_point(const std::vector<DsePoint>& points) {
+  if (points.empty()) throw std::invalid_argument("best_point: empty sweep");
+  return points.front();
+}
+
+}  // namespace xl::core

@@ -1,0 +1,51 @@
+// Design-space exploration over (N, K, n, m) — Fig. 6.
+//
+// For every candidate configuration the four Table I models are evaluated;
+// the selected design maximizes FPS/EPB (the paper's criterion), which for
+// the paper lands on (20, 150, 100, 60).
+#pragma once
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/config.hpp"
+#include "dnn/layer_spec.hpp"
+
+namespace xl::core {
+
+struct DsePoint {
+  std::size_t conv_unit_size = 0;  ///< N
+  std::size_t fc_unit_size = 0;    ///< K
+  std::size_t conv_units = 0;      ///< n
+  std::size_t fc_units = 0;        ///< m
+  double avg_fps = 0.0;
+  double avg_epb_pj = 0.0;
+  double area_mm2 = 0.0;
+  double avg_power_w = 0.0;
+
+  /// The paper's selection criterion.
+  [[nodiscard]] double fps_per_epb() const noexcept {
+    return avg_epb_pj > 0.0 ? avg_fps / avg_epb_pj : 0.0;
+  }
+};
+
+struct DseSweep {
+  std::vector<std::size_t> conv_unit_sizes = {10, 15, 20, 25, 30};
+  std::vector<std::size_t> fc_unit_sizes = {50, 100, 150, 200};
+  std::vector<std::size_t> conv_unit_counts = {50, 100, 150};
+  std::vector<std::size_t> fc_unit_counts = {30, 60, 90};
+  Variant variant = Variant::kOptTed;
+  /// Skip configurations whose area exceeds this budget (paper: ~25 mm^2
+  /// comparisons; DSE itself explores a wider envelope).
+  double max_area_mm2 = 60.0;
+};
+
+/// Run the sweep over the given model zoo; results sorted by descending
+/// FPS/EPB.
+[[nodiscard]] std::vector<DsePoint> run_dse(const DseSweep& sweep,
+                                            const std::vector<xl::dnn::ModelSpec>& models);
+
+/// Highest-FPS/EPB point (throws on empty results).
+[[nodiscard]] const DsePoint& best_point(const std::vector<DsePoint>& points);
+
+}  // namespace xl::core

@@ -1,0 +1,58 @@
+#include "core/mapper.hpp"
+
+#include <stdexcept>
+
+namespace xl::core {
+
+using xl::dnn::LayerKind;
+using xl::dnn::LayerSpec;
+using xl::dnn::ModelSpec;
+
+std::size_t ModelMapping::conv_passes() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerMapping& l : layers) {
+    if (l.is_conv) acc += l.total_passes;
+  }
+  return acc;
+}
+
+std::size_t ModelMapping::fc_passes() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerMapping& l : layers) {
+    if (!l.is_conv) acc += l.total_passes;
+  }
+  return acc;
+}
+
+ModelMapping map_model(const ModelSpec& model, const ArchitectureConfig& config) {
+  config.validate();
+  ModelMapping mapping;
+  mapping.model_name = model.name;
+  for (const LayerSpec& layer : model.layers) {
+    if (!layer.is_accelerated()) continue;
+    LayerMapping lm;
+    lm.layer_name = layer.name;
+    lm.is_conv = layer.kind == LayerKind::kConv;
+    lm.dot_products = layer.dot_product_count() * model.branches;
+    lm.dot_length = layer.dot_product_length();
+    lm.unit_size = lm.is_conv ? config.conv_unit_size : config.fc_unit_size;
+    lm.unit_pool = lm.is_conv ? config.conv_units : config.fc_units;
+    lm.passes_per_dot = (lm.dot_length + lm.unit_size - 1) / lm.unit_size;
+    lm.total_passes = lm.dot_products * lm.passes_per_dot;
+    lm.rounds = (lm.total_passes + lm.unit_pool - 1) / lm.unit_pool;
+    lm.macs = layer.mac_count() * model.branches;
+    if (lm.dot_products == 0 || lm.dot_length == 0) {
+      throw std::invalid_argument("map_model: degenerate layer '" + layer.name + "'");
+    }
+    mapping.layers.push_back(lm);
+    mapping.total_macs += lm.macs;
+    mapping.total_passes += lm.total_passes;
+    mapping.total_rounds += lm.rounds;
+  }
+  if (mapping.layers.empty()) {
+    throw std::invalid_argument("map_model: model has no accelerated layers");
+  }
+  return mapping;
+}
+
+}  // namespace xl::core

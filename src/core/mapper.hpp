@@ -1,0 +1,48 @@
+// Mapping DNN layers onto VDP units (Section IV-C.1).
+//
+// Every CONV/FC layer is a set of dot products; each dot product of length L
+// decomposes into ceil(L / unit_size) passes on one VDP unit, whose partial
+// sums accumulate through the VCSEL re-emission stage. Passes are then
+// scheduled round-robin over the unit pool for the layer's kind.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "dnn/layer_spec.hpp"
+
+namespace xl::core {
+
+/// Work accounting for one accelerated layer.
+struct LayerMapping {
+  std::string layer_name;
+  bool is_conv = false;             ///< CONV pool vs FC pool.
+  std::size_t dot_products = 0;     ///< Dot products in the layer.
+  std::size_t dot_length = 0;       ///< Elements per dot product.
+  std::size_t passes_per_dot = 0;   ///< ceil(dot_length / unit_size).
+  std::size_t total_passes = 0;     ///< dot_products * passes_per_dot.
+  std::size_t unit_pool = 0;        ///< n or m.
+  std::size_t unit_size = 0;        ///< N or K.
+  /// Pipelined rounds over the unit pool: ceil(total_passes / pool).
+  std::size_t rounds = 0;
+  std::size_t macs = 0;             ///< MAC operations in the layer.
+};
+
+/// Work accounting for a whole model.
+struct ModelMapping {
+  std::string model_name;
+  std::vector<LayerMapping> layers;
+  std::size_t total_macs = 0;
+  std::size_t total_passes = 0;
+  std::size_t total_rounds = 0;
+
+  [[nodiscard]] std::size_t conv_passes() const noexcept;
+  [[nodiscard]] std::size_t fc_passes() const noexcept;
+};
+
+/// Map every accelerated layer of `model` onto the configuration's unit
+/// pools. Siamese branches are accounted `model.branches` times.
+[[nodiscard]] ModelMapping map_model(const xl::dnn::ModelSpec& model,
+                                     const ArchitectureConfig& config);
+
+}  // namespace xl::core

@@ -1,0 +1,62 @@
+#include "core/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xl::core {
+
+MemoryReport evaluate_memory(const ModelMapping& mapping, const ArchitectureConfig& config,
+                             const PerformanceReport& perf, const MemoryParams& params) {
+  config.validate();
+  if (params.bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("evaluate_memory: bandwidth must be positive");
+  }
+  if (params.sram_energy_pj_per_bit < 0.0) {
+    throw std::invalid_argument("evaluate_memory: negative access energy");
+  }
+
+  const auto bits = static_cast<double>(config.resolution_bits);
+  MemoryReport report;
+  for (const LayerMapping& layer : mapping.layers) {
+    const auto passes = static_cast<double>(layer.total_passes);
+    const auto unit = static_cast<double>(layer.unit_size);
+    // Every pass imprints one activation chunk and one weight chunk.
+    report.activation_bits += passes * unit * bits;
+    report.weight_bits += passes * unit * bits;
+    // Every pass returns one partial sum; every dot product one result.
+    const auto partials = passes + static_cast<double>(layer.dot_products);
+    report.partial_sum_bits += partials * bits;
+
+    // Peak buffer: partial sums of one layer in flight — one per active dot
+    // product per round across the pool.
+    const auto pool = static_cast<double>(layer.unit_pool);
+    report.partial_sum_buffer_bits =
+        std::max(report.partial_sum_buffer_bits, pool * bits);
+  }
+  report.traffic_bits_per_frame =
+      report.activation_bits + report.weight_bits + report.partial_sum_bits;
+
+  if (perf.frame_latency_us > 0.0) {
+    // Gb/s = bits / (us * 1e3).
+    report.required_bandwidth_gbps =
+        report.traffic_bits_per_frame / (perf.frame_latency_us * 1e3);
+    report.sustainable_fraction =
+        std::min(1.0, params.bandwidth_gbps / report.required_bandwidth_gbps);
+    report.access_energy_pj =
+        report.traffic_bits_per_frame * params.sram_energy_pj_per_bit;
+    // pJ / us = uW; -> mW.
+    report.access_power_mw =
+        report.access_energy_pj / perf.frame_latency_us * 1e-3;
+  }
+  return report;
+}
+
+double memory_corrected_latency_us(const PerformanceReport& perf,
+                                   const MemoryReport& memory) {
+  if (memory.sustainable_fraction <= 0.0) {
+    throw std::invalid_argument("memory_corrected_latency_us: zero sustainable fraction");
+  }
+  return perf.frame_latency_us / memory.sustainable_fraction;
+}
+
+}  // namespace xl::core

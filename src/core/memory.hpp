@@ -1,0 +1,54 @@
+// Electronic memory subsystem model (Fig. 3's control path).
+//
+// The photonic substrate computes; the electronic side feeds it: a global
+// buffer supplies weights/activations to the DAC arrays and absorbs partial
+// sums from the ADCs. This module sizes that machinery for a mapped model:
+// per-inference traffic, required partial-sum buffer capacity, and whether a
+// given memory bandwidth sustains the photonic pools' peak issue rate (a
+// roofline check: compute-bound vs memory-bound).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "core/performance.hpp"
+
+namespace xl::core {
+
+struct MemoryParams {
+  double bandwidth_gbps = 1024.0;    ///< Global buffer -> DAC bandwidth (Gb/s).
+  double sram_energy_pj_per_bit = 0.05;  ///< Per-bit access energy.
+};
+
+struct MemoryReport {
+  double traffic_bits_per_frame = 0.0;  ///< Total operand + result traffic.
+  double weight_bits = 0.0;
+  double activation_bits = 0.0;
+  double partial_sum_bits = 0.0;
+  /// Peak concurrent partial-sum storage, bits (worst layer).
+  double partial_sum_buffer_bits = 0.0;
+  /// Bandwidth the photonic pools demand at full issue rate (Gb/s).
+  double required_bandwidth_gbps = 0.0;
+  /// min(1, provided / required): < 1 means memory-bound operation.
+  double sustainable_fraction = 1.0;
+  /// SRAM access energy per frame (pJ) and its average power (mW).
+  double access_energy_pj = 0.0;
+  double access_power_mw = 0.0;
+
+  [[nodiscard]] bool memory_bound() const noexcept { return sustainable_fraction < 1.0; }
+};
+
+/// Analyze the memory subsystem for a mapped model at a given performance
+/// point. Traffic accounting per pass: unit_size activation samples +
+/// unit_size weight samples in, one partial-sum sample out, all at the
+/// datapath resolution; per dot product one extra accumulated result write.
+[[nodiscard]] MemoryReport evaluate_memory(const ModelMapping& mapping,
+                                           const ArchitectureConfig& config,
+                                           const PerformanceReport& perf,
+                                           const MemoryParams& params = {});
+
+/// Frame latency after the roofline correction: latency / sustainable
+/// fraction (memory-bound pools stall the issue rate proportionally).
+[[nodiscard]] double memory_corrected_latency_us(const PerformanceReport& perf,
+                                                 const MemoryReport& memory);
+
+}  // namespace xl::core

@@ -1,0 +1,47 @@
+#include "core/performance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xl::core {
+
+double vdp_cycle_ns(const ArchitectureConfig& config) {
+  const auto& d = config.devices;
+  // One result sample must cross the ADC per pass: resolution bits at the
+  // transceiver line rate.
+  const double symbol_ns =
+      static_cast<double>(config.resolution_bits) / d.transceiver_max_rate_gbps;
+  // The O/E conversion chain bounds the issue interval from below.
+  const double oe_ns = d.pd_latency_ns + d.tia_latency_ns;
+  return std::max(symbol_ns, oe_ns);
+}
+
+double pipeline_fill_ns(const ArchitectureConfig& config) {
+  const auto& d = config.devices;
+  // Imprint (EO) + partial-sum re-emission (VCSEL) + two detection stages.
+  return d.eo_tuning_latency_ns + d.vcsel_latency_ns +
+         2.0 * (d.pd_latency_ns + d.tia_latency_ns);
+}
+
+PerformanceReport evaluate_performance(const ModelMapping& mapping,
+                                       const ArchitectureConfig& config) {
+  config.validate();
+  if (mapping.layers.empty()) {
+    throw std::invalid_argument("evaluate_performance: empty mapping");
+  }
+  const double cycle = vdp_cycle_ns(config);
+  const double fill = pipeline_fill_ns(config);
+
+  double latency_ns = 0.0;
+  for (const LayerMapping& layer : mapping.layers) {
+    latency_ns += static_cast<double>(layer.rounds) * cycle + fill;
+  }
+
+  PerformanceReport perf;
+  perf.cycle_ns = cycle;
+  perf.frame_latency_us = latency_ns * 1e-3;
+  perf.fps = 1e9 / latency_ns;
+  return perf;
+}
+
+}  // namespace xl::core

@@ -1,0 +1,28 @@
+// VDP latency / throughput model.
+//
+// Pipelining assumption (documented in EXPERIMENTS.md): VDP passes issue at
+// the transceiver symbol rate — a 16-bit sample through the 56 Gb/s
+// ADC/DAC [37] every resolution/rate ns — while the EO tuning latency
+// (20 ns) and the optoelectronic chain (VCSEL + PD + TIA) contribute
+// pipeline *fill* per layer rather than per pass. Layers execute
+// sequentially (data dependencies); passes within a layer spread over the
+// unit pool.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "core/report.hpp"
+
+namespace xl::core {
+
+/// Pipelined pass-issue interval for the given configuration (ns).
+[[nodiscard]] double vdp_cycle_ns(const ArchitectureConfig& config);
+
+/// Pipeline fill latency per layer (EO imprint + VCSEL + PD + TIA chain), ns.
+[[nodiscard]] double pipeline_fill_ns(const ArchitectureConfig& config);
+
+/// Evaluate frame latency and FPS for a mapped model.
+[[nodiscard]] PerformanceReport evaluate_performance(const ModelMapping& mapping,
+                                                     const ArchitectureConfig& config);
+
+}  // namespace xl::core

@@ -1,0 +1,140 @@
+#include "core/photonic_inference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dnn/conv2d.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/loss.hpp"
+
+namespace xl::core {
+
+using dnn::Conv2d;
+using dnn::Dense;
+using dnn::Shape;
+using dnn::Tensor;
+
+PhotonicInferenceEngine::PhotonicInferenceEngine(dnn::Network& network,
+                                                 const VdpSimOptions& options)
+    : network_(network), simulator_(options) {}
+
+Tensor PhotonicInferenceEngine::run_dense_photonic(const Tensor& input, Dense& layer) {
+  if (input.rank() != 2 || input.dim(0) != 1 || input.dim(1) != layer.in_features()) {
+    throw std::invalid_argument("PhotonicInference: dense input shape mismatch");
+  }
+  std::vector<double> x(layer.in_features());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = input[i];
+
+  Tensor out({1, layer.out_features()});
+  std::vector<double> w(layer.in_features());
+  for (std::size_t o = 0; o < layer.out_features(); ++o) {
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = layer.weights().at2(o, i);
+    out.at2(0, o) = static_cast<float>(simulator_.dot(x, w) + layer.bias()[o]);
+    ++stats_.photonic_dot_products;
+    stats_.photonic_macs += w.size();
+  }
+  return out;
+}
+
+Tensor PhotonicInferenceEngine::run_conv_photonic(const Tensor& input, Conv2d& layer) {
+  const Shape out_shape = layer.output_shape(input.shape());
+  const auto& cfg = layer.config();
+  const std::size_t h_in = input.dim(2);
+  const std::size_t w_in = input.dim(3);
+  const std::size_t patch_len = cfg.in_channels * cfg.kernel * cfg.kernel;
+  const auto pad = static_cast<std::ptrdiff_t>(cfg.padding);
+
+  // Pre-extract filter rows once per layer (im2col-style lowering: every
+  // output pixel is one VDP dot product, Section IV-C.1).
+  std::vector<std::vector<double>> filters(cfg.out_channels,
+                                           std::vector<double>(patch_len));
+  for (std::size_t co = 0; co < cfg.out_channels; ++co) {
+    std::size_t k = 0;
+    for (std::size_t ci = 0; ci < cfg.in_channels; ++ci) {
+      for (std::size_t ky = 0; ky < cfg.kernel; ++ky) {
+        for (std::size_t kx = 0; kx < cfg.kernel; ++kx) {
+          filters[co][k++] = layer.weights().at4(co, ci, ky, kx);
+        }
+      }
+    }
+  }
+
+  Tensor out(out_shape);
+  std::vector<double> patch(patch_len);
+  for (std::size_t oy = 0; oy < out_shape[2]; ++oy) {
+    for (std::size_t ox = 0; ox < out_shape[3]; ++ox) {
+      const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy * cfg.stride) - pad;
+      const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * cfg.stride) - pad;
+      std::size_t k = 0;
+      for (std::size_t ci = 0; ci < cfg.in_channels; ++ci) {
+        for (std::size_t ky = 0; ky < cfg.kernel; ++ky) {
+          for (std::size_t kx = 0; kx < cfg.kernel; ++kx, ++k) {
+            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+            const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+            const bool inside = iy >= 0 && iy < static_cast<std::ptrdiff_t>(h_in) &&
+                                ix >= 0 && ix < static_cast<std::ptrdiff_t>(w_in);
+            patch[k] = inside ? input.at4(0, ci, static_cast<std::size_t>(iy),
+                                          static_cast<std::size_t>(ix))
+                              : 0.0;
+          }
+        }
+      }
+      for (std::size_t co = 0; co < cfg.out_channels; ++co) {
+        out.at4(0, co, oy, ox) =
+            static_cast<float>(simulator_.dot(patch, filters[co]) + layer.bias()[co]);
+        ++stats_.photonic_dot_products;
+        stats_.photonic_macs += patch_len;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PhotonicInferenceEngine::infer(const Tensor& sample) {
+  if (sample.rank() < 2 || sample.dim(0) != 1) {
+    throw std::invalid_argument("PhotonicInference: batch dimension must be 1");
+  }
+  Tensor x = sample;
+  for (std::size_t i = 0; i < network_.layer_count(); ++i) {
+    dnn::Layer& layer = network_.layer(i);
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      const Tensor reference = dense->forward(x, false);
+      x = run_dense_photonic(x, *dense);
+      for (std::size_t j = 0; j < x.numel(); ++j) {
+        stats_.max_abs_layer_error = std::max(
+            stats_.max_abs_layer_error, static_cast<double>(std::abs(x[j] - reference[j])));
+      }
+    } else if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      const Tensor reference = conv->forward(x, false);
+      x = run_conv_photonic(x, *conv);
+      for (std::size_t j = 0; j < x.numel(); ++j) {
+        stats_.max_abs_layer_error = std::max(
+            stats_.max_abs_layer_error, static_cast<double>(std::abs(x[j] - reference[j])));
+      }
+    } else {
+      // Electronic-domain layer (pooling, activation, flatten, dropout).
+      x = layer.forward(x, false);
+    }
+  }
+  return x;
+}
+
+double PhotonicInferenceEngine::evaluate_accuracy(const dnn::Dataset& data,
+                                                  std::size_t count) {
+  if (count == 0 || count > data.size()) {
+    throw std::invalid_argument("PhotonicInference: bad sample count");
+  }
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < count; ++n) {
+    const Tensor sample = dnn::batch_images(data, n, 1);
+    const Tensor logits = infer(sample);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.dim(1); ++c) {
+      if (logits.at2(0, c) > logits.at2(0, best)) best = c;
+    }
+    if (best == data.labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+}  // namespace xl::core

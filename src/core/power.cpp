@@ -1,0 +1,188 @@
+#include "core/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "photonics/laser.hpp"
+#include "photonics/losses.hpp"
+#include "photonics/wdm.hpp"
+#include "thermal/crosstalk_matrix.hpp"
+#include "thermal/ted.hpp"
+
+namespace xl::core {
+
+namespace {
+
+using xl::photonics::ArmPathSpec;
+using xl::photonics::FpvModel;
+using xl::photonics::MrDesignKind;
+
+/// Integer ceil(log2(x)) for x >= 1.
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+double unit_laser_power_mw(const ArchitectureConfig& config, std::size_t unit_size) {
+  const auto plan = xl::photonics::plan_wavelength_reuse(unit_size, config.mrs_per_bank);
+
+  ArmPathSpec spec;
+  spec.mrs_on_waveguide = config.mrs_per_bank;
+  spec.banks_per_arm = 2;
+  spec.splitter_stages = ceil_log2(std::max<std::size_t>(plan.arms, 1));
+  const double pitch = config.mr_pitch_um();
+  spec.waveguide_length_cm =
+      static_cast<double>(2 * config.mrs_per_bank) * (kMrDiameterUm + pitch) * 1e-4;
+  spec.combiner_stages = 1;
+
+  xl::photonics::LossBudget budget = arm_loss_budget(spec, config.devices);
+  // Splitting the laser feed across `arms` identical arms divides the optical
+  // power per arm: account the 1:arms power division explicitly.
+  if (plan.arms > 1) {
+    budget.add("arm_power_division",
+               10.0 * std::log10(static_cast<double>(plan.arms)));
+  }
+
+  const auto req = xl::photonics::required_laser_power(
+      budget, plan.unique_wavelengths, config.devices);
+  return req.wall_plug_power_mw;
+}
+
+double total_to_tuning_power_mw(const ArchitectureConfig& config) {
+  config.validate();
+  const double pitch = config.mr_pitch_um();
+  const MrDesignKind kind = variant_uses_optimized_mr(config.variant)
+                                ? MrDesignKind::kOptimized
+                                : MrDesignKind::kConventional;
+
+  xl::photonics::FpvModelConfig fpv_cfg;
+  fpv_cfg.max_drift_conventional_nm = config.devices.fpv_drift_conventional_nm;
+  fpv_cfg.max_drift_optimized_nm = config.devices.fpv_drift_optimized_nm;
+  const FpvModel fpv(fpv_cfg);
+
+  const double phase_per_nm = 2.0 * M_PI / config.devices.mr_fsr_nm;
+  const double mw_per_rad =
+      config.devices.to_tuning_power_mw_per_fsr / (2.0 * M_PI);
+
+  // Representative bank: mrs_per_bank rings at the variant's pitch. All
+  // banks are statistically identical, so solve one representative bank per
+  // pool position sample and scale by the bank count.
+  const std::size_t bank = config.mrs_per_bank;
+  xl::thermal::CouplingModelConfig coupling_cfg;
+  coupling_cfg.self_phase_rad_per_mw = 1.0 / mw_per_rad;
+  const xl::numerics::Matrix coupling =
+      xl::thermal::coupling_matrix_exponential(bank, pitch, coupling_cfg);
+
+  const std::size_t total_banks =
+      (config.conv_units * config.arms_per_unit(config.conv_unit_size) +
+       config.fc_units * config.arms_per_unit(config.fc_unit_size)) *
+      2;  // Activation bank + weight bank per arm.
+
+  if (variant_uses_ted(config.variant)) {
+    // Hybrid TED variants: the offline test phase measures every ring's
+    // actual drift, and the collective eigenmode solve trims all rings of a
+    // bank together (Section IV-B). Sample bank sites across the chip and
+    // average the solved bank power.
+    constexpr int kSites = 8;
+    const xl::thermal::TedTuner tuner(coupling);
+    double acc_power = 0.0;
+    for (int site = 0; site < kSites; ++site) {
+      const double y_um = 40.0 * static_cast<double>(site);
+      const std::vector<double> drifts =
+          fpv.row_drifts_nm(kind, bank, pitch, 13.0 * static_cast<double>(site), y_um);
+      xl::numerics::Vector targets(bank);
+      for (std::size_t i = 0; i < bank; ++i) {
+        targets[i] = std::abs(drifts[i]) * phase_per_nm;
+      }
+      acc_power += tuner.solve(targets).total_power_mw;
+    }
+    return acc_power / kSites * static_cast<double>(total_banks);
+  }
+
+  // Traditional TO tuning (Cross_base / Cross_opt): without the collective
+  // calibration flow, every heater is provisioned for the design corner
+  // (max |drift|), and runtime weight imprinting also rides on TO actuation,
+  // dissipating a continuous hold power per MR (Section II's criticism of
+  // prior accelerators). Guard spacing keeps crosstalk overdrive near 1.
+  const double worst_phase = fpv.max_drift_nm(kind) * phase_per_nm;
+  const xl::numerics::Vector worst_targets(bank, worst_phase);
+  const xl::thermal::NaiveTuningResult naive =
+      xl::thermal::naive_tuning_powers(coupling, worst_targets);
+  constexpr double kMeanWeightHoldShiftNm = 0.5;
+  const double weight_hold_mw_per_ring =
+      kMeanWeightHoldShiftNm * config.devices.to_tuning_power_mw_per_nm();
+  return naive.total_power_mw * static_cast<double>(total_banks) +
+         weight_hold_mw_per_ring * static_cast<double>(config.total_mrs());
+}
+
+PowerBreakdown evaluate_power(const ModelMapping& mapping, const ArchitectureConfig& config,
+                              const PerformanceReport& perf) {
+  config.validate();
+  const auto& d = config.devices;
+  PowerBreakdown p;
+
+  // --- Laser ---------------------------------------------------------------
+  p.laser_mw = static_cast<double>(config.conv_units) *
+                   unit_laser_power_mw(config, config.conv_unit_size) +
+               static_cast<double>(config.fc_units) *
+                   unit_laser_power_mw(config, config.fc_unit_size);
+
+  // --- Static TO trim --------------------------------------------------------
+  p.to_tuning_mw = total_to_tuning_power_mw(config);
+
+  // --- Dynamic EO imprint ----------------------------------------------------
+  // Each pass re-imprints activation+weight MRs; mean EO excursion is half a
+  // linewidth-dominated weight range (~0.5 nm).
+  constexpr double kMeanImprintShiftNm = 0.5;
+  const double energy_per_pass_pj =
+      static_cast<double>(2 * config.mrs_per_bank) * d.eo_tuning_power_uw_per_nm *
+      kMeanImprintShiftNm * d.eo_tuning_latency_ns * 1e-3;  // uW*ns = fJ -> pJ
+  if (perf.frame_latency_us > 0.0) {
+    const double frame_energy_pj =
+        energy_per_pass_pj * static_cast<double>(mapping.total_passes);
+    // pJ -> J, us -> s, W -> mW.
+    p.eo_tuning_mw = frame_energy_pj * 1e-12 / (perf.frame_latency_us * 1e-6) * 1e3;
+  }
+
+  // --- Optoelectronic device bias -------------------------------------------
+  const std::size_t arms = config.total_arms();
+  const std::size_t units = config.conv_units + config.fc_units;
+  const std::size_t pds = arms + units;  // Per-arm balanced PD + final accumulator.
+  p.pd_mw = static_cast<double>(pds) * d.pd_power_mw;
+  p.tia_mw = static_cast<double>(pds) * d.tia_power_mw;
+  p.vcsel_mw = static_cast<double>(arms) * d.vcsel_power_mw;
+
+  // --- Transceiver arrays ----------------------------------------------------
+  // One ADC/DAC transceiver array per VDP unit, run at the line rate needed
+  // by the unit's sample traffic (modelled at the array's rated power scaled
+  // by the active-duty fraction of the unit pool for this workload).
+  const double conv_share =
+      mapping.total_passes == 0
+          ? 0.0
+          : static_cast<double>(mapping.conv_passes()) /
+                static_cast<double>(mapping.total_passes);
+  // Result-sample and operand-sample phases interleave on the shared array,
+  // so the average line-rate duty sits near one half.
+  const double duty = 0.5;
+  p.adc_dac_mw = duty * d.transceiver_max_power_mw *
+                 (conv_share * static_cast<double>(config.conv_units) +
+                  (1.0 - conv_share) * static_cast<double>(config.fc_units));
+
+  // --- Digital control -------------------------------------------------------
+  // Buffering, partial-sum bookkeeping and sequencing; modelled as a fixed
+  // per-unit controller cost.
+  constexpr double kControlPerUnitMw = 5.0;
+  p.control_mw = kControlPerUnitMw * static_cast<double>(units);
+
+  return p;
+}
+
+}  // namespace xl::core

@@ -1,0 +1,34 @@
+// Power model: laser (Eq. 7), TO/EO tuning (Section IV-B), optoelectronic
+// devices and transceivers (Table II).
+//
+// Static components (laser, TO trim, PD/TIA/VCSEL bias, transceiver arrays)
+// depend only on the architecture configuration; dynamic EO imprint power
+// additionally depends on the mapped workload's pass rate.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "core/report.hpp"
+#include "photonics/fpv.hpp"
+
+namespace xl::core {
+
+/// Ring diameter used for waveguide-length and area accounting, um.
+inline constexpr double kMrDiameterUm = 20.0;
+
+/// Laser wall-plug power for one VDP unit of the given size (mW).
+[[nodiscard]] double unit_laser_power_mw(const ArchitectureConfig& config,
+                                         std::size_t unit_size);
+
+/// Static TO trim power for the whole accelerator (mW): per-bank FPV
+/// compensation solved collectively (TED variants) or independently with
+/// crosstalk overdrive (non-TED variants). Uses the FPV wafer model to draw
+/// per-ring drift targets deterministically.
+[[nodiscard]] double total_to_tuning_power_mw(const ArchitectureConfig& config);
+
+/// Full power breakdown for a mapped model at a given frame latency.
+[[nodiscard]] PowerBreakdown evaluate_power(const ModelMapping& mapping,
+                                            const ArchitectureConfig& config,
+                                            const PerformanceReport& perf);
+
+}  // namespace xl::core

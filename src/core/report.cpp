@@ -1,0 +1,50 @@
+#include "core/report.hpp"
+
+#include <stdexcept>
+
+namespace xl::core {
+
+PowerBreakdown& PowerBreakdown::operator+=(const PowerBreakdown& rhs) noexcept {
+  laser_mw += rhs.laser_mw;
+  to_tuning_mw += rhs.to_tuning_mw;
+  eo_tuning_mw += rhs.eo_tuning_mw;
+  pd_mw += rhs.pd_mw;
+  tia_mw += rhs.tia_mw;
+  vcsel_mw += rhs.vcsel_mw;
+  adc_dac_mw += rhs.adc_dac_mw;
+  control_mw += rhs.control_mw;
+  return *this;
+}
+
+double AcceleratorReport::epb_pj() const noexcept {
+  const double bits = bits_per_frame();
+  if (bits <= 0.0 || perf.fps <= 0.0) return 0.0;
+  // Power [mW] * latency [us] = nJ; convert to pJ (x1000), divide by bits.
+  const double energy_pj = power.total_mw() * perf.frame_latency_us * 1e3;
+  return energy_pj / bits;
+}
+
+double AcceleratorReport::kfps_per_watt() const noexcept {
+  const double watts = power.total_w();
+  if (watts <= 0.0) return 0.0;
+  return perf.fps / 1000.0 / watts;
+}
+
+AcceleratorSummary summarize(const std::vector<AcceleratorReport>& reports) {
+  if (reports.empty()) throw std::invalid_argument("summarize: no reports");
+  AcceleratorSummary s;
+  s.accelerator = reports.front().accelerator;
+  for (const AcceleratorReport& r : reports) {
+    s.avg_epb_pj += r.epb_pj();
+    s.avg_kfps_per_watt += r.kfps_per_watt();
+    s.avg_power_w += r.power.total_w();
+    s.area_mm2 = r.area_mm2;  // Area is model-independent.
+  }
+  const auto n = static_cast<double>(reports.size());
+  s.avg_epb_pj /= n;
+  s.avg_kfps_per_watt /= n;
+  s.avg_power_w /= n;
+  return s;
+}
+
+}  // namespace xl::core

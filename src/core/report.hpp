@@ -1,0 +1,73 @@
+// Result structures shared by the CrossLight model and the baseline
+// accelerator models, plus the derived metrics (EPB, kFPS/W).
+//
+// Metric definitions (documented in EXPERIMENTS.md):
+//   EPB [pJ/bit]  = (total power * frame latency) / bits-per-frame, with
+//                   bits-per-frame = 2 * MACs * resolution (two operands per
+//                   multiply-accumulate enter the photonic datapath).
+//   kFPS/W        = (FPS / 1000) / total power [W].
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xl::core {
+
+/// Itemized electrical power (mW).
+struct PowerBreakdown {
+  double laser_mw = 0.0;       ///< Laser wall-plug power (Eq. 7 / efficiency).
+  double to_tuning_mw = 0.0;   ///< Static thermo-optic trim (FPV + crosstalk).
+  double eo_tuning_mw = 0.0;   ///< Dynamic EO imprint power.
+  double pd_mw = 0.0;          ///< Photodetectors.
+  double tia_mw = 0.0;         ///< Transimpedance amplifiers.
+  double vcsel_mw = 0.0;       ///< Partial-sum re-emission VCSELs.
+  double adc_dac_mw = 0.0;     ///< Transceiver arrays.
+  double control_mw = 0.0;     ///< Digital control / buffering.
+
+  [[nodiscard]] double total_mw() const noexcept {
+    return laser_mw + to_tuning_mw + eo_tuning_mw + pd_mw + tia_mw + vcsel_mw +
+           adc_dac_mw + control_mw;
+  }
+  [[nodiscard]] double total_w() const noexcept { return total_mw() * 1e-3; }
+
+  PowerBreakdown& operator+=(const PowerBreakdown& rhs) noexcept;
+};
+
+/// Latency/throughput summary for one model on one accelerator.
+struct PerformanceReport {
+  double cycle_ns = 0.0;          ///< Pipelined VDP issue interval.
+  double frame_latency_us = 0.0;  ///< End-to-end single-inference latency.
+  double fps = 0.0;               ///< 1 / frame latency.
+};
+
+/// Full evaluation of one (accelerator, model) pair.
+struct AcceleratorReport {
+  std::string accelerator;
+  std::string model;
+  PerformanceReport perf;
+  PowerBreakdown power;
+  double area_mm2 = 0.0;
+  int resolution_bits = 0;
+  std::size_t macs_per_frame = 0;
+
+  [[nodiscard]] double bits_per_frame() const noexcept {
+    return 2.0 * static_cast<double>(macs_per_frame) * resolution_bits;
+  }
+  /// Energy per bit, pJ.
+  [[nodiscard]] double epb_pj() const noexcept;
+  /// Performance per watt, kiloFPS / W.
+  [[nodiscard]] double kfps_per_watt() const noexcept;
+};
+
+/// Average EPB / kFPS/W over the reports of one accelerator (Table III rows).
+struct AcceleratorSummary {
+  std::string accelerator;
+  double avg_epb_pj = 0.0;
+  double avg_kfps_per_watt = 0.0;
+  double avg_power_w = 0.0;
+  double area_mm2 = 0.0;
+};
+
+[[nodiscard]] AcceleratorSummary summarize(const std::vector<AcceleratorReport>& reports);
+
+}  // namespace xl::core

@@ -1,0 +1,77 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "core/performance.hpp"
+
+namespace xl::core {
+
+EventScheduler::EventScheduler(const ArchitectureConfig& config,
+                               const ScheduleOptions& options)
+    : config_(config),
+      layer_barriers_(options.layer_barriers),
+      cycle_ns_(options.cycle_ns.value_or(0.0)),
+      fill_ns_(options.fill_ns.value_or(0.0)) {
+  config_.validate();
+  if (!options.cycle_ns) cycle_ns_ = vdp_cycle_ns(config_);
+  if (!options.fill_ns) fill_ns_ = pipeline_fill_ns(config_);
+  if (cycle_ns_ <= 0.0 || fill_ns_ < 0.0) {
+    throw std::invalid_argument("EventScheduler: non-positive cycle or negative fill");
+  }
+}
+
+ScheduleResult EventScheduler::run(const ModelMapping& mapping) const {
+  ScheduleResult result;
+  result.conv_units.assign(config_.conv_units, UnitStats{});
+  result.fc_units.assign(config_.fc_units, UnitStats{});
+
+  // Min-heap of (free_time, unit_index) per pool.
+  using Slot = std::pair<double, std::size_t>;
+  auto make_pool = [](std::size_t n) {
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> pool;
+    for (std::size_t i = 0; i < n; ++i) pool.emplace(0.0, i);
+    return pool;
+  };
+  auto conv_pool = make_pool(config_.conv_units);
+  auto fc_pool = make_pool(config_.fc_units);
+
+  double layer_ready_ns = 0.0;  // When the current layer may start.
+  double makespan = 0.0;
+  for (const LayerMapping& layer : mapping.layers) {
+    auto& pool = layer.is_conv ? conv_pool : fc_pool;
+    auto& stats = layer.is_conv ? result.conv_units : result.fc_units;
+    const double start_floor = layer_barriers_ ? layer_ready_ns : 0.0;
+
+    double layer_finish = start_floor;
+    for (std::size_t pass = 0; pass < layer.total_passes; ++pass) {
+      auto [free_at, unit] = pool.top();
+      pool.pop();
+      const double start = std::max(free_at, start_floor);
+      const double end = start + cycle_ns_;
+      stats[unit].passes += 1;
+      stats[unit].busy_ns += cycle_ns_;
+      layer_finish = std::max(layer_finish, end);
+      pool.emplace(end, unit);
+    }
+    // Results drain through the optoelectronic chain once per layer.
+    layer_finish += fill_ns_;
+    layer_ready_ns = layer_finish;
+    makespan = std::max(makespan, layer_finish);
+    result.total_passes += layer.total_passes;
+  }
+  result.makespan_ns = makespan;
+
+  auto utilization = [&](const std::vector<UnitStats>& stats) {
+    if (stats.empty() || makespan <= 0.0) return 0.0;
+    double busy = 0.0;
+    for (const UnitStats& s : stats) busy += s.busy_ns;
+    return busy / (static_cast<double>(stats.size()) * makespan);
+  };
+  result.conv_pool_utilization = utilization(result.conv_units);
+  result.fc_pool_utilization = utilization(result.fc_units);
+  return result;
+}
+
+}  // namespace xl::core

@@ -1,0 +1,62 @@
+// Functional (signal-level) simulation of one VDP arm.
+//
+// Where the performance/power models answer "how fast / how much energy",
+// this simulator answers "what value does the analog datapath actually
+// compute": activations and weights pass through quantizers, Lorentzian MR
+// transmissions, inter-channel crosstalk, and balanced photodetection.
+// Integration tests compare accelerator inference against exact software
+// inference to bound the analog error (Section V-B's resolution claim).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "photonics/crosstalk.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/wdm.hpp"
+
+namespace xl::core {
+
+struct VdpSimOptions {
+  std::size_t mrs_per_bank = 15;
+  int resolution_bits = 16;
+  double q_factor = 8000.0;
+  double fsr_nm = 18.0;
+  double center_wavelength_nm = 1550.0;
+  bool model_crosstalk = true;  ///< Inject Eq. 8 inter-channel noise.
+};
+
+/// Signal-level simulator for dot products on one VDP unit.
+class VdpSimulator {
+ public:
+  explicit VdpSimulator(const VdpSimOptions& opts = {});
+
+  /// Compute dot(x, w) photonically. Inputs may be any sign/magnitude; the
+  /// simulator normalizes per-call (as the DAC scaling hardware does),
+  /// splits signed weights across the positive/negative arms of the balanced
+  /// PD, processes ceil(len/bank) chunks, and accumulates partial sums.
+  [[nodiscard]] double dot(std::span<const double> x, std::span<const double> w) const;
+
+  /// Exact reference for error measurement.
+  [[nodiscard]] static double exact_dot(std::span<const double> x,
+                                        std::span<const double> w);
+
+  /// |photonic - exact| for one pair.
+  [[nodiscard]] double absolute_error(std::span<const double> x,
+                                      std::span<const double> w) const;
+
+  [[nodiscard]] const VdpSimOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// One nonnegative chunk product-accumulate on a single arm.
+  [[nodiscard]] double arm_dot(std::span<const double> x_norm,
+                               std::span<const double> w_norm) const;
+
+  VdpSimOptions opts_;
+  xl::photonics::WavelengthGrid grid_;
+  std::vector<double> crosstalk_weight_;  ///< phi(i,j) row sums per channel.
+};
+
+}  // namespace xl::core

@@ -1,0 +1,100 @@
+#include "dnn/activations.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0F) out[i] = 0.0F;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("ReLU::backward before forward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0F) grad[i] = 0.0F;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0F / (1.0F + std::exp(-out[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) throw std::logic_error("Sigmoid::backward before forward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= y * (1.0F - y);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) throw std::logic_error("Tanh::backward before forward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= 1.0F - y * y;
+  }
+  return grad;
+}
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_.assign(input.numel(), 1.0F);
+    return input;
+  }
+  const float keep = static_cast<float>(1.0 - rate_);
+  mask_.resize(input.numel());
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const bool kept = rng_.bernoulli(keep);
+    mask_[i] = kept ? 1.0F / keep : 0.0F;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.size() != grad_output.numel()) {
+    throw std::logic_error("Dropout::backward before forward");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+std::string Dropout::describe() const {
+  std::ostringstream os;
+  os << "dropout(" << rate_ << ")";
+  return os.str();
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,139 @@
+#include "dnn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+BatchNorm::BatchNorm(std::size_t features, double momentum, double epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_({features}, 1.0F),
+      beta_({features}),
+      dgamma_({features}),
+      dbeta_({features}),
+      running_mean_(features, 0.0),
+      running_var_(features, 1.0) {
+  if (features == 0) throw std::invalid_argument("BatchNorm: zero features");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("BatchNorm: momentum in [0, 1)");
+  }
+  if (epsilon <= 0.0) throw std::invalid_argument("BatchNorm: epsilon must be > 0");
+}
+
+Shape BatchNorm::output_shape(const Shape& input_shape) const {
+  const std::size_t feature_dim = input_shape.size() == 4 ? input_shape[1]
+                                  : input_shape.size() == 2 ? input_shape[1]
+                                                            : 0;
+  if (feature_dim != features_) {
+    throw std::invalid_argument("BatchNorm: feature dimension mismatch");
+  }
+  return input_shape;
+}
+
+template <typename Fn>
+void BatchNorm::for_each(const Shape& shape, Fn&& fn) const {
+  if (shape.size() == 2) {
+    for (std::size_t n = 0; n < shape[0]; ++n) {
+      for (std::size_t f = 0; f < shape[1]; ++f) fn(f, n * shape[1] + f);
+    }
+  } else {  // Rank-4 NCHW.
+    const std::size_t hw = shape[2] * shape[3];
+    for (std::size_t n = 0; n < shape[0]; ++n) {
+      for (std::size_t c = 0; c < shape[1]; ++c) {
+        const std::size_t base = (n * shape[1] + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) fn(c, base + i);
+      }
+    }
+  }
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  (void)output_shape(input.shape());  // Validates.
+  cached_input_ = input;
+  cached_training_ = training;
+
+  const std::size_t per_feature = input.numel() / features_;
+  batch_mean_.assign(features_, 0.0);
+  batch_inv_std_.assign(features_, 0.0);
+
+  std::vector<double> mean(features_, 0.0);
+  std::vector<double> var(features_, 0.0);
+  if (training) {
+    for_each(input.shape(), [&](std::size_t f, std::size_t i) { mean[f] += input[i]; });
+    for (std::size_t f = 0; f < features_; ++f) mean[f] /= static_cast<double>(per_feature);
+    for_each(input.shape(), [&](std::size_t f, std::size_t i) {
+      const double d = input[i] - mean[f];
+      var[f] += d * d;
+    });
+    for (std::size_t f = 0; f < features_; ++f) {
+      var[f] /= static_cast<double>(per_feature);
+      running_mean_[f] = momentum_ * running_mean_[f] + (1.0 - momentum_) * mean[f];
+      running_var_[f] = momentum_ * running_var_[f] + (1.0 - momentum_) * var[f];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+  for (std::size_t f = 0; f < features_; ++f) {
+    batch_mean_[f] = mean[f];
+    batch_inv_std_[f] = 1.0 / std::sqrt(var[f] + epsilon_);
+  }
+
+  Tensor out = input;
+  for_each(input.shape(), [&](std::size_t f, std::size_t i) {
+    const double norm = (input[i] - batch_mean_[f]) * batch_inv_std_[f];
+    out[i] = static_cast<float>(norm * gamma_[f] + beta_[f]);
+  });
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("BatchNorm::backward before forward");
+  const Shape& shape = cached_input_.shape();
+  const std::size_t per_feature = cached_input_.numel() / features_;
+
+  // Accumulate per-feature sums needed by the BN backward formula.
+  std::vector<double> sum_dy(features_, 0.0);
+  std::vector<double> sum_dy_xhat(features_, 0.0);
+  for_each(shape, [&](std::size_t f, std::size_t i) {
+    const double xhat = (cached_input_[i] - batch_mean_[f]) * batch_inv_std_[f];
+    sum_dy[f] += grad_output[i];
+    sum_dy_xhat[f] += grad_output[i] * xhat;
+  });
+  for (std::size_t f = 0; f < features_; ++f) {
+    dbeta_[f] += static_cast<float>(sum_dy[f]);
+    dgamma_[f] += static_cast<float>(sum_dy_xhat[f]);
+  }
+
+  Tensor grad_input(shape);
+  const auto m = static_cast<double>(per_feature);
+  if (cached_training_) {
+    for_each(shape, [&](std::size_t f, std::size_t i) {
+      const double xhat = (cached_input_[i] - batch_mean_[f]) * batch_inv_std_[f];
+      const double term = m * grad_output[i] - sum_dy[f] - xhat * sum_dy_xhat[f];
+      grad_input[i] =
+          static_cast<float>(gamma_[f] * batch_inv_std_[f] * term / m);
+    });
+  } else {
+    // Inference-mode BN is a per-feature affine map.
+    for_each(shape, [&](std::size_t f, std::size_t i) {
+      grad_input[i] = static_cast<float>(grad_output[i] * gamma_[f] * batch_inv_std_[f]);
+    });
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm::parameters() {
+  return {ParamRef{&gamma_, &dgamma_}, ParamRef{&beta_, &dbeta_}};
+}
+
+std::string BatchNorm::describe() const {
+  std::ostringstream os;
+  os << "batchnorm(" << features_ << ")";
+  return os.str();
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,55 @@
+// Batch normalization (per-channel for NCHW, per-feature for rank-2).
+//
+// The paper notes batch normalization executes "very efficiently in the
+// electronic domain" — the layer exists so the model zoo can express
+// BN-bearing CNNs; it carries no photonic mapping (LayerKind::kOther).
+#pragma once
+
+#include "dnn/layer.hpp"
+
+namespace xl::dnn {
+
+class BatchNorm : public Layer {
+ public:
+  /// `features` = channel count (rank-4 input) or feature count (rank-2).
+  explicit BatchNorm(std::size_t features, double momentum = 0.9, double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string kind() const override { return "batchnorm"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+  [[nodiscard]] std::size_t features() const noexcept { return features_; }
+  Tensor& gamma() noexcept { return gamma_; }
+  Tensor& beta() noexcept { return beta_; }
+  [[nodiscard]] const std::vector<double>& running_mean() const noexcept {
+    return running_mean_;
+  }
+  [[nodiscard]] const std::vector<double>& running_var() const noexcept {
+    return running_var_;
+  }
+
+ private:
+  /// Iterate the input grouped by feature: calls fn(feature, flat_index).
+  template <typename Fn>
+  void for_each(const Shape& shape, Fn&& fn) const;
+
+  std::size_t features_;
+  double momentum_;
+  double epsilon_;
+  Tensor gamma_, beta_;
+  Tensor dgamma_, dbeta_;
+
+  std::vector<double> running_mean_;
+  std::vector<double> running_var_;
+
+  // Cached forward state for backward.
+  Tensor cached_input_;
+  std::vector<double> batch_mean_;
+  std::vector<double> batch_inv_std_;
+  bool cached_training_ = false;
+};
+
+}  // namespace xl::dnn

@@ -1,0 +1,161 @@
+#include "dnn/conv2d.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+Conv2d::Conv2d(const Conv2dConfig& config, xl::numerics::Rng& rng)
+    : config_(config),
+      w_({config.out_channels, config.in_channels, config.kernel, config.kernel}),
+      b_({config.out_channels}),
+      dw_({config.out_channels, config.in_channels, config.kernel, config.kernel}),
+      db_({config.out_channels}) {
+  if (config.in_channels == 0 || config.out_channels == 0 || config.kernel == 0 ||
+      config.stride == 0) {
+    throw std::invalid_argument("Conv2d: zero-sized configuration");
+  }
+  const double fan_in =
+      static_cast<double>(config.in_channels * config.kernel * config.kernel);
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (std::size_t i = 0; i < w_.numel(); ++i) {
+    w_[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+std::size_t Conv2d::out_extent(std::size_t in_extent) const {
+  const std::size_t padded = in_extent + 2 * config_.padding;
+  if (padded < config_.kernel) {
+    throw std::invalid_argument("Conv2d: input smaller than kernel");
+  }
+  return (padded - config_.kernel) / config_.stride + 1;
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+  if (input_shape.size() != 4 || input_shape[1] != config_.in_channels) {
+    throw std::invalid_argument("Conv2d::output_shape: incompatible input shape");
+  }
+  return {input_shape[0], config_.out_channels, out_extent(input_shape[2]),
+          out_extent(input_shape[3])};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_ = input;
+
+  const bool qat = quant_ != nullptr && quant_->weights_enabled();
+  const Tensor* w = &w_;
+  if (qat) {
+    effective_w_ = w_;
+    fake_quant_symmetric(w_.span(), effective_w_.span(), quant_->weight_bits);
+    w = &effective_w_;
+  }
+
+  const std::size_t batch = input.dim(0);
+  const std::size_t c_in = config_.in_channels;
+  const std::size_t c_out = config_.out_channels;
+  const std::size_t h_in = input.dim(2);
+  const std::size_t w_in = input.dim(3);
+  const std::size_t h_out = out_shape[2];
+  const std::size_t w_out = out_shape[3];
+  const std::size_t k = config_.kernel;
+  const std::size_t stride = config_.stride;
+  const auto pad = static_cast<std::ptrdiff_t>(config_.padding);
+
+  Tensor out(out_shape);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t co = 0; co < c_out; ++co) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox) {
+          float acc = b_[co];
+          const std::ptrdiff_t iy0 =
+              static_cast<std::ptrdiff_t>(oy * stride) - pad;
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * stride) - pad;
+          for (std::size_t ci = 0; ci < c_in; ++ci) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h_in)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w_in)) continue;
+                acc += w->at4(co, ci, ky, kx) *
+                       input.at4(n, ci, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          out.at4(n, co, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Conv2d::backward before forward");
+  const Shape out_shape = output_shape(cached_input_.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("Conv2d::backward: gradient shape mismatch");
+  }
+  const bool qat = quant_ != nullptr && quant_->weights_enabled();
+  const Tensor* w = qat ? &effective_w_ : &w_;
+
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t c_in = config_.in_channels;
+  const std::size_t c_out = config_.out_channels;
+  const std::size_t h_in = cached_input_.dim(2);
+  const std::size_t w_in = cached_input_.dim(3);
+  const std::size_t h_out = out_shape[2];
+  const std::size_t w_out = out_shape[3];
+  const std::size_t k = config_.kernel;
+  const std::size_t stride = config_.stride;
+  const auto pad = static_cast<std::ptrdiff_t>(config_.padding);
+
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t co = 0; co < c_out; ++co) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox) {
+          const float g = grad_output.at4(n, co, oy, ox);
+          if (g == 0.0F) continue;
+          db_[co] += g;
+          const std::ptrdiff_t iy0 =
+              static_cast<std::ptrdiff_t>(oy * stride) - pad;
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * stride) - pad;
+          for (std::size_t ci = 0; ci < c_in; ++ci) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h_in)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w_in)) continue;
+                const auto uy = static_cast<std::size_t>(iy);
+                const auto ux = static_cast<std::size_t>(ix);
+                dw_.at4(co, ci, ky, kx) += g * cached_input_.at4(n, ci, uy, ux);
+                grad_input.at4(n, ci, uy, ux) += g * w->at4(co, ci, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::parameters() {
+  return {ParamRef{&w_, &dw_}, ParamRef{&b_, &db_}};
+}
+
+std::string Conv2d::describe() const {
+  std::ostringstream os;
+  os << "conv2d(" << config_.in_channels << " -> " << config_.out_channels << ", k="
+     << config_.kernel << ", s=" << config_.stride << ", p=" << config_.padding << ")";
+  return os.str();
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,46 @@
+// 2-D convolution layer, NCHW layout, square kernels, configurable stride
+// and symmetric zero padding. This is the layer the CrossLight CONV VDP
+// units accelerate: each output pixel is a dot product of length k*k*C_in
+// (Section IV-C.1, Eqs. 1-4).
+#pragma once
+
+#include "dnn/layer.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::dnn {
+
+struct Conv2dConfig {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(const Conv2dConfig& config, xl::numerics::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string kind() const override { return "conv2d"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+  [[nodiscard]] const Conv2dConfig& config() const noexcept { return config_; }
+  Tensor& weights() noexcept { return w_; }
+  Tensor& bias() noexcept { return b_; }
+
+ private:
+  [[nodiscard]] std::size_t out_extent(std::size_t in_extent) const;
+
+  Conv2dConfig config_;
+  Tensor w_;   ///< (C_out, C_in, k, k)
+  Tensor b_;   ///< (C_out)
+  Tensor dw_, db_;
+  Tensor cached_input_;
+  Tensor effective_w_;
+};
+
+}  // namespace xl::dnn

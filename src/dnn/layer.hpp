@@ -1,0 +1,66 @@
+// Abstract layer interface for the sequential DNN container.
+//
+// Classic cached-input backprop: forward() stores whatever backward() needs;
+// backward() receives dL/d(output), returns dL/d(input), and accumulates
+// parameter gradients into the grad tensors exposed via parameters().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/quantize.hpp"
+#include "dnn/tensor.hpp"
+
+namespace xl::dnn {
+
+/// A learnable parameter and its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output; `training` enables dropout masks, range
+  /// tracking, and other train-only behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagate; must be called after forward() on the same input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> parameters() { return {}; }
+
+  /// Short kind tag, e.g. "conv2d", "dense", "relu".
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Human-readable one-line description.
+  [[nodiscard]] virtual std::string describe() const { return kind(); }
+
+  /// Output shape for a given input shape (shape inference, no compute).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input_shape) const = 0;
+
+  /// Total learnable parameter element count.
+  [[nodiscard]] std::size_t parameter_count() {
+    std::size_t acc = 0;
+    for (const ParamRef& p : parameters()) acc += p.value->numel();
+    return acc;
+  }
+
+  /// Install the network-wide quantization spec (weight layers honour it).
+  virtual void set_quantization(const QuantizationSpec* spec) { quant_ = spec; }
+
+  /// True when the layer output is an activation the network should fake-
+  /// quantize during QAT (nonlinearities and pooling outputs).
+  [[nodiscard]] virtual bool is_activation() const { return false; }
+
+ protected:
+  const QuantizationSpec* quant_ = nullptr;  ///< Owned by the Network.
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace xl::dnn

@@ -1,0 +1,95 @@
+#include "dnn/layer_spec.hpp"
+
+namespace xl::dnn {
+
+std::size_t LayerSpec::dot_product_count() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return out_height * out_width * out_channels;
+    case LayerKind::kDense:
+      return out_features;
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerSpec::dot_product_length() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return kernel * kernel * in_channels;
+    case LayerKind::kDense:
+      return in_features;
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerSpec::mac_count() const noexcept {
+  return dot_product_count() * dot_product_length();
+}
+
+std::size_t LayerSpec::parameter_count() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return out_channels * (in_channels * kernel * kernel + 1);
+    case LayerKind::kDense:
+      return out_features * (in_features + 1);
+    default:
+      return 0;
+  }
+}
+
+std::size_t ModelSpec::conv_layer_count() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerSpec& l : layers) {
+    if (l.kind == LayerKind::kConv) ++acc;
+  }
+  return acc * branches;
+}
+
+std::size_t ModelSpec::dense_layer_count() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerSpec& l : layers) {
+    if (l.kind == LayerKind::kDense) ++acc;
+  }
+  return acc * branches;
+}
+
+std::size_t ModelSpec::total_parameters() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerSpec& l : layers) acc += l.parameter_count();
+  // Parameters are shared across Siamese branches; count once.
+  return acc;
+}
+
+std::size_t ModelSpec::total_macs() const noexcept {
+  std::size_t acc = 0;
+  for (const LayerSpec& l : layers) acc += l.mac_count();
+  return acc * branches;
+}
+
+LayerSpec conv_spec(std::string name, std::size_t in_c, std::size_t out_c,
+                    std::size_t kernel, std::size_t out_h, std::size_t out_w,
+                    std::size_t stride) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.name = std::move(name);
+  s.in_channels = in_c;
+  s.out_channels = out_c;
+  s.kernel = kernel;
+  s.out_height = out_h;
+  s.out_width = out_w;
+  s.stride = stride;
+  return s;
+}
+
+LayerSpec dense_spec(std::string name, std::size_t in_f, std::size_t out_f) {
+  LayerSpec s;
+  s.kind = LayerKind::kDense;
+  s.name = std::move(name);
+  s.in_features = in_f;
+  s.out_features = out_f;
+  return s;
+}
+
+}  // namespace xl::dnn

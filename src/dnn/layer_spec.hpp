@@ -1,0 +1,78 @@
+// Hardware-facing layer descriptions.
+//
+// The accelerator model (xl_core) maps DNN layers onto VDP units from their
+// *shapes* alone — it never needs the weights. LayerSpec is the narrow
+// interface between the DNN substrate and the architecture model: dimensions
+// of every CONV and FC layer plus enough metadata to count MAC operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xl::dnn {
+
+enum class LayerKind : std::uint8_t {
+  kConv,     ///< Accelerated on CONV VDP units.
+  kDense,    ///< Accelerated on FC VDP units.
+  kPool,     ///< Electronic domain.
+  kActivation,  ///< Electronic / EAM domain.
+  kOther,    ///< Flatten, dropout, ... (no compute mapped).
+};
+
+/// Shape summary of one layer as mapped to hardware.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kOther;
+  std::string name;
+
+  // CONV fields.
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t out_height = 0;
+  std::size_t out_width = 0;
+
+  // DENSE fields.
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+
+  /// Dot products this layer performs per inference and their length.
+  [[nodiscard]] std::size_t dot_product_count() const noexcept;
+  [[nodiscard]] std::size_t dot_product_length() const noexcept;
+  /// Multiply-accumulate operations per inference.
+  [[nodiscard]] std::size_t mac_count() const noexcept;
+  /// Learnable parameters (weights + biases) of the layer.
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+  [[nodiscard]] bool is_accelerated() const noexcept {
+    return kind == LayerKind::kConv || kind == LayerKind::kDense;
+  }
+};
+
+/// Whole-model shape description used by the performance model.
+struct ModelSpec {
+  std::string name;
+  std::string dataset;
+  std::size_t input_height = 0;
+  std::size_t input_width = 0;
+  std::size_t input_channels = 0;
+  std::size_t classes = 0;
+  std::vector<LayerSpec> layers;
+  /// Number of parallel branches sharing the layer stack (2 for Siamese).
+  std::size_t branches = 1;
+
+  [[nodiscard]] std::size_t conv_layer_count() const noexcept;
+  [[nodiscard]] std::size_t dense_layer_count() const noexcept;
+  [[nodiscard]] std::size_t total_parameters() const noexcept;
+  /// MACs per inference (all branches).
+  [[nodiscard]] std::size_t total_macs() const noexcept;
+};
+
+/// Convenience builders used by the model zoo.
+[[nodiscard]] LayerSpec conv_spec(std::string name, std::size_t in_c, std::size_t out_c,
+                                  std::size_t kernel, std::size_t out_h, std::size_t out_w,
+                                  std::size_t stride = 1);
+[[nodiscard]] LayerSpec dense_spec(std::string name, std::size_t in_f, std::size_t out_f);
+
+}  // namespace xl::dnn

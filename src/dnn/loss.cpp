@@ -1,0 +1,159 @@
+#include "dnn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax: rank-2 logits required");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor probs = logits;
+  for (std::size_t n = 0; n < batch; ++n) {
+    float max_logit = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < classes; ++c) max_logit = std::max(max_logit, logits.at2(n, c));
+    float z = 0.0F;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float e = std::exp(logits.at2(n, c) - max_logit);
+      probs.at2(n, c) = e;
+      z += e;
+    }
+    for (std::size_t c = 0; c < classes; ++c) probs.at2(n, c) /= z;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: rank-2 logits required");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult res;
+  res.gradient = softmax(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0F / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::size_t y = labels[n];
+    if (y >= classes) throw std::out_of_range("softmax_cross_entropy: label out of range");
+    const float p = std::max(res.gradient.at2(n, y), 1e-12F);
+    loss -= std::log(p);
+    res.gradient.at2(n, y) -= 1.0F;
+  }
+  res.gradient *= inv_batch;
+  res.value = loss / static_cast<double>(batch);
+  return res;
+}
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.numel() != target.numel()) {
+    throw std::invalid_argument("mse_loss: size mismatch");
+  }
+  LossResult res;
+  res.gradient = prediction;
+  double loss = 0.0;
+  const std::size_t n = prediction.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = prediction[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    res.gradient[i] = 2.0F * d / static_cast<float>(n);
+  }
+  res.value = loss / static_cast<double>(n);
+  return res;
+}
+
+LossResult contrastive_loss(const Tensor& stacked_embeddings, const std::vector<int>& same,
+                            double margin) {
+  if (stacked_embeddings.rank() != 2) {
+    throw std::invalid_argument("contrastive_loss: rank-2 embeddings required");
+  }
+  const std::size_t rows = stacked_embeddings.dim(0);
+  if (rows % 2 != 0) {
+    throw std::invalid_argument("contrastive_loss: need an even number of rows");
+  }
+  const std::size_t pairs = rows / 2;
+  if (same.size() != pairs) {
+    throw std::invalid_argument("contrastive_loss: pair label count mismatch");
+  }
+  const std::size_t dim = stacked_embeddings.dim(1);
+
+  LossResult res;
+  res.gradient = Tensor(stacked_embeddings.shape());
+  double loss = 0.0;
+  const float inv_pairs = 1.0F / static_cast<float>(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const float diff = stacked_embeddings.at2(p, k) - stacked_embeddings.at2(pairs + p, k);
+      d2 += static_cast<double>(diff) * diff;
+    }
+    const double d = std::sqrt(std::max(d2, 1e-12));
+    if (same[p] != 0) {
+      loss += d2;
+      // dL/da = 2 (a - b), dL/db = -2 (a - b).
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float diff =
+            stacked_embeddings.at2(p, k) - stacked_embeddings.at2(pairs + p, k);
+        res.gradient.at2(p, k) += 2.0F * diff * inv_pairs;
+        res.gradient.at2(pairs + p, k) -= 2.0F * diff * inv_pairs;
+      }
+    } else if (d < margin) {
+      const double hinge = margin - d;
+      loss += hinge * hinge;
+      // dL/da = -2 (m - d) / d * (a - b).
+      const auto coeff = static_cast<float>(-2.0 * hinge / d);
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float diff =
+            stacked_embeddings.at2(p, k) - stacked_embeddings.at2(pairs + p, k);
+        res.gradient.at2(p, k) += coeff * diff * inv_pairs;
+        res.gradient.at2(pairs + p, k) -= coeff * diff * inv_pairs;
+      }
+    }
+  }
+  res.value = loss / static_cast<double>(pairs);
+  return res;
+}
+
+double pair_accuracy(const Tensor& stacked_embeddings, const std::vector<int>& same,
+                     double threshold) {
+  const std::size_t pairs = stacked_embeddings.dim(0) / 2;
+  if (same.size() != pairs || pairs == 0) {
+    throw std::invalid_argument("pair_accuracy: pair label count mismatch");
+  }
+  const std::size_t dim = stacked_embeddings.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const float diff = stacked_embeddings.at2(p, k) - stacked_embeddings.at2(pairs + p, k);
+      d2 += static_cast<double>(diff) * diff;
+    }
+    const bool predicted_same = std::sqrt(d2) < threshold;
+    if (predicted_same == (same[p] != 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pairs);
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size() || labels.empty()) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  const std::size_t classes = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < labels.size(); ++n) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits.at2(n, c) > logits.at2(n, best)) best = c;
+    }
+    if (best == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,41 @@
+// Loss functions: softmax cross-entropy (classification models 1-3), MSE,
+// and the contrastive loss used by the Siamese one-shot model (model 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace xl::dnn {
+
+struct LossResult {
+  double value = 0.0;   ///< Mean loss over the batch.
+  Tensor gradient;      ///< dL/d(logits or embeddings), batch-mean scaled.
+};
+
+/// Softmax + cross-entropy on logits (N, classes) with integer labels.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<std::size_t>& labels);
+
+/// Softmax probabilities (N, classes) — numerically stable.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Mean squared error against a dense target tensor.
+[[nodiscard]] LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+/// Contrastive loss over paired embeddings (Hadsell et al.). Embeddings are
+/// stacked: rows [0, P) are branch A, rows [P, 2P) are branch B of P pairs.
+/// same[i] == 1 for genuine pairs. L = same*d^2 + (1-same)*max(0, m-d)^2.
+[[nodiscard]] LossResult contrastive_loss(const Tensor& stacked_embeddings,
+                                          const std::vector<int>& same, double margin = 1.0);
+
+/// Verification accuracy for paired embeddings: pair is declared "same" when
+/// the embedding distance falls below `threshold`.
+[[nodiscard]] double pair_accuracy(const Tensor& stacked_embeddings,
+                                   const std::vector<int>& same, double threshold);
+
+/// Classification accuracy of logits vs labels.
+[[nodiscard]] double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace xl::dnn

@@ -1,0 +1,208 @@
+#include "dnn/models.hpp"
+
+#include <stdexcept>
+
+#include "dnn/activations.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+
+namespace xl::dnn {
+
+namespace {
+
+LayerSpec pool_spec() {
+  LayerSpec p;
+  p.kind = LayerKind::kPool;
+  p.name = "maxpool2d";
+  return p;
+}
+
+LayerSpec act_spec() {
+  LayerSpec a;
+  a.kind = LayerKind::kActivation;
+  a.name = "relu";
+  return a;
+}
+
+}  // namespace
+
+ModelSpec lenet5_spec() {
+  ModelSpec m;
+  m.name = "LeNet5";
+  m.dataset = "Sign MNIST";
+  m.input_height = 28;
+  m.input_width = 28;
+  m.input_channels = 1;
+  m.classes = 24;
+  // conv1 5x5 pad 2 keeps 28x28; pool -> 14; conv2 5x5 valid -> 10; pool -> 5.
+  m.layers = {
+      conv_spec("conv1", 1, 6, 5, 28, 28), act_spec(), pool_spec(),
+      conv_spec("conv2", 6, 16, 5, 10, 10), act_spec(), pool_spec(),
+      dense_spec("fc1", 400, 135), act_spec(),
+      dense_spec("fc2", 135, 24),
+  };
+  return m;
+}
+
+ModelSpec cnn_cifar10_spec() {
+  ModelSpec m;
+  m.name = "CNN-CIFAR10";
+  m.dataset = "CIFAR10";
+  m.input_height = 32;
+  m.input_width = 32;
+  m.input_channels = 3;
+  m.classes = 10;
+  m.layers = {
+      conv_spec("conv1", 3, 32, 3, 32, 32), act_spec(),
+      conv_spec("conv2", 32, 32, 3, 32, 32), act_spec(), pool_spec(),
+      conv_spec("conv3", 32, 64, 3, 16, 16), act_spec(),
+      conv_spec("conv4", 64, 64, 3, 16, 16), act_spec(), pool_spec(),
+      dense_spec("fc1", 4096, 201), act_spec(),
+      dense_spec("fc2", 201, 10),
+  };
+  return m;
+}
+
+ModelSpec cnn_stl10_spec() {
+  ModelSpec m;
+  m.name = "CNN-STL10";
+  m.dataset = "STL10";
+  m.input_height = 96;
+  m.input_width = 96;
+  m.input_channels = 3;
+  m.classes = 10;
+  m.layers = {
+      conv_spec("conv1", 3, 32, 3, 96, 96), act_spec(),
+      conv_spec("conv2", 32, 32, 3, 96, 96), act_spec(), pool_spec(),
+      conv_spec("conv3", 32, 64, 3, 48, 48), act_spec(),
+      conv_spec("conv4", 64, 64, 3, 48, 48), act_spec(), pool_spec(),
+      conv_spec("conv5", 64, 128, 3, 24, 24), act_spec(),
+      conv_spec("conv6", 128, 128, 3, 24, 24), act_spec(), pool_spec(),
+      conv_spec("conv7", 128, 256, 3, 12, 12), act_spec(), pool_spec(),
+      dense_spec("fc1", 9216, 284), act_spec(),
+      dense_spec("fc2", 284, 10),
+  };
+  return m;
+}
+
+ModelSpec siamese_omniglot_spec() {
+  ModelSpec m;
+  m.name = "Siamese-CNN";
+  m.dataset = "Omniglot";
+  m.input_height = 105;
+  m.input_width = 105;
+  m.input_channels = 1;
+  m.classes = 1;  // Verification output.
+  m.branches = 2; // Twin branches share weights.
+  // Koch et al. one-shot network; parameter count = 38,951,745 exactly.
+  m.layers = {
+      conv_spec("conv1", 1, 64, 10, 96, 96), act_spec(), pool_spec(),
+      conv_spec("conv2", 64, 128, 7, 42, 42), act_spec(), pool_spec(),
+      conv_spec("conv3", 128, 128, 4, 18, 18), act_spec(), pool_spec(),
+      conv_spec("conv4", 128, 256, 4, 6, 6), act_spec(),
+      dense_spec("fc1", 9216, 4096), act_spec(),
+      dense_spec("fc_out", 4096, 1),
+  };
+  return m;
+}
+
+std::vector<ModelSpec> table1_models() {
+  return {lenet5_spec(), cnn_cifar10_spec(), cnn_stl10_spec(), siamese_omniglot_spec()};
+}
+
+std::size_t paper_parameter_count(int model_no) {
+  switch (model_no) {
+    case 1: return 60074;
+    case 2: return 890410;
+    case 3: return 3204080;
+    case 4: return 38951745;
+    default: throw std::invalid_argument("paper_parameter_count: model_no in [1, 4]");
+  }
+}
+
+Network build_lenet5(xl::numerics::Rng& rng, std::size_t classes) {
+  Network net;
+  net.emplace<Conv2d>(Conv2dConfig{1, 6, 5, 1, 2}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Conv2d>(Conv2dConfig{6, 16, 5, 1, 0}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(400, 135, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(135, classes, rng);
+  return net;
+}
+
+Network build_reduced_cifar_cnn(xl::numerics::Rng& rng, std::size_t classes) {
+  Network net;  // Input 16x16x3.
+  net.emplace<Conv2d>(Conv2dConfig{3, 16, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{16, 16, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Conv2d>(Conv2dConfig{16, 32, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{32, 32, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(32 * 4 * 4, 64, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(64, classes, rng);
+  return net;
+}
+
+Network build_reduced_stl_cnn(xl::numerics::Rng& rng, std::size_t classes) {
+  Network net;  // Input 24x24x3; 7 conv layers like the full model.
+  net.emplace<Conv2d>(Conv2dConfig{3, 12, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{12, 12, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);  // -> 12x12
+  net.emplace<Conv2d>(Conv2dConfig{12, 24, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{24, 24, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);  // -> 6x6
+  net.emplace<Conv2d>(Conv2dConfig{24, 32, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{32, 32, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{32, 48, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);  // -> 3x3
+  net.emplace<Flatten>();
+  net.emplace<Dense>(48 * 3 * 3, 96, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(96, classes, rng);
+  return net;
+}
+
+Network build_reduced_siamese_branch(xl::numerics::Rng& rng) {
+  Network net;  // Input 28x28x1 -> 64-d embedding.
+  net.emplace<Conv2d>(Conv2dConfig{1, 16, 5, 1, 2}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);  // -> 14x14
+  net.emplace<Conv2d>(Conv2dConfig{16, 32, 3, 1, 1}, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);  // -> 7x7
+  net.emplace<Flatten>();
+  net.emplace<Dense>(32 * 7 * 7, 64, rng);
+  return net;
+}
+
+Shape reduced_input_shape(int model_no) {
+  switch (model_no) {
+    case 1: return {1, 1, 28, 28};
+    case 2: return {1, 3, 16, 16};
+    case 3: return {1, 3, 24, 24};
+    case 4: return {1, 1, 28, 28};
+    default: throw std::invalid_argument("reduced_input_shape: model_no in [1, 4]");
+  }
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,109 @@
+#include "dnn/network.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dnn/conv2d.hpp"
+#include "dnn/dense.hpp"
+
+namespace xl::dnn {
+
+Network& Network::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  layer->set_quantization(&quant_);
+  layers_.push_back(std::move(layer));
+  ranges_.emplace_back();
+  return *this;
+}
+
+Tensor Network::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x, training);
+    if (quant_.activations_enabled() && layers_[i]->is_activation()) {
+      if (training) ranges_[i].observe(x.span());
+      ranges_[i].quantize_inplace(x.span(), quant_.activation_bits);
+    }
+  }
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad) {
+  Tensor g = grad;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Network::parameters() {
+  std::vector<ParamRef> out;
+  for (const LayerPtr& l : layers_) {
+    for (const ParamRef& p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t acc = 0;
+  for (const LayerPtr& l : layers_) acc += l->parameter_count();
+  return acc;
+}
+
+void Network::set_quantization(const QuantizationSpec& spec) {
+  quant_ = spec;
+  // Layers hold a pointer to quant_, so nothing else to propagate.
+}
+
+void Network::reset_activation_ranges() {
+  for (ActivationRange& r : ranges_) r.reset();
+}
+
+Shape Network::output_shape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const LayerPtr& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+std::vector<LayerSpec> Network::export_specs(const Shape& input_shape) const {
+  std::vector<LayerSpec> specs;
+  Shape s = input_shape;
+  int conv_idx = 0;
+  int dense_idx = 0;
+  for (const LayerPtr& l : layers_) {
+    const Shape out = l->output_shape(s);
+    if (const auto* conv = dynamic_cast<const Conv2d*>(l.get())) {
+      specs.push_back(conv_spec("conv" + std::to_string(++conv_idx),
+                                conv->config().in_channels, conv->config().out_channels,
+                                conv->config().kernel, out[2], out[3],
+                                conv->config().stride));
+    } else if (const auto* dense = dynamic_cast<const Dense*>(l.get())) {
+      specs.push_back(dense_spec("fc" + std::to_string(++dense_idx),
+                                 dense->in_features(), dense->out_features()));
+    } else if (l->kind() == "maxpool2d" || l->kind() == "avgpool2d") {
+      LayerSpec p;
+      p.kind = LayerKind::kPool;
+      p.name = l->kind();
+      specs.push_back(p);
+    } else if (l->is_activation()) {
+      LayerSpec a;
+      a.kind = LayerKind::kActivation;
+      a.name = l->kind();
+      specs.push_back(a);
+    }
+    s = out;
+  }
+  return specs;
+}
+
+std::string Network::summary(const Shape& input_shape) const {
+  std::ostringstream os;
+  Shape s = input_shape;
+  for (const LayerPtr& l : layers_) {
+    s = l->output_shape(s);
+    os << "  " << l->describe() << " -> " << shape_to_string(s) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,80 @@
+#include "dnn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+void Optimizer::zero_gradients(const std::vector<ParamRef>& params) {
+  for (const ParamRef& p : params) p.grad->fill(0.0F);
+}
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : lr_(learning_rate), momentum_(momentum), weight_decay_(weight_decay) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("Sgd: lr must be positive");
+  if (momentum < 0.0 || momentum >= 1.0) throw std::invalid_argument("Sgd: momentum in [0,1)");
+  if (weight_decay < 0.0) throw std::invalid_argument("Sgd: weight decay must be >= 0");
+}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const ParamRef& p : params) velocity_.emplace_back(p.value->numel(), 0.0F);
+  }
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& w = *params[pi].value;
+    Tensor& g = *params[pi].grad;
+    std::vector<float>& vel = velocity_[pi];
+    if (vel.size() != w.numel()) throw std::logic_error("Sgd: parameter set changed");
+    const auto lr = static_cast<float>(lr_);
+    const auto mom = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weight_decay_);
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = mom * vel[i] - lr * grad;
+      w[i] += vel[i];
+    }
+    g.fill(0.0F);
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const ParamRef& p : params) {
+      m_.emplace_back(p.value->numel(), 0.0F);
+      v_.emplace_back(p.value->numel(), 0.0F);
+    }
+    step_count_ = 0;
+  }
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_count_);
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& w = *params[pi].value;
+    Tensor& g = *params[pi].grad;
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    if (m.size() != w.numel()) throw std::logic_error("Adam: parameter set changed");
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g[i]);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i]);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + epsilon_));
+    }
+    g.fill(0.0F);
+  }
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,52 @@
+// First-order optimizers operating on a network's ParamRef list.
+#pragma once
+
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace xl::dnn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the accumulated gradients, then zero them.
+  virtual void step(const std::vector<ParamRef>& params) = 0;
+
+  /// Zero all gradient accumulators without updating.
+  static void zero_gradients(const std::vector<ParamRef>& params);
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.9, double weight_decay = 0.0);
+  void step(const std::vector<ParamRef>& params) override;
+
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  void step(const std::vector<ParamRef>& params) override;
+
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  long step_count_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace xl::dnn

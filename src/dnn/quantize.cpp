@@ -1,0 +1,69 @@
+#include "dnn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+void fake_quant_symmetric(std::span<const float> values, std::span<float> out, int bits) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument("fake_quant_symmetric: size mismatch");
+  }
+  if (bits < 1 || bits > 24) {
+    throw std::invalid_argument("fake_quant_symmetric: bits must be in [1, 24]");
+  }
+  if (bits == 1) {
+    // Binary weights: +-E[|w|] preserves the layer's expected magnitude.
+    double mean_abs = 0.0;
+    for (float v : values) mean_abs += std::abs(v);
+    const float scale =
+        values.empty() ? 0.0F : static_cast<float>(mean_abs / static_cast<double>(values.size()));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out[i] = values[i] >= 0.0F ? scale : -scale;
+    }
+    return;
+  }
+  float max_abs = 0.0F;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0F) {
+    std::fill(out.begin(), out.end(), 0.0F);
+    return;
+  }
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const float scale = max_abs / qmax;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float q = std::round(values[i] / scale);
+    out[i] = std::clamp(q, -qmax, qmax) * scale;
+  }
+}
+
+void fake_quant_unsigned(std::span<const float> values, std::span<float> out, int bits,
+                         float range) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument("fake_quant_unsigned: size mismatch");
+  }
+  if (bits < 1 || bits > 24) {
+    throw std::invalid_argument("fake_quant_unsigned: bits must be in [1, 24]");
+  }
+  if (range <= 0.0F) {
+    std::copy(values.begin(), values.end(), out.begin());
+    return;
+  }
+  const float qmax = static_cast<float>((1u << bits) - 1u);
+  const float scale = range / qmax;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float clamped = std::clamp(values[i], 0.0F, range);
+    out[i] = std::round(clamped / scale) * scale;
+  }
+}
+
+void ActivationRange::observe(std::span<const float> values) noexcept {
+  for (float v : values) range_ = std::max(range_, v);
+}
+
+void ActivationRange::quantize_inplace(std::span<float> values, int bits) const {
+  fake_quant_unsigned(values, values, bits, range_);
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,47 @@
+// Fake quantization and quantization-aware training (QAT) support.
+//
+// Mirrors the QKeras setup the paper uses for Fig. 5: weights and activations
+// are quantized to b bits during the forward pass while training updates the
+// full-precision master copies (straight-through estimator). Weights use a
+// symmetric signed quantizer; activations (post-ReLU, non-negative) use an
+// unsigned quantizer with a running-range estimate.
+#pragma once
+
+#include <span>
+
+namespace xl::dnn {
+
+/// Per-network quantization configuration; 0 bits means "disabled".
+struct QuantizationSpec {
+  int weight_bits = 0;
+  int activation_bits = 0;
+
+  [[nodiscard]] bool weights_enabled() const noexcept { return weight_bits > 0; }
+  [[nodiscard]] bool activations_enabled() const noexcept { return activation_bits > 0; }
+};
+
+/// Symmetric signed fake quantization of `values` into `out` (may alias).
+/// scale = max|x| / (2^(b-1) - 1); b == 1 degenerates to binary +-mean|x|.
+void fake_quant_symmetric(std::span<const float> values, std::span<float> out, int bits);
+
+/// Unsigned fake quantization to [0, range] with 2^b - 1 steps; b == 1 maps
+/// to the two levels {0, range}. Negative inputs clamp to 0.
+void fake_quant_unsigned(std::span<const float> values, std::span<float> out, int bits,
+                         float range);
+
+/// Tracks the observed dynamic range of one activation tensor across
+/// training (simple max-tracking, matching QKeras' default po2-free mode).
+class ActivationRange {
+ public:
+  void observe(std::span<const float> values) noexcept;
+  [[nodiscard]] float range() const noexcept { return range_; }
+  void reset() noexcept { range_ = 0.0F; }
+
+  /// Quantize in place with the tracked range (no-op when range is 0).
+  void quantize_inplace(std::span<float> values, int bits) const;
+
+ private:
+  float range_ = 0.0F;
+};
+
+}  // namespace xl::dnn

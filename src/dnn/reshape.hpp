@@ -1,0 +1,19 @@
+// Shape adapters: Flatten (NCHW -> (N, C*H*W)).
+#pragma once
+
+#include "dnn/layer.hpp"
+
+namespace xl::dnn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "flatten"; }
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace xl::dnn

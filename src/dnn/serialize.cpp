@@ -1,0 +1,77 @@
+#include "dnn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'L', 'W', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_weights: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_weights(Network& net, std::ostream& out) {
+  const auto params = net.parameters();
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, params.size());
+  for (const ParamRef& p : params) {
+    const Shape& shape = p.value->shape();
+    write_u64(out, shape.size());
+    for (std::size_t d : shape) write_u64(out, d);
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed");
+}
+
+void save_weights(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  save_weights(net, out);
+}
+
+void load_weights(Network& net, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_weights: bad magic");
+  }
+  const auto params = net.parameters();
+  const std::uint64_t count = read_u64(in);
+  if (count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  }
+  for (const ParamRef& p : params) {
+    const std::uint64_t rank = read_u64(in);
+    Shape shape(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) shape[d] = read_u64(in);
+    if (shape != p.value->shape()) {
+      throw std::runtime_error("load_weights: tensor shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_weights: truncated tensor data");
+  }
+}
+
+void load_weights(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  load_weights(net, in);
+}
+
+}  // namespace xl::dnn

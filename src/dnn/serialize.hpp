@@ -1,0 +1,29 @@
+// Network weight serialization — save/load trained parameters so examples
+// and downstream users can train once and reuse checkpoints.
+//
+// Format (binary, little-endian host order):
+//   magic "XLW1" | u64 tensor_count | per tensor: u64 rank, u64 dims...,
+//   f32 data...
+// Only parameter *values* are stored; the architecture must be rebuilt by
+// code (the usual small-framework contract).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dnn/network.hpp"
+
+namespace xl::dnn {
+
+/// Serialize all parameters of `net` to a stream/file.
+/// Throws std::runtime_error on I/O failure.
+void save_weights(Network& net, std::ostream& out);
+void save_weights(Network& net, const std::string& path);
+
+/// Load parameters into an identically structured network.
+/// Throws std::runtime_error on I/O failure or architecture mismatch
+/// (tensor count / shape disagreement).
+void load_weights(Network& net, std::istream& in);
+void load_weights(Network& net, const std::string& path);
+
+}  // namespace xl::dnn

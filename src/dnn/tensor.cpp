@@ -1,0 +1,101 @@
+#include "dnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::dnn {
+
+std::size_t shape_numel(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {
+  for (std::size_t d : shape_) {
+    if (d == 0) throw std::invalid_argument("Tensor: zero dimension");
+  }
+}
+
+Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
+  std::fill(data_.begin(), data_.end(), fill);
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4) throw std::logic_error("Tensor::at4 on non rank-4 tensor");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  if (rank() != 4) throw std::logic_error("Tensor::at4 on non rank-4 tensor");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float& Tensor::at2(std::size_t n, std::size_t f) {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 on non rank-2 tensor");
+  return data_[n * shape_[1] + f];
+}
+
+float Tensor::at2(std::size_t n, std::size_t f) const {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 on non rank-2 tensor");
+  return data_[n * shape_[1] + f];
+}
+
+void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  if (numel() != rhs.numel()) throw std::invalid_argument("Tensor+=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  if (numel() != rhs.numel()) throw std::invalid_argument("Tensor-=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) noexcept {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::max_abs() const noexcept {
+  float acc = 0.0F;
+  for (float v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+float Tensor::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0F);
+}
+
+std::vector<float> Tensor::row(std::size_t n) const {
+  if (rank() != 2) throw std::logic_error("Tensor::row on non rank-2 tensor");
+  const std::size_t f = shape_[1];
+  return {data_.begin() + static_cast<std::ptrdiff_t>(n * f),
+          data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * f)};
+}
+
+}  // namespace xl::dnn

@@ -1,0 +1,71 @@
+// Minimal dense float tensor for the from-scratch DNN substrate.
+//
+// Substitution note (DESIGN.md): the paper trains its four models with
+// TensorFlow 2.3 + QKeras; offline we hand-roll the training stack. Layout
+// is NCHW for image tensors and (N, features) for dense tensors; data is
+// contiguous row-major float32 (matching the precision the accelerator's
+// 16-bit datapath is quantized from).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xl::dnn {
+
+/// Tensor shape; index 0 is always the batch dimension for activations.
+using Shape = std::vector<std::size_t>;
+
+[[nodiscard]] std::size_t shape_numel(const Shape& shape) noexcept;
+[[nodiscard]] std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t numel() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<const float> span() const noexcept { return data_; }
+  [[nodiscard]] std::span<float> span() noexcept { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW element accessors (rank-4 tensors).
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+  /// (N, F) element accessors (rank-2 tensors).
+  float& at2(std::size_t n, std::size_t f);
+  [[nodiscard]] float at2(std::size_t n, std::size_t f) const;
+
+  void fill(float value) noexcept;
+  /// Reshape in place; total element count must be preserved.
+  void reshape(Shape new_shape);
+
+  /// Elementwise helpers used by optimizers and losses.
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float s) noexcept;
+
+  [[nodiscard]] float max_abs() const noexcept;
+  [[nodiscard]] float sum() const noexcept;
+
+  /// Extract batch row n of a rank-2 tensor as a vector copy.
+  [[nodiscard]] std::vector<float> row(std::size_t n) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace xl::dnn

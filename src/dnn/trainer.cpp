@@ -1,0 +1,127 @@
+#include "dnn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "dnn/loss.hpp"
+
+namespace xl::dnn {
+
+namespace {
+
+/// Stack pair images [A-batch | B-batch] into one (2P, C, H, W) tensor.
+Tensor stack_pairs(const PairDataset& data, std::size_t start, std::size_t count) {
+  const Shape& s = data.images_a.shape();
+  Tensor out({2 * count, s[1], s[2], s[3]});
+  const std::size_t stride = s[1] * s[2] * s[3];
+  std::copy_n(data.images_a.data() + start * stride, count * stride, out.data());
+  std::copy_n(data.images_b.data() + start * stride, count * stride,
+              out.data() + count * stride);
+  return out;
+}
+
+}  // namespace
+
+TrainResult train_classifier(Network& net, const Dataset& train, const Dataset& test,
+                             const TrainConfig& config) {
+  if (train.size() == 0) throw std::invalid_argument("train_classifier: empty dataset");
+  Adam opt(config.learning_rate);
+  const std::vector<ParamRef> params = net.parameters();
+
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + config.batch_size <= train.size();
+         start += config.batch_size) {
+      const Tensor x = batch_images(train, start, config.batch_size);
+      const std::vector<std::size_t> y = batch_labels(train, start, config.batch_size);
+      const Tensor logits = net.forward(x, /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, y);
+      net.backward(loss.gradient);
+      opt.step(params);
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      std::printf("  epoch %zu/%zu  loss %.4f\n", epoch + 1, config.epochs, epoch_loss);
+    }
+  }
+  result.final_train_loss = result.epoch_losses.empty() ? 0.0 : result.epoch_losses.back();
+  result.test_accuracy = evaluate_classifier(net, test);
+  return result;
+}
+
+double evaluate_classifier(Network& net, const Dataset& test, std::size_t batch_size) {
+  if (test.size() == 0) throw std::invalid_argument("evaluate_classifier: empty dataset");
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t start = 0; start < test.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, test.size() - start);
+    const Tensor x = batch_images(test, start, count);
+    const std::vector<std::size_t> y = batch_labels(test, start, count);
+    const Tensor logits = net.forward(x, /*training=*/false);
+    const double acc = accuracy(logits, y);
+    correct += static_cast<std::size_t>(acc * static_cast<double>(count) + 0.5);
+    total += count;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TrainResult train_siamese(Network& branch, const PairDataset& train,
+                          const PairDataset& test, const TrainConfig& config) {
+  if (train.size() == 0) throw std::invalid_argument("train_siamese: empty dataset");
+  Adam opt(config.learning_rate);
+  const std::vector<ParamRef> params = branch.parameters();
+
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + config.batch_size <= train.size();
+         start += config.batch_size) {
+      const Tensor stacked = stack_pairs(train, start, config.batch_size);
+      std::vector<int> same(train.same.begin() + static_cast<std::ptrdiff_t>(start),
+                            train.same.begin() +
+                                static_cast<std::ptrdiff_t>(start + config.batch_size));
+      const Tensor embeddings = branch.forward(stacked, /*training=*/true);
+      const LossResult loss =
+          contrastive_loss(embeddings, same, config.contrastive_margin);
+      branch.backward(loss.gradient);
+      opt.step(params);
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      std::printf("  epoch %zu/%zu  loss %.4f\n", epoch + 1, config.epochs, epoch_loss);
+    }
+  }
+  result.final_train_loss = result.epoch_losses.empty() ? 0.0 : result.epoch_losses.back();
+  result.test_accuracy = evaluate_siamese(branch, test, config.contrastive_margin);
+  return result;
+}
+
+double evaluate_siamese(Network& branch, const PairDataset& test, double margin,
+                        std::size_t batch_pairs) {
+  if (test.size() == 0) throw std::invalid_argument("evaluate_siamese: empty dataset");
+  double weighted_acc = 0.0;
+  std::size_t total = 0;
+  for (std::size_t start = 0; start < test.size(); start += batch_pairs) {
+    const std::size_t count = std::min(batch_pairs, test.size() - start);
+    const Tensor stacked = stack_pairs(test, start, count);
+    std::vector<int> same(test.same.begin() + static_cast<std::ptrdiff_t>(start),
+                          test.same.begin() + static_cast<std::ptrdiff_t>(start + count));
+    const Tensor embeddings = branch.forward(stacked, /*training=*/false);
+    weighted_acc +=
+        pair_accuracy(embeddings, same, margin / 2.0) * static_cast<double>(count);
+    total += count;
+  }
+  return weighted_acc / static_cast<double>(total);
+}
+
+}  // namespace xl::dnn

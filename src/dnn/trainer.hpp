@@ -1,0 +1,45 @@
+// Training loops: mini-batch classifier training (models 1-3) and paired
+// contrastive training for the Siamese model (model 4). Used by the Fig. 5
+// quantization-aware-training sweep and by examples/tests.
+#pragma once
+
+#include "dnn/datasets.hpp"
+#include "dnn/network.hpp"
+
+namespace xl::dnn {
+
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  bool verbose = false;
+  double contrastive_margin = 1.0;  ///< Siamese only.
+};
+
+struct TrainResult {
+  double final_train_loss = 0.0;
+  double test_accuracy = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// Train a classifier with Adam + softmax cross-entropy; returns the test
+/// accuracy after the final epoch.
+TrainResult train_classifier(Network& net, const Dataset& train, const Dataset& test,
+                             const TrainConfig& config);
+
+/// Evaluate classification accuracy without training.
+[[nodiscard]] double evaluate_classifier(Network& net, const Dataset& test,
+                                         std::size_t batch_size = 64);
+
+/// Train a Siamese embedding branch with contrastive loss. Pairs are stacked
+/// into one batch (branch A rows then branch B rows) so the twin shares
+/// weights by construction. Returns pair-verification accuracy at threshold
+/// margin/2.
+TrainResult train_siamese(Network& branch, const PairDataset& train,
+                          const PairDataset& test, const TrainConfig& config);
+
+/// Evaluate Siamese verification accuracy without training.
+[[nodiscard]] double evaluate_siamese(Network& branch, const PairDataset& test,
+                                      double margin, std::size_t batch_pairs = 32);
+
+}  // namespace xl::dnn

@@ -1,0 +1,103 @@
+#include "numerics/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace xl::numerics {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, const JacobiOptions& opts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric: matrix must be square");
+  }
+  if (!a.is_symmetric(1e-9 * (1.0 + a.norm_frobenius()))) {
+    throw std::invalid_argument("eigen_symmetric: matrix must be symmetric");
+  }
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  if (n <= 1) {
+    EigenDecomposition out;
+    out.eigenvalues = Vector(n);
+    if (n == 1) out.eigenvalues[0] = d(0, 0);
+    out.eigenvectors = v;
+    return out;
+  }
+
+  bool converged = false;
+  for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
+    if (d.max_offdiag_abs() <= opts.tolerance) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= opts.tolerance) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan(rotation angle).
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && d.max_offdiag_abs() > opts.tolerance) {
+    throw std::runtime_error("eigen_symmetric: Jacobi failed to converge");
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = d(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+double spectral_condition_number(const Matrix& a) {
+  const EigenDecomposition ed = eigen_symmetric(a);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (double w : ed.eigenvalues) {
+    lo = std::min(lo, std::abs(w));
+    hi = std::max(hi, std::abs(w));
+  }
+  if (lo == 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+}  // namespace xl::numerics

@@ -1,0 +1,35 @@
+// Symmetric eigensolver (cyclic Jacobi) used by the TED tuning circuit.
+//
+// Thermal Eigenmode Decomposition (Milanizadeh et al., JLT 2019, adapted in
+// CrossLight Sec. IV-B) diagonalizes the symmetric thermal coupling matrix of
+// an MR bank; tuning is then applied in the decoupled eigenbasis. Banks hold
+// at most a few tens of rings, so the O(n^3) Jacobi iteration is ideal: it is
+// simple, numerically robust, and produces orthonormal eigenvectors.
+#pragma once
+
+#include "numerics/matrix.hpp"
+
+namespace xl::numerics {
+
+/// Result of a symmetric eigendecomposition A = V * diag(w) * V^T.
+struct EigenDecomposition {
+  Vector eigenvalues;   ///< Ascending order.
+  Matrix eigenvectors;  ///< Column i corresponds to eigenvalues[i]; orthonormal.
+};
+
+struct JacobiOptions {
+  double tolerance = 1e-12;  ///< Convergence on max |off-diagonal|.
+  int max_sweeps = 100;      ///< Hard cap on full Jacobi sweeps.
+};
+
+/// Compute all eigenpairs of a symmetric matrix via cyclic Jacobi rotations.
+/// Throws std::invalid_argument when `a` is not square/symmetric and
+/// std::runtime_error when the sweep cap is exceeded before convergence.
+[[nodiscard]] EigenDecomposition eigen_symmetric(const Matrix& a,
+                                                 const JacobiOptions& opts = {});
+
+/// Largest |eigenvalue| / smallest |eigenvalue| of a symmetric matrix.
+/// Used to quantify how ill-conditioned a thermal coupling matrix is.
+[[nodiscard]] double spectral_condition_number(const Matrix& a);
+
+}  // namespace xl::numerics

@@ -1,0 +1,30 @@
+#include "numerics/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.empty() || xs_.size() != ys_.size()) {
+    throw std::invalid_argument("LinearInterpolator: xs/ys must be nonempty and equal size");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] <= xs_[i - 1]) {
+      throw std::invalid_argument("LinearInterpolator: xs must be strictly increasing");
+    }
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] * (1.0 - t) + ys_[hi] * t;
+}
+
+}  // namespace xl::numerics

@@ -1,0 +1,27 @@
+// 1-D interpolation over tabulated device/measurement curves.
+#pragma once
+
+#include <vector>
+
+namespace xl::numerics {
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+/// Queries outside the table are clamped to the end values (device curves
+/// saturate rather than extrapolate).
+class LinearInterpolator {
+ public:
+  /// Throws std::invalid_argument unless xs is strictly increasing and
+  /// xs/ys have equal, nonzero size.
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+  [[nodiscard]] double x_min() const noexcept { return xs_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return xs_.back(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace xl::numerics

@@ -1,0 +1,197 @@
+#include "numerics/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector::operator+= dimension mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector::operator-= dimension mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) noexcept {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Vector::dot(const Vector& rhs) const {
+  require(size() == rhs.size(), "Vector::dot dimension mismatch");
+  return std::inner_product(data_.begin(), data_.end(), rhs.data_.begin(), 0.0);
+}
+
+double Vector::norm2() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Vector::norm_inf() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Vector::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Vector::max() const {
+  require(!empty(), "Vector::max on empty vector");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  require(!empty(), "Vector::min on empty vector");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector lhs, double s) { return lhs *= s; }
+Vector operator*(double s, Vector rhs) { return rhs *= s; }
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    require(row.size() == cols_, "Matrix initializer rows must be equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator+= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::matvec(const Vector& x) const {
+  require(cols_ == x.size(), "Matrix::matvec dimension mismatch");
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::matmul(const Matrix& rhs) const {
+  require(cols_ == rhs.rows_, "Matrix::matmul dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+double Matrix::norm_frobenius() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_offdiag_abs() const {
+  require(rows_ == cols_, "Matrix::max_offdiag_abs requires square matrix");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c) acc = std::max(acc, std::abs((*this)(r, c)));
+  return acc;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) os << (*this)(r, c) << ' ';
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) { return lhs.matmul(rhs); }
+Vector operator*(const Matrix& lhs, const Vector& rhs) { return lhs.matvec(rhs); }
+
+}  // namespace xl::numerics

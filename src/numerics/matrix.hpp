@@ -1,0 +1,127 @@
+// Dense row-major matrix and vector types used throughout CrossLight.
+//
+// The accelerator model needs only small/medium dense linear algebra
+// (thermal coupling matrices over MR banks, TED eigen-decompositions,
+// DNN weight tensors are handled separately in xl_dnn). We therefore
+// provide a compact, well-tested double-precision implementation rather
+// than pulling in an external BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xl::numerics {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero-initialized vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i) { return data_.at(i); }
+  [[nodiscard]] double at(std::size_t i) const { return data_.at(i); }
+
+  [[nodiscard]] std::span<const double> span() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+
+  [[nodiscard]] double dot(const Vector& rhs) const;
+  [[nodiscard]] double norm2() const noexcept;       ///< Euclidean norm.
+  [[nodiscard]] double norm_inf() const noexcept;    ///< max |x_i|.
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double max() const;                  ///< throws if empty.
+  [[nodiscard]] double min() const;                  ///< throws if empty.
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector lhs, double s);
+[[nodiscard]] Vector operator*(double s, Vector rhs);
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Construct from nested initializer list; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  [[nodiscard]] static Matrix diag(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Vector matvec(const Vector& x) const;     ///< A * x
+  [[nodiscard]] Matrix matmul(const Matrix& rhs) const;   ///< A * B
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm_frobenius() const noexcept;
+  /// Maximum absolute off-diagonal element (square matrices only).
+  [[nodiscard]] double max_offdiag_abs() const;
+  /// true when |A(i,j) - A(j,i)| <= tol for all pairs.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  /// Human-readable dump, mostly for test diagnostics.
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix lhs, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix rhs);
+[[nodiscard]] Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+[[nodiscard]] Vector operator*(const Matrix& lhs, const Vector& rhs);
+
+}  // namespace xl::numerics

@@ -1,0 +1,67 @@
+#include "numerics/polyfit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/matrix.hpp"
+#include "numerics/solver.hpp"
+#include "numerics/stats.hpp"
+
+namespace xl::numerics {
+
+std::vector<double> polyfit(std::span<const double> xs, std::span<const double> ys,
+                            int degree) {
+  if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+  if (xs.size() != ys.size()) throw std::invalid_argument("polyfit: size mismatch");
+  const std::size_t n_coeff = static_cast<std::size_t>(degree) + 1;
+  if (xs.size() < n_coeff) throw std::invalid_argument("polyfit: underdetermined");
+
+  Matrix vander(xs.size(), n_coeff);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c < n_coeff; ++c) {
+      vander(r, c) = p;
+      p *= xs[r];
+    }
+  }
+  const Vector sol = least_squares(vander, Vector(std::vector<double>(ys.begin(), ys.end())));
+  return {sol.begin(), sol.end()};
+}
+
+double polyval(std::span<const double> coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double ExponentialFit::operator()(double x) const { return a * std::exp(b * x); }
+
+ExponentialFit fit_exponential(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_exponential: need >= 2 matched samples");
+  }
+  std::vector<double> log_y(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] <= 0.0) throw std::invalid_argument("fit_exponential: y must be positive");
+    log_y[i] = std::log(ys[i]);
+  }
+  const std::vector<double> coeffs = polyfit(xs, log_y, 1);
+  return ExponentialFit{std::exp(coeffs[0]), coeffs[1]};
+}
+
+double r_squared(std::span<const double> y_true, std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("r_squared: size mismatch or empty");
+  }
+  const double m = mean(y_true);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - m) * (y_true[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace xl::numerics

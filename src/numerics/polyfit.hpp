@@ -1,0 +1,32 @@
+// Small curve-fitting utilities for calibrating analytical device models
+// against measured/simulated samples (e.g. fitting the exponential
+// phase-crosstalk decay of Fig. 4 to heat-solver output).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace xl::numerics {
+
+/// Least-squares polynomial fit; returns coefficients c0..c_degree such that
+/// y ~= sum_i c_i x^i. Throws when fewer samples than coefficients.
+[[nodiscard]] std::vector<double> polyfit(std::span<const double> xs,
+                                          std::span<const double> ys, int degree);
+
+/// Evaluate a polynomial (coefficients in ascending power order).
+[[nodiscard]] double polyval(std::span<const double> coeffs, double x);
+
+/// Fit y = a * exp(b * x) with all y > 0 via log-linear least squares.
+struct ExponentialFit {
+  double a = 0.0;
+  double b = 0.0;
+  [[nodiscard]] double operator()(double x) const;
+};
+[[nodiscard]] ExponentialFit fit_exponential(std::span<const double> xs,
+                                             std::span<const double> ys);
+
+/// Coefficient of determination R^2 of a model's predictions.
+[[nodiscard]] double r_squared(std::span<const double> y_true,
+                               std::span<const double> y_pred);
+
+}  // namespace xl::numerics

@@ -1,0 +1,51 @@
+#include "numerics/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::truncated_gaussian(double mean, double stddev, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("truncated_gaussian: lo > hi");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = gaussian(mean, stddev);
+    if (v >= lo && v <= hi) return v;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::gaussian_vector(std::size_t n, double mean, double stddev) {
+  std::vector<double> out(n);
+  for (double& v : out) v = gaussian(mean, stddev);
+  return out;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+}  // namespace xl::numerics

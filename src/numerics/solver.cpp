@@ -1,0 +1,149 @@
+#include "numerics/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace xl::numerics {
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("solve_spd: dimension mismatch");
+  }
+  const Matrix l = cholesky(a);
+  const std::size_t n = b.size();
+  // Forward substitution L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+namespace {
+
+struct LuFactors {
+  Matrix lu;                     // combined L (unit diag) and U
+  std::vector<std::size_t> piv;  // row permutation
+};
+
+LuFactors lu_factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("solve_lu: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  LuFactors f{a, std::vector<std::size_t>(n)};
+  for (std::size_t i = 0; i < n; ++i) f.piv[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(f.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(f.lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve_lu: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu(col, c), f.lu(pivot, c));
+      std::swap(f.piv[col], f.piv[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = f.lu(r, col) / f.lu(col, col);
+      f.lu(r, col) = m;
+      for (std::size_t c = col + 1; c < n; ++c) f.lu(r, c) -= m * f.lu(col, c);
+    }
+  }
+  return f;
+}
+
+Vector lu_solve(const LuFactors& f, const Vector& b) {
+  const std::size_t n = b.size();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[f.piv[i]];
+    for (std::size_t k = 0; k < i; ++k) sum -= f.lu(i, k) * y[k];
+    y[i] = sum;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= f.lu(ii, k) * x[k];
+    x[ii] = sum / f.lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Vector solve_lu(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("solve_lu: dimension mismatch");
+  }
+  return lu_solve(lu_factor(a), b);
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("least_squares: dimension mismatch");
+  }
+  const Matrix at = a.transposed();
+  const Matrix ata = at.matmul(a);
+  const Vector atb = at.matvec(b);
+  // Normal equations are SPD for full-column-rank A; add a light Tikhonov
+  // floor for numerical safety on nearly rank-deficient fits.
+  Matrix reg = ata;
+  const double eps = 1e-12 * (1.0 + ata.norm_frobenius());
+  for (std::size_t i = 0; i < reg.rows(); ++i) reg(i, i) += eps;
+  return solve_spd(reg, atb);
+}
+
+Matrix inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  const LuFactors f = lu_factor(a);
+  Matrix inv(n, n);
+  Vector e(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < n; ++i) e[i] = (i == c) ? 1.0 : 0.0;
+    const Vector col = lu_solve(f, e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace xl::numerics

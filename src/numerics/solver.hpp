@@ -1,0 +1,31 @@
+// Direct linear solvers for small dense systems.
+//
+// The tuning controller solves SPD systems (thermal coupling matrices) to map
+// a desired per-ring phase correction to heater power settings, and the FPV
+// calibration fits least-squares models. Cholesky + LU cover both needs.
+#pragma once
+
+#include "numerics/matrix.hpp"
+
+namespace xl::numerics {
+
+/// Cholesky factor L (lower triangular, A = L L^T) of an SPD matrix.
+/// Throws std::invalid_argument if `a` is not square, std::runtime_error if
+/// a non-positive pivot is met (matrix not positive definite).
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b for SPD A via Cholesky.
+[[nodiscard]] Vector solve_spd(const Matrix& a, const Vector& b);
+
+/// Solve A x = b for general square A via partially pivoted LU.
+/// Throws std::runtime_error if the matrix is (numerically) singular.
+[[nodiscard]] Vector solve_lu(const Matrix& a, const Vector& b);
+
+/// Ordinary least squares: minimize ||A x - b||_2 via normal equations.
+/// Suitable for the small, well-conditioned fits used in device calibration.
+[[nodiscard]] Vector least_squares(const Matrix& a, const Vector& b);
+
+/// Inverse of a general square matrix via LU (column-by-column solve).
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace xl::numerics

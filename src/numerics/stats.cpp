@@ -1,0 +1,67 @@
+#include "numerics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: inputs must be positive");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace xl::numerics

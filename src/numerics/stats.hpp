@@ -1,0 +1,38 @@
+// Descriptive statistics helpers used by experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xl::numerics {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Unbiased (n-1) sample variance; returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+/// Geometric mean; all inputs must be > 0.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Incremental mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< Unbiased; 0 for n < 2.
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xl::numerics

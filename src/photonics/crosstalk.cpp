@@ -1,0 +1,59 @@
+#include "photonics/crosstalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+double crosstalk_coupling(double separation_nm, double delta_nm) {
+  if (delta_nm <= 0.0) {
+    throw std::invalid_argument("crosstalk_coupling: delta must be positive");
+  }
+  const double d2 = delta_nm * delta_nm;
+  return d2 / (separation_nm * separation_nm + d2);
+}
+
+CrosstalkAnalysis analyze_crosstalk(const WavelengthGrid& grid,
+                                    const ResolutionOptions& opts) {
+  if (opts.q_factor <= 0.0) {
+    throw std::invalid_argument("analyze_crosstalk: Q must be positive");
+  }
+  const double delta = opts.center_wavelength_nm / (2.0 * opts.q_factor);
+  const std::size_t n = grid.channels();
+
+  CrosstalkAnalysis out;
+  out.noise_power.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      acc += crosstalk_coupling(grid.min_separation_nm(i, j), delta);
+    }
+    out.noise_power[i] = acc;  // Unit input power on every channel.
+  }
+  out.max_noise_power =
+      n == 0 ? 0.0 : *std::max_element(out.noise_power.begin(), out.noise_power.end());
+  if (out.max_noise_power > 0.0) {
+    out.resolution = 1.0 / out.max_noise_power;
+    out.resolution_bits =
+        std::min(static_cast<int>(std::floor(out.resolution)), opts.dac_bit_cap);
+    out.resolution_bits = std::max(out.resolution_bits, 0);
+  } else {
+    // A single noiseless channel is limited only by the transceivers.
+    out.resolution = std::numeric_limits<double>::infinity();
+    out.resolution_bits = opts.dac_bit_cap;
+  }
+  return out;
+}
+
+int bank_resolution_bits(std::size_t mrs_per_bank, double fsr_nm,
+                         const ResolutionOptions& opts) {
+  if (mrs_per_bank == 0) {
+    throw std::invalid_argument("bank_resolution_bits: empty bank");
+  }
+  const WavelengthGrid grid(mrs_per_bank, fsr_nm, opts.center_wavelength_nm);
+  return analyze_crosstalk(grid, opts).resolution_bits;
+}
+
+}  // namespace xl::photonics

@@ -1,0 +1,40 @@
+#include "photonics/device_params.hpp"
+
+#include <stdexcept>
+
+namespace xl::photonics {
+
+void DeviceParams::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(eo_tuning_latency_ns > 0.0, "DeviceParams: eo_tuning_latency_ns must be > 0");
+  check(eo_tuning_power_uw_per_nm >= 0.0, "DeviceParams: eo power must be >= 0");
+  check(to_tuning_latency_us > 0.0, "DeviceParams: to_tuning_latency_us must be > 0");
+  check(to_tuning_power_mw_per_fsr >= 0.0, "DeviceParams: to power must be >= 0");
+  check(vcsel_latency_ns > 0.0, "DeviceParams: vcsel_latency_ns must be > 0");
+  check(vcsel_power_mw >= 0.0, "DeviceParams: vcsel_power_mw must be >= 0");
+  check(tia_latency_ns > 0.0, "DeviceParams: tia_latency_ns must be > 0");
+  check(pd_latency_ns > 0.0, "DeviceParams: pd_latency_ns must be > 0");
+  check(propagation_loss_db_per_cm >= 0.0, "DeviceParams: propagation loss >= 0");
+  check(splitter_loss_db >= 0.0, "DeviceParams: splitter loss >= 0");
+  check(combiner_loss_db >= 0.0, "DeviceParams: combiner loss >= 0");
+  check(mr_through_loss_db >= 0.0, "DeviceParams: MR through loss >= 0");
+  check(mr_modulation_loss_db >= 0.0, "DeviceParams: MR modulation loss >= 0");
+  check(transceiver_max_rate_gbps > 0.0, "DeviceParams: transceiver rate > 0");
+  check(mr_q_factor > 0.0, "DeviceParams: Q factor must be > 0");
+  check(mr_fsr_nm > 0.0, "DeviceParams: FSR must be > 0");
+  check(center_wavelength_nm > 0.0, "DeviceParams: wavelength must be > 0");
+  check(fpv_drift_conventional_nm >= fpv_drift_optimized_nm,
+        "DeviceParams: conventional drift must be >= optimized drift");
+  check(laser_efficiency > 0.0 && laser_efficiency <= 1.0,
+        "DeviceParams: laser efficiency in (0, 1]");
+}
+
+DeviceParams default_device_params() {
+  DeviceParams p;
+  p.validate();
+  return p;
+}
+
+}  // namespace xl::photonics

@@ -1,0 +1,74 @@
+// Optoelectronic device parameters (Table II of the paper) and photonic
+// signal-loss constants (Section V-A), collected in one calibration struct so
+// every model in the repository draws from a single source of truth.
+#pragma once
+
+namespace xl::photonics {
+
+/// Latency/power parameters from Table II plus the loss factors listed in
+/// Section V-A. Field comments give the paper's citation for each value.
+struct DeviceParams {
+  // --- Tuning (Table II) ---
+  double eo_tuning_latency_ns = 20.0;    ///< EO tuning latency [20].
+  double eo_tuning_power_uw_per_nm = 4.0;///< EO tuning power, uW per nm shift [20].
+  double to_tuning_latency_us = 4.0;     ///< TO tuning latency [17].
+  double to_tuning_power_mw_per_fsr = 27.5;  ///< TO power for one full FSR [17].
+
+  // --- Optoelectronic devices (Table II) ---
+  double vcsel_latency_ns = 10.0;        ///< VCSEL modulation latency [32].
+  double vcsel_power_mw = 0.66;          ///< VCSEL drive power [32].
+  double tia_latency_ns = 0.15;          ///< Transimpedance amplifier [33].
+  double tia_power_mw = 7.2;             ///< TIA power [33].
+  double pd_latency_ns = 0.0058;         ///< Photodetector, 5.8 ps [34].
+  double pd_power_mw = 2.8;              ///< Photodetector power [34].
+
+  // --- Signal losses (Section V-A) ---
+  double propagation_loss_db_per_cm = 1.0;   ///< Waveguide propagation [6].
+  double splitter_loss_db = 0.13;            ///< Per 1x2 split [27].
+  double combiner_loss_db = 0.9;             ///< Per combine [28].
+  double mr_through_loss_db = 0.02;          ///< Per MR passed off-resonance [29].
+  double mr_modulation_loss_db = 0.72;       ///< Per modulating MR [30].
+  double microdisk_loss_db = 1.22;           ///< Per microdisk (Holylight) [31].
+  double eo_tuning_loss_db_per_cm = 6.0;     ///< EO-tuned segment loss [20].
+  double to_tuning_loss_db_per_cm = 1.0;     ///< TO-tuned segment loss [17].
+
+  // --- Transceiver (ADC/DAC) [37]: sub-250 mW at 1-to-56 Gb/s ---
+  double transceiver_max_rate_gbps = 56.0;
+  double transceiver_max_power_mw = 250.0;
+  /// Energy per converted bit implied by [37] (250 mW / 56 Gb/s ~= 4.46 pJ/b).
+  [[nodiscard]] double transceiver_energy_pj_per_bit() const {
+    return transceiver_max_power_mw / transceiver_max_rate_gbps;
+  }
+
+  // --- MR device characteristics (Section IV-A / V-B, fabricated chip) ---
+  double mr_q_factor = 8000.0;          ///< Optimized MR Q (~8000).
+  double mr_fsr_nm = 18.0;              ///< Free spectral range of optimized MRs.
+  double center_wavelength_nm = 1550.0; ///< C-band operating point.
+  /// Max FPV-induced resonance drift of conventional MR designs (Sec. IV-A).
+  double fpv_drift_conventional_nm = 7.1;
+  /// Max FPV-induced drift of the optimized 400/800 nm waveguide design.
+  double fpv_drift_optimized_nm = 2.1;
+
+  // --- Laser / detector ---
+  double pd_sensitivity_dbm = -26.0;    ///< PD sensitivity floor.
+  double laser_efficiency = 0.2;        ///< Laser wall-plug efficiency.
+
+  /// TO heater power per nm of resonance shift, derived from mW/FSR.
+  [[nodiscard]] double to_tuning_power_mw_per_nm() const {
+    return to_tuning_power_mw_per_fsr / mr_fsr_nm;
+  }
+
+  /// 3-dB half-bandwidth delta = lambda / (2 Q) used by Eq. (8).
+  [[nodiscard]] double mr_half_bandwidth_nm() const {
+    return center_wavelength_nm / (2.0 * mr_q_factor);
+  }
+
+  /// Validate physical plausibility; throws std::invalid_argument on
+  /// nonsensical values (negative powers, zero Q, ...).
+  void validate() const;
+};
+
+/// Parameters of the paper's default setup.
+[[nodiscard]] DeviceParams default_device_params();
+
+}  // namespace xl::photonics

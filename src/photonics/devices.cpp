@@ -1,0 +1,78 @@
+#include "photonics/devices.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+double MachZehnderModulator::modulate(double input_power_mw, double value) noexcept {
+  const double v = std::clamp(value, 0.0, 1.0);
+  return std::max(0.0, input_power_mw) * v;
+}
+
+Photodetector::Photodetector(double responsivity_a_per_w) : responsivity_(responsivity_a_per_w) {
+  if (responsivity_a_per_w <= 0.0) {
+    throw std::invalid_argument("Photodetector: responsivity must be positive");
+  }
+}
+
+double Photodetector::detect(std::span<const double> channel_powers_mw) const noexcept {
+  double total_mw = 0.0;
+  for (double p : channel_powers_mw) total_mw += std::max(0.0, p);
+  // mW * A/W = mA.
+  return responsivity_ * total_mw;
+}
+
+BalancedPhotodetector::BalancedPhotodetector(double responsivity_a_per_w)
+    : pd_(responsivity_a_per_w) {}
+
+double BalancedPhotodetector::detect(std::span<const double> positive_arm_mw,
+                                     std::span<const double> negative_arm_mw) const noexcept {
+  return pd_.detect(positive_arm_mw) - pd_.detect(negative_arm_mw);
+}
+
+Vcsel::Vcsel(double peak_power_mw) : peak_power_mw_(peak_power_mw) {
+  if (peak_power_mw <= 0.0) {
+    throw std::invalid_argument("Vcsel: peak power must be positive");
+  }
+}
+
+double Vcsel::emit(double normalized_value) const noexcept {
+  return peak_power_mw_ * std::clamp(normalized_value, 0.0, 1.0);
+}
+
+UniformQuantizer::UniformQuantizer(int bits) : bits_(bits) {
+  if (bits < 1 || bits > 24) {
+    throw std::invalid_argument("UniformQuantizer: bits must be in [1, 24]");
+  }
+  levels_ = 1u << bits;
+}
+
+std::uint32_t UniformQuantizer::encode(double value) const noexcept {
+  const double v = std::clamp(value, 0.0, 1.0);
+  const auto code = static_cast<std::uint32_t>(
+      std::lround(v * static_cast<double>(levels_ - 1)));
+  return std::min(code, levels_ - 1);
+}
+
+double UniformQuantizer::decode(std::uint32_t code) const noexcept {
+  const std::uint32_t c = std::min(code, levels_ - 1);
+  return static_cast<double>(c) / static_cast<double>(levels_ - 1);
+}
+
+double UniformQuantizer::quantize(double value) const noexcept {
+  return decode(encode(value));
+}
+
+double UniformQuantizer::max_error() const noexcept {
+  return 0.5 / static_cast<double>(levels_ - 1);
+}
+
+std::vector<double> UniformQuantizer::quantize(std::span<const double> values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = quantize(values[i]);
+  return out;
+}
+
+}  // namespace xl::photonics

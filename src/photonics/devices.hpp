@@ -1,0 +1,94 @@
+// Functional models of the auxiliary optoelectronic devices in the
+// Broadcast-and-Weight path (Fig. 1 / Fig. 3): Mach-Zehnder modulators,
+// (balanced) photodetectors, VCSELs, and ADC/DAC converters.
+//
+// These provide the signal-level behaviour used by the functional VDP
+// simulator (core/vdp_simulator); power/latency numbers live in DeviceParams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xl::photonics {
+
+/// Mach-Zehnder modulator: imprints a normalized value in [0, 1] onto the
+/// optical power of one wavelength (Section III, Fig. 1).
+class MachZehnderModulator {
+ public:
+  /// Output power after imprinting `value` on an input of `input_power_mw`.
+  /// Values outside [0, 1] are clamped (the drive DAC saturates).
+  [[nodiscard]] static double modulate(double input_power_mw, double value) noexcept;
+};
+
+/// Ideal photodetector: accumulates the power over all wavelengths into one
+/// photocurrent (summation step of the B&W protocol).
+class Photodetector {
+ public:
+  explicit Photodetector(double responsivity_a_per_w = 1.0);
+
+  /// Photocurrent (mA) for the given per-wavelength powers (mW).
+  [[nodiscard]] double detect(std::span<const double> channel_powers_mw) const noexcept;
+
+  [[nodiscard]] double responsivity() const noexcept { return responsivity_; }
+
+ private:
+  double responsivity_;
+};
+
+/// Balanced photodetector subtracting a "negative" arm from a "positive" arm,
+/// the standard trick for signed weights in noncoherent accelerators.
+class BalancedPhotodetector {
+ public:
+  explicit BalancedPhotodetector(double responsivity_a_per_w = 1.0);
+
+  [[nodiscard]] double detect(std::span<const double> positive_arm_mw,
+                              std::span<const double> negative_arm_mw) const noexcept;
+
+ private:
+  Photodetector pd_;
+};
+
+/// VCSEL used to re-emit electrical partial sums into the photonic domain for
+/// the final accumulation stage (Section IV-C.3, bottom right of Fig. 3).
+class Vcsel {
+ public:
+  /// Peak optical output power of the hybrid-integrated VCSEL [32].
+  explicit Vcsel(double peak_power_mw = 0.66);
+
+  /// Optical output encoding a normalized value in [0, 1] (clamped).
+  [[nodiscard]] double emit(double normalized_value) const noexcept;
+
+  [[nodiscard]] double peak_power_mw() const noexcept { return peak_power_mw_; }
+
+ private:
+  double peak_power_mw_;
+};
+
+/// Uniform mid-rise quantizer modelling the ADC/DAC transceivers [37].
+/// Values are clipped to [0, 1] and quantized to 2^bits levels.
+class UniformQuantizer {
+ public:
+  /// Throws std::invalid_argument unless 1 <= bits <= 24.
+  explicit UniformQuantizer(int bits);
+
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t levels() const noexcept { return levels_; }
+
+  /// Quantize a normalized value in [0, 1].
+  [[nodiscard]] double quantize(double value) const noexcept;
+  /// Integer code in [0, levels - 1] for a normalized value.
+  [[nodiscard]] std::uint32_t encode(double value) const noexcept;
+  /// Normalized value for an integer code.
+  [[nodiscard]] double decode(std::uint32_t code) const noexcept;
+  /// Largest representable quantization error.
+  [[nodiscard]] double max_error() const noexcept;
+
+  [[nodiscard]] std::vector<double> quantize(std::span<const double> values) const;
+
+ private:
+  int bits_;
+  std::uint32_t levels_;
+};
+
+}  // namespace xl::photonics

@@ -1,0 +1,84 @@
+#include "photonics/fpv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+namespace {
+
+/// Deterministic pseudo-random value in [-1, 1] from integer lattice hashing.
+/// Gives every chip coordinate an independent but reproducible noise draw.
+double hash_noise(std::uint64_t seed, std::int64_t xi, std::int64_t yi) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(xi) * 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h ^= static_cast<std::uint64_t>(yi) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  // Map to [-1, 1].
+  return (static_cast<double>(h >> 11) / 9007199254740992.0) * 2.0 - 1.0;
+}
+
+}  // namespace
+
+FpvModel::FpvModel(const FpvModelConfig& config) : config_(config) {
+  if (config.max_drift_conventional_nm < config.max_drift_optimized_nm) {
+    throw std::invalid_argument("FpvModel: conventional drift must dominate optimized");
+  }
+  if (config.correlation_length_um <= 0.0) {
+    throw std::invalid_argument("FpvModel: correlation length must be positive");
+  }
+  if (config.systematic_fraction < 0.0 || config.systematic_fraction > 1.0) {
+    throw std::invalid_argument("FpvModel: systematic fraction in [0, 1]");
+  }
+  xl::numerics::Rng rng(config.seed);
+  phase_x_ = rng.uniform(0.0, 2.0 * M_PI);
+  phase_y_ = rng.uniform(0.0, 2.0 * M_PI);
+  phase_xy_ = rng.uniform(0.0, 2.0 * M_PI);
+}
+
+double FpvModel::systematic_component(double x_um, double y_um) const {
+  // Smooth pseudo-random surface built from three incommensurate harmonics;
+  // bounded in [-1, 1] and slowly varying over the correlation length.
+  const double kx = 2.0 * M_PI / config_.correlation_length_um;
+  const double ky = 2.0 * M_PI / (1.37 * config_.correlation_length_um);
+  const double kxy = 2.0 * M_PI / (2.11 * config_.correlation_length_um);
+  const double s = std::sin(kx * x_um + phase_x_) + std::sin(ky * y_um + phase_y_) +
+                   std::sin(kxy * (x_um + y_um) + phase_xy_);
+  return s / 3.0;
+}
+
+double FpvModel::random_component(double x_um, double y_um) const {
+  // Quantize position to a 1 um lattice so nearby queries of the same device
+  // site return identical noise.
+  const auto xi = static_cast<std::int64_t>(std::llround(x_um));
+  const auto yi = static_cast<std::int64_t>(std::llround(y_um));
+  return hash_noise(config_.seed, xi, yi);
+}
+
+double FpvModel::max_drift_nm(MrDesignKind kind) const noexcept {
+  return kind == MrDesignKind::kConventional ? config_.max_drift_conventional_nm
+                                             : config_.max_drift_optimized_nm;
+}
+
+double FpvModel::drift_nm(MrDesignKind kind, double x_um, double y_um) const {
+  const double budget = max_drift_nm(kind);
+  const double sys = config_.systematic_fraction * systematic_component(x_um, y_um);
+  const double rnd = (1.0 - config_.systematic_fraction) * random_component(x_um, y_um);
+  return budget * (sys + rnd);
+}
+
+std::vector<double> FpvModel::row_drifts_nm(MrDesignKind kind, std::size_t count,
+                                            double pitch_um, double x0_um,
+                                            double y0_um) const {
+  if (pitch_um <= 0.0) throw std::invalid_argument("FpvModel: pitch must be positive");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(drift_nm(kind, x0_um + static_cast<double>(i) * pitch_um, y0_um));
+  }
+  return out;
+}
+
+}  // namespace xl::photonics

@@ -1,0 +1,32 @@
+#include "photonics/laser.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/units.hpp"
+
+namespace xl::photonics {
+
+LaserRequirement required_laser_power(double photo_loss_db, std::size_t n_wavelengths,
+                                      const DeviceParams& params, double margin_db) {
+  if (n_wavelengths == 0) {
+    throw std::invalid_argument("required_laser_power: need at least one wavelength");
+  }
+  if (photo_loss_db < 0.0) {
+    throw std::invalid_argument("required_laser_power: loss must be non-negative");
+  }
+  LaserRequirement req;
+  req.output_power_dbm = params.pd_sensitivity_dbm + photo_loss_db +
+                         10.0 * std::log10(static_cast<double>(n_wavelengths)) +
+                         margin_db;
+  req.output_power_mw = dbm_to_mw(req.output_power_dbm);
+  req.wall_plug_power_mw = req.output_power_mw / params.laser_efficiency;
+  return req;
+}
+
+LaserRequirement required_laser_power(const LossBudget& budget, std::size_t n_wavelengths,
+                                      const DeviceParams& params, double margin_db) {
+  return required_laser_power(budget.total_db(), n_wavelengths, params, margin_db);
+}
+
+}  // namespace xl::photonics

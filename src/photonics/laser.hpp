@@ -1,0 +1,36 @@
+// Laser power model — Eq. (7) of the paper:
+//
+//   P_laser - S_detector >= P_photo_loss + 10 * log10(N_lambda)
+//
+// P_laser is the required laser output (dBm), S_detector the photodetector
+// sensitivity (dBm), P_photo_loss the total optical loss (dB) on the worst
+// path, and N_lambda the number of WDM wavelengths sharing the laser budget.
+#pragma once
+
+#include <cstddef>
+
+#include "photonics/device_params.hpp"
+#include "photonics/losses.hpp"
+
+namespace xl::photonics {
+
+struct LaserRequirement {
+  double output_power_dbm = 0.0;  ///< Required optical output power.
+  double output_power_mw = 0.0;   ///< Same, linear.
+  double wall_plug_power_mw = 0.0;///< Electrical power after efficiency.
+};
+
+/// Solve Eq. (7) for the minimum laser output power. `margin_db` adds a
+/// safety margin on top of the equality point. Throws on n_wavelengths == 0.
+[[nodiscard]] LaserRequirement required_laser_power(double photo_loss_db,
+                                                    std::size_t n_wavelengths,
+                                                    const DeviceParams& params,
+                                                    double margin_db = 0.0);
+
+/// Convenience overload taking an itemized loss budget.
+[[nodiscard]] LaserRequirement required_laser_power(const LossBudget& budget,
+                                                    std::size_t n_wavelengths,
+                                                    const DeviceParams& params,
+                                                    double margin_db = 0.0);
+
+}  // namespace xl::photonics

@@ -1,0 +1,65 @@
+#include "photonics/losses.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+void LossBudget::add(std::string label, double loss_db) {
+  if (loss_db < 0.0) {
+    throw std::invalid_argument("LossBudget: negative loss (gain) not allowed");
+  }
+  items_.push_back(LossItem{std::move(label), loss_db});
+}
+
+double LossBudget::total_db() const noexcept {
+  double acc = 0.0;
+  for (const LossItem& item : items_) acc += item.loss_db;
+  return acc;
+}
+
+std::string LossBudget::to_string() const {
+  std::ostringstream os;
+  for (const LossItem& item : items_) {
+    os << "  " << item.label << ": " << item.loss_db << " dB\n";
+  }
+  os << "  total: " << total_db() << " dB";
+  return os.str();
+}
+
+LossBudget arm_loss_budget(const ArmPathSpec& spec, const DeviceParams& params) {
+  LossBudget budget;
+  if (spec.waveguide_length_cm > 0.0) {
+    budget.add("propagation",
+               spec.waveguide_length_cm * params.propagation_loss_db_per_cm);
+  }
+  if (spec.splitter_stages > 0) {
+    budget.add("splitters",
+               static_cast<double>(spec.splitter_stages) * params.splitter_loss_db);
+  }
+  const std::size_t devices_per_bank = spec.mrs_on_waveguide;
+  const std::size_t total_devices = devices_per_bank * spec.banks_per_arm;
+  if (total_devices > 0) {
+    if (spec.uses_microdisks) {
+      budget.add("microdisks",
+                 static_cast<double>(total_devices) * params.microdisk_loss_db);
+    } else {
+      // The signal passes every MR in each bank; one MR per bank is in
+      // resonance and modulating, the rest contribute through-loss only.
+      const auto modulating = static_cast<double>(spec.banks_per_arm);
+      const auto passive = static_cast<double>(total_devices) - modulating;
+      budget.add("mr_through", passive * params.mr_through_loss_db);
+      budget.add("mr_modulation", modulating * params.mr_modulation_loss_db);
+    }
+  }
+  if (spec.tuned_segment_cm > 0.0) {
+    budget.add("eo_tuning", spec.tuned_segment_cm * params.eo_tuning_loss_db_per_cm);
+  }
+  if (spec.combiner_stages > 0) {
+    budget.add("combiners",
+               static_cast<double>(spec.combiner_stages) * params.combiner_loss_db);
+  }
+  return budget;
+}
+
+}  // namespace xl::photonics

@@ -1,0 +1,58 @@
+// Optical loss-budget bookkeeping.
+//
+// Laser power (Eq. 7) is driven by the worst-case photonic loss an optical
+// signal accumulates between laser and photodetector. LossBudget is an
+// itemized accumulator so benches can print a per-component breakdown and
+// tests can check individual contributions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "photonics/device_params.hpp"
+
+namespace xl::photonics {
+
+/// One named loss contribution in dB.
+struct LossItem {
+  std::string label;
+  double loss_db = 0.0;
+};
+
+/// Accumulates itemized optical losses along one laser->detector path.
+class LossBudget {
+ public:
+  LossBudget() = default;
+
+  /// Add a named contribution; negative losses (gain) are rejected.
+  void add(std::string label, double loss_db);
+
+  [[nodiscard]] double total_db() const noexcept;
+  [[nodiscard]] const std::vector<LossItem>& items() const noexcept { return items_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  /// Multi-line "label: x dB" breakdown plus total.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<LossItem> items_;
+};
+
+/// Helper describing one VDP-unit arm's optical path, from which the loss
+/// budget is assembled (Sections IV-C.2/C.3 describe the path composition).
+struct ArmPathSpec {
+  std::size_t mrs_on_waveguide = 15;  ///< MRs the signal passes in one bank.
+  std::size_t banks_per_arm = 2;      ///< Activation bank + weight bank.
+  std::size_t splitter_stages = 0;    ///< log2(#arms) 1x2 split stages to reach arm.
+  double waveguide_length_cm = 0.0;   ///< Total propagation length.
+  double tuned_segment_cm = 0.0;      ///< Segment under active EO tuning.
+  bool uses_microdisks = false;       ///< Holylight-style microdisk devices.
+  std::size_t combiner_stages = 1;    ///< Combines before the balanced PD.
+};
+
+/// Assemble the loss budget for an arm path under the given device params.
+/// Every MR passed contributes through-loss, the modulating MR contributes
+/// modulation loss, plus propagation / splitter / combiner / tuning losses.
+[[nodiscard]] LossBudget arm_loss_budget(const ArmPathSpec& spec, const DeviceParams& params);
+
+}  // namespace xl::photonics

@@ -1,0 +1,80 @@
+#include "photonics/microring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/units.hpp"
+
+namespace xl::photonics {
+
+Microring::Microring(const MicroringDesign& design) : design_(design) {
+  if (design.resonance_nm <= 0.0) {
+    throw std::invalid_argument("Microring: resonance must be positive");
+  }
+  if (design.q_factor <= 1.0) {
+    throw std::invalid_argument("Microring: Q factor must exceed 1");
+  }
+  if (design.fsr_nm <= 0.0) {
+    throw std::invalid_argument("Microring: FSR must be positive");
+  }
+  if (design.extinction_ratio_db <= 0.0) {
+    throw std::invalid_argument("Microring: extinction ratio must be positive");
+  }
+}
+
+double Microring::half_bandwidth_nm() const noexcept {
+  return design_.resonance_nm / (2.0 * design_.q_factor);
+}
+
+double Microring::effective_resonance_nm() const noexcept {
+  return design_.resonance_nm + fpv_drift_nm_ + thermal_drift_nm_ + tuning_shift_nm_;
+}
+
+double Microring::min_transmission() const noexcept {
+  return db_to_ratio(-design_.extinction_ratio_db);
+}
+
+double Microring::transmission(double wavelength_nm) const noexcept {
+  const double delta = half_bandwidth_nm();
+  const double detune = wavelength_nm - effective_resonance_nm();
+  const double lorentz = delta * delta / (detune * detune + delta * delta);
+  const double t_min = min_transmission();
+  return 1.0 - (1.0 - t_min) * lorentz;
+}
+
+double Microring::drop_fraction(double wavelength_nm) const noexcept {
+  return 1.0 - transmission(wavelength_nm);
+}
+
+double Microring::residual_detuning_nm() const noexcept {
+  return effective_resonance_nm() - design_.resonance_nm;
+}
+
+std::optional<double> Microring::detuning_for_transmission(double target) const {
+  const double t_min = min_transmission();
+  if (target < t_min || target >= 1.0) return std::nullopt;
+  // Invert T = 1 - (1 - t_min) * d^2 / (x^2 + d^2) for x >= 0.
+  const double delta = half_bandwidth_nm();
+  const double drop = 1.0 - target;           // in (0, 1 - t_min]
+  const double full = 1.0 - t_min;            // drop at exact resonance
+  const double x2 = delta * delta * (full / drop - 1.0);
+  return std::sqrt(std::max(0.0, x2));
+}
+
+double Microring::imprint_weight(double weight, double carrier_nm) {
+  // A weight w in [0, 1] is realized as a through-port transmission of w:
+  // the MR drains (1 - w) of the carrier's power (Section III example).
+  const double t_min = min_transmission();
+  const double target = std::clamp(weight, t_min, 1.0 - 1e-9);
+  const double detuning = detuning_for_transmission(target).value();
+  // Choose the red-shifted solution; heaters and carrier-injection EO tuning
+  // both realize positive-index shifts, and either sign of detuning yields
+  // the same Lorentzian transmission.
+  const double desired_resonance = carrier_nm - detuning;
+  tuning_shift_nm_ =
+      desired_resonance - (design_.resonance_nm + fpv_drift_nm_ + thermal_drift_nm_);
+  return tuning_shift_nm_;
+}
+
+}  // namespace xl::photonics

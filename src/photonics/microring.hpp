@@ -1,0 +1,94 @@
+// All-pass microring resonator (MR) device model.
+//
+// The MR is CrossLight's workhorse: weight banks tune MRs so the loss seen by
+// each activation-carrying wavelength encodes a multiplicand (Section III).
+// We model the through-port transmission with the standard all-pass ring
+// equations (Bogaerts et al., L&P Reviews 2012 — paper ref [18]) and expose:
+//   * spectral queries (transmission vs wavelength, ER, FSR, Q),
+//   * thermo-optic and electro-optic resonance shifting,
+//   * the weight-imprint inverse problem: which detuning realizes a desired
+//     power drop (the "weight") at the carrier wavelength.
+#pragma once
+
+#include <optional>
+
+namespace xl::photonics {
+
+/// Physical design parameters of an all-pass MR.
+struct MicroringDesign {
+  double resonance_nm = 1550.0;     ///< Designed resonant wavelength.
+  double q_factor = 8000.0;         ///< Loaded quality factor.
+  double fsr_nm = 18.0;             ///< Free spectral range.
+  double extinction_ratio_db = 25.0;///< Power ratio between max and min transmission.
+  /// Input waveguide width; the fabricated FPV-tolerant design is 400 nm.
+  double input_waveguide_width_nm = 400.0;
+  /// Ring waveguide width; the fabricated FPV-tolerant design is 800 nm.
+  double ring_waveguide_width_nm = 800.0;
+
+  /// True for the Section IV-A optimized geometry (400 nm / 800 nm).
+  [[nodiscard]] bool is_fpv_optimized() const noexcept {
+    return input_waveguide_width_nm == 400.0 && ring_waveguide_width_nm == 800.0;
+  }
+};
+
+/// Runtime model of one MR, holding its current (possibly drifted and tuned)
+/// resonance. All spectral math uses the Lorentzian line-shape implied by the
+/// loaded Q; this matches Eq. (8)'s crosstalk model with delta = lambda/2Q.
+class Microring {
+ public:
+  /// Throws std::invalid_argument on non-physical designs.
+  explicit Microring(const MicroringDesign& design);
+
+  [[nodiscard]] const MicroringDesign& design() const noexcept { return design_; }
+
+  /// Half of the 3-dB linewidth, delta = lambda / (2 Q), in nm.
+  [[nodiscard]] double half_bandwidth_nm() const noexcept;
+
+  /// Current effective resonance = design + FPV drift + thermal drift + tuning.
+  [[nodiscard]] double effective_resonance_nm() const noexcept;
+
+  /// Through-port power transmission in [T_min, 1] at `wavelength_nm`.
+  /// T(lambda) = 1 - (1 - T_min) * delta^2 / ((lambda - lambda_r)^2 + delta^2).
+  [[nodiscard]] double transmission(double wavelength_nm) const noexcept;
+
+  /// Drop-port fraction (power removed from the bus) = 1 - transmission.
+  [[nodiscard]] double drop_fraction(double wavelength_nm) const noexcept;
+
+  /// Minimum through-port transmission at exact resonance, from the ER.
+  [[nodiscard]] double min_transmission() const noexcept;
+
+  // --- perturbations -------------------------------------------------------
+  /// Apply a fabrication-process-variation drift (set once per device).
+  void set_fpv_drift_nm(double drift_nm) noexcept { fpv_drift_nm_ = drift_nm; }
+  [[nodiscard]] double fpv_drift_nm() const noexcept { return fpv_drift_nm_; }
+
+  /// Apply an ambient-thermal drift (e.g. from neighbouring heaters).
+  void set_thermal_drift_nm(double drift_nm) noexcept { thermal_drift_nm_ = drift_nm; }
+  [[nodiscard]] double thermal_drift_nm() const noexcept { return thermal_drift_nm_; }
+
+  /// Apply a deliberate tuning shift (TO or EO actuation).
+  void set_tuning_shift_nm(double shift_nm) noexcept { tuning_shift_nm_ = shift_nm; }
+  [[nodiscard]] double tuning_shift_nm() const noexcept { return tuning_shift_nm_; }
+
+  /// Residual error between effective resonance and the design target, in nm.
+  [[nodiscard]] double residual_detuning_nm() const noexcept;
+
+  // --- weight imprinting ---------------------------------------------------
+  /// Detuning (>= 0, in nm) from exact resonance that makes the through-port
+  /// transmission equal `target`, or std::nullopt when `target` lies outside
+  /// [min_transmission, 1). Used to imprint a weight in [0, 1] on a carrier.
+  [[nodiscard]] std::optional<double> detuning_for_transmission(double target) const;
+
+  /// Tune this MR (relative to its current drifts) so the through-port
+  /// transmission at `carrier_nm` equals `weight` (clamped to the physically
+  /// achievable range). Returns the applied tuning shift in nm.
+  double imprint_weight(double weight, double carrier_nm);
+
+ private:
+  MicroringDesign design_;
+  double fpv_drift_nm_ = 0.0;
+  double thermal_drift_nm_ = 0.0;
+  double tuning_shift_nm_ = 0.0;
+};
+
+}  // namespace xl::photonics

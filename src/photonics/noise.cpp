@@ -1,0 +1,73 @@
+#include "photonics/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+namespace {
+constexpr double kElectronCharge = 1.602176634e-19;  // C
+constexpr double kBoltzmann = 1.380649e-23;          // J/K
+}  // namespace
+
+NoiseBudget receiver_noise(double received_power_mw, const ReceiverParams& params) {
+  if (received_power_mw < 0.0) {
+    throw std::invalid_argument("receiver_noise: negative power");
+  }
+  const double power_w = received_power_mw * 1e-3;
+  const double photocurrent = params.responsivity_a_per_w * power_w +
+                              params.dark_current_na * 1e-9;
+  const double bw_hz = params.bandwidth_ghz * 1e9;
+
+  NoiseBudget n;
+  // Shot noise: 2 q I B.
+  n.shot_a2 = 2.0 * kElectronCharge * photocurrent * bw_hz;
+  // Thermal noise: 4 k T B / R.
+  n.thermal_a2 = 4.0 * kBoltzmann * params.temperature_k * bw_hz /
+                 params.load_resistance_ohm;
+  // RIN: rin * I^2 * B.
+  const double rin_linear = std::pow(10.0, params.rin_db_per_hz / 10.0);
+  n.rin_a2 = rin_linear * photocurrent * photocurrent * bw_hz;
+  return n;
+}
+
+double receiver_snr(double received_power_mw, const ReceiverParams& params) {
+  const double signal_current =
+      params.responsivity_a_per_w * received_power_mw * 1e-3;
+  const NoiseBudget n = receiver_noise(received_power_mw, params);
+  if (n.total_a2() <= 0.0) return 0.0;
+  return signal_current * signal_current / n.total_a2();
+}
+
+double ook_ber(double received_power_mw, const ReceiverParams& params) {
+  // OOK: "one" at received power, "zero" at ~0 (thermal/dark noise only).
+  const double i_one = params.responsivity_a_per_w * received_power_mw * 1e-3;
+  const double sigma_one = std::sqrt(receiver_noise(received_power_mw, params).total_a2());
+  const double sigma_zero = std::sqrt(receiver_noise(0.0, params).total_a2());
+  if (sigma_one + sigma_zero <= 0.0) return 0.0;
+  const double q = i_one / (sigma_one + sigma_zero);
+  return 0.5 * std::erfc(q / std::sqrt(2.0));
+}
+
+double link_ber_with_drift(const Microring& ring, double carrier_nm, double drift_nm,
+                           double launch_power_mw, const ReceiverParams& params) {
+  if (launch_power_mw < 0.0) {
+    throw std::invalid_argument("link_ber_with_drift: negative launch power");
+  }
+  // Drop-port detection: the receiver sees the power the ring removes from
+  // the bus. Nominally the resonance sits on the carrier (full drop); a
+  // drift detunes the notch and the dropped power falls off Lorentzian-fast.
+  Microring drifted = ring;
+  drifted.set_fpv_drift_nm(ring.fpv_drift_nm() + drift_nm);
+  const double received = launch_power_mw * drifted.drop_fraction(carrier_nm);
+  return ook_ber(received, params);
+}
+
+int receiver_resolution_bits(double received_power_mw, const ReceiverParams& params) {
+  const double snr = receiver_snr(received_power_mw, params);
+  if (snr <= 0.0) return 0;
+  const double bits = 0.5 * std::log2(1.0 + snr);
+  return static_cast<int>(std::floor(bits));
+}
+
+}  // namespace xl::photonics

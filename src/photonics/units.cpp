@@ -1,0 +1,34 @@
+#include "photonics/units.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+double mw_to_dbm(double mw) {
+  if (mw <= 0.0) throw std::domain_error("mw_to_dbm: power must be positive");
+  return 10.0 * std::log10(mw);
+}
+
+double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+
+double ratio_to_db(double ratio) {
+  if (ratio <= 0.0) throw std::domain_error("ratio_to_db: ratio must be positive");
+  return 10.0 * std::log10(ratio);
+}
+
+double db_to_ratio(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double attenuate_mw(double power_mw, double loss_db) noexcept {
+  return power_mw * db_to_ratio(-loss_db);
+}
+
+double wavelength_nm_to_freq_ghz(double wavelength_nm) {
+  if (wavelength_nm <= 0.0) {
+    throw std::domain_error("wavelength_nm_to_freq_ghz: wavelength must be positive");
+  }
+  // c / lambda ; 1 nm = 1e-9 m ; result scaled to GHz.
+  return kSpeedOfLightMps / (wavelength_nm * 1e-9) / 1e9;
+}
+
+}  // namespace xl::photonics

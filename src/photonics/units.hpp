@@ -1,0 +1,32 @@
+// Unit conversion helpers for optical power and loss bookkeeping.
+//
+// Conventions used across the code base (also documented in DESIGN.md):
+//   wavelength  : nanometres (nm)
+//   device pitch: micrometres (um)
+//   waveguide   : centimetres (cm) for propagation-loss accounting
+//   power       : milliwatts (mW) linear, dBm logarithmic
+//   loss/gain   : decibels (dB)
+//   time        : nanoseconds (ns)
+//   energy      : picojoules (pJ)
+#pragma once
+
+namespace xl::photonics {
+
+/// Convert linear milliwatts to dBm. Throws std::domain_error for mw <= 0.
+[[nodiscard]] double mw_to_dbm(double mw);
+/// Convert dBm to linear milliwatts.
+[[nodiscard]] double dbm_to_mw(double dbm) noexcept;
+/// Convert a linear power ratio (>0) to dB.
+[[nodiscard]] double ratio_to_db(double ratio);
+/// Convert dB to a linear power ratio.
+[[nodiscard]] double db_to_ratio(double db) noexcept;
+
+/// Apply `loss_db` of attenuation to a linear power in mW.
+[[nodiscard]] double attenuate_mw(double power_mw, double loss_db) noexcept;
+
+inline constexpr double kSpeedOfLightMps = 2.99792458e8;
+
+/// Frequency (GHz) of a vacuum wavelength given in nm.
+[[nodiscard]] double wavelength_nm_to_freq_ghz(double wavelength_nm);
+
+}  // namespace xl::photonics

@@ -1,0 +1,41 @@
+#include "photonics/wdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::photonics {
+
+WavelengthGrid::WavelengthGrid(std::size_t channels, double fsr_nm, double start_nm) {
+  if (channels == 0) throw std::invalid_argument("WavelengthGrid: channels == 0");
+  if (fsr_nm <= 0.0) throw std::invalid_argument("WavelengthGrid: FSR must be positive");
+  fsr_nm_ = fsr_nm;
+  spacing_nm_ = fsr_nm / static_cast<double>(channels);
+  wavelengths_.reserve(channels);
+  for (std::size_t i = 0; i < channels; ++i) {
+    wavelengths_.push_back(start_nm + static_cast<double>(i) * spacing_nm_);
+  }
+}
+
+double WavelengthGrid::min_separation_nm(std::size_t i, std::size_t j) const {
+  const double a = wavelength_nm(i);
+  const double b = wavelength_nm(j);
+  const double direct = std::abs(a - b);
+  // Rings respond periodically with the FSR: a channel one FSR away is
+  // spectrally on top of the resonance again.
+  const double wrapped = fsr_nm_ - std::fmod(direct, fsr_nm_);
+  return std::min(std::fmod(direct, fsr_nm_), wrapped);
+}
+
+WavelengthReusePlan plan_wavelength_reuse(std::size_t vector_length, std::size_t chunk) {
+  if (chunk == 0) throw std::invalid_argument("plan_wavelength_reuse: chunk == 0");
+  WavelengthReusePlan plan;
+  plan.vector_length = vector_length;
+  plan.chunk = chunk;
+  plan.arms = vector_length == 0 ? 0 : (vector_length + chunk - 1) / chunk;
+  plan.unique_wavelengths = std::min(vector_length, chunk);
+  plan.wavelengths_without_reuse = vector_length;
+  return plan;
+}
+
+}  // namespace xl::photonics

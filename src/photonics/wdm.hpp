@@ -1,0 +1,57 @@
+// Wavelength-division-multiplexing grid and the wavelength-reuse accounting
+// of Section IV-C.3.
+//
+// CrossLight decomposes vectors into <= 15-element chunks per VDP-unit arm
+// and reuses the *same* wavelength comb across arms, so the number of unique
+// laser lines per unit is bounded by the chunk size instead of the vector
+// dimension. This is the mechanism behind both the laser-power savings and
+// the large channel spacing that enables 16-bit resolution (Section V-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xl::photonics {
+
+/// Evenly spaced WDM comb inside one FSR.
+class WavelengthGrid {
+ public:
+  /// `channels` wavelengths spread over `fsr_nm` starting at `start_nm`.
+  /// Spacing = fsr / channels so that the comb tiles the FSR periodically.
+  /// Throws std::invalid_argument on zero channels or non-positive FSR.
+  WavelengthGrid(std::size_t channels, double fsr_nm, double start_nm = 1550.0);
+
+  [[nodiscard]] std::size_t channels() const noexcept { return wavelengths_.size(); }
+  [[nodiscard]] double spacing_nm() const noexcept { return spacing_nm_; }
+  [[nodiscard]] double fsr_nm() const noexcept { return fsr_nm_; }
+  [[nodiscard]] double wavelength_nm(std::size_t i) const { return wavelengths_.at(i); }
+  [[nodiscard]] const std::vector<double>& wavelengths() const noexcept {
+    return wavelengths_;
+  }
+
+  /// Minimum spectral distance between two distinct channels, accounting for
+  /// the periodic FSR wrap-around seen by ring resonators.
+  [[nodiscard]] double min_separation_nm(std::size_t i, std::size_t j) const;
+
+ private:
+  std::vector<double> wavelengths_;
+  double spacing_nm_ = 0.0;
+  double fsr_nm_ = 0.0;
+};
+
+/// Wavelength accounting for a pool of VDP units (Section IV-C.3).
+struct WavelengthReusePlan {
+  std::size_t vector_length = 0;      ///< Original dot-product length.
+  std::size_t chunk = 0;              ///< Elements per arm (<= MRs per bank).
+  std::size_t arms = 0;               ///< ceil(vector_length / chunk).
+  std::size_t unique_wavelengths = 0; ///< With reuse: min(vector_length, chunk).
+  std::size_t wavelengths_without_reuse = 0;  ///< One per element (prior work).
+};
+
+/// Plan the decomposition of a `vector_length`-element dot product onto arms
+/// of `chunk` parallel MR products with cross-arm wavelength reuse.
+/// Throws std::invalid_argument when chunk == 0.
+[[nodiscard]] WavelengthReusePlan plan_wavelength_reuse(std::size_t vector_length,
+                                                        std::size_t chunk);
+
+}  // namespace xl::photonics

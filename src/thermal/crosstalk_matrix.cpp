@@ -1,0 +1,75 @@
+#include "thermal/crosstalk_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/polyfit.hpp"
+
+namespace xl::thermal {
+
+using xl::numerics::Matrix;
+
+double exponential_crosstalk_ratio(double d_um, const CouplingModelConfig& cfg) {
+  if (d_um < 0.0) {
+    throw std::invalid_argument("exponential_crosstalk_ratio: negative distance");
+  }
+  if (d_um == 0.0) return 1.0;
+  return cfg.contact_ratio * std::exp(-d_um / cfg.decay_length_um);
+}
+
+Matrix coupling_matrix_exponential(std::size_t count, double pitch_um,
+                                   const CouplingModelConfig& cfg) {
+  if (count == 0) throw std::invalid_argument("coupling_matrix: empty bank");
+  if (pitch_um <= 0.0) throw std::invalid_argument("coupling_matrix: pitch must be > 0");
+  Matrix k(count, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const double d = std::abs(static_cast<double>(i) - static_cast<double>(j)) * pitch_um;
+      k(i, j) = cfg.self_phase_rad_per_mw * exponential_crosstalk_ratio(d, cfg);
+    }
+  }
+  return k;
+}
+
+Matrix coupling_matrix_from_solver(const HeatSolver& solver, std::size_t count,
+                                   double pitch_um, const CouplingModelConfig& cfg) {
+  if (count == 0) throw std::invalid_argument("coupling_matrix: empty bank");
+  if (pitch_um <= 0.0) throw std::invalid_argument("coupling_matrix: pitch must be > 0");
+  // influence_ratio(d) is normalized to 1 at d = 0, so scaling by the self
+  // actuation efficiency yields phase-per-mW entries directly. Distances are
+  // |i - j| * pitch; only `count` distinct values need solver probes.
+  std::vector<double> ratio(count);
+  for (std::size_t sep = 0; sep < count; ++sep) {
+    ratio[sep] = solver.influence_ratio(static_cast<double>(sep) * pitch_um);
+  }
+  Matrix k(count, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t sep = i > j ? i - j : j - i;
+      k(i, j) = cfg.self_phase_rad_per_mw * ratio[sep];
+    }
+  }
+  return k;
+}
+
+CouplingModelConfig calibrate_kernel(const HeatSolver& solver, CouplingModelConfig base) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double d = 2.0; d <= 20.0; d += 2.0) {
+    const double r = solver.influence_ratio(d);
+    if (r > 1e-9) {
+      xs.push_back(d);
+      ys.push_back(r);
+    }
+  }
+  if (xs.size() < 3) {
+    throw std::runtime_error("calibrate_kernel: solver kernel decayed too fast to fit");
+  }
+  const xl::numerics::ExponentialFit fit = xl::numerics::fit_exponential(xs, ys);
+  base.decay_length_um = -1.0 / fit.b;
+  base.contact_ratio = std::min(1.0, fit.a);
+  return base;
+}
+
+}  // namespace xl::thermal

@@ -1,0 +1,97 @@
+#include "thermal/heat_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::thermal {
+
+HeatSolver::HeatSolver(const HeatGridConfig& config) : config_(config) {
+  if (config.nx < 8 || config.ny < 8) {
+    throw std::invalid_argument("HeatSolver: grid too small (need >= 8x8)");
+  }
+  if (config.cell_um <= 0.0) {
+    throw std::invalid_argument("HeatSolver: cell size must be positive");
+  }
+  if (config.conductivity_w_per_mk <= 0.0) {
+    throw std::invalid_argument("HeatSolver: conductivity must be positive");
+  }
+  if (config.sor_omega <= 0.0 || config.sor_omega >= 2.0) {
+    throw std::invalid_argument("HeatSolver: SOR omega must be in (0, 2)");
+  }
+}
+
+std::vector<double> HeatSolver::solve(const std::vector<Heater>& heaters) const {
+  const std::size_t nx = config_.nx;
+  const std::size_t ny = config_.ny;
+  std::vector<double> t(nx * ny, config_.ambient_k);
+  std::vector<double> q(nx * ny, 0.0);
+
+  // Deposit each heater's power into its containing cell. Source term for
+  // the 5-point stencil: T_ij = (sum neighbours + q*h^2/k) / 4.
+  const double h_m = config_.cell_um * 1e-6;
+  for (const Heater& heater : heaters) {
+    const auto ix = static_cast<std::size_t>(
+        std::clamp(std::llround(heater.x_um / config_.cell_um), 1LL,
+                   static_cast<long long>(nx) - 2));
+    const auto iy = static_cast<std::size_t>(
+        std::clamp(std::llround(heater.y_um / config_.cell_um), 1LL,
+                   static_cast<long long>(ny) - 2));
+    // Convert mW point source into a volumetric term over one cell of unit
+    // depth: q_cell [W/m^3] = P / h^3; stencil uses q*h^2/k.
+    q[index(ix, iy)] +=
+        (heater.power_mw * 1e-3) / (h_m * config_.conductivity_w_per_mk);
+  }
+
+  double max_delta = 0.0;
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    max_delta = 0.0;
+    for (std::size_t iy = 1; iy + 1 < ny; ++iy) {
+      for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+        const std::size_t id = index(ix, iy);
+        const double updated = 0.25 * (t[id - 1] + t[id + 1] + t[id - nx] +
+                                       t[id + nx] + q[id]);
+        const double relaxed = t[id] + config_.sor_omega * (updated - t[id]);
+        max_delta = std::max(max_delta, std::abs(relaxed - t[id]));
+        t[id] = relaxed;
+      }
+    }
+    if (max_delta < config_.tolerance_k) return t;
+  }
+  throw std::runtime_error("HeatSolver: SOR did not converge");
+}
+
+double HeatSolver::temperature_rise_at(const std::vector<Heater>& heaters, double x_um,
+                                       double y_um) const {
+  const std::vector<double> field = solve(heaters);
+  const auto ix = static_cast<std::size_t>(
+      std::clamp(std::llround(x_um / config_.cell_um), 0LL,
+                 static_cast<long long>(config_.nx) - 1));
+  const auto iy = static_cast<std::size_t>(
+      std::clamp(std::llround(y_um / config_.cell_um), 0LL,
+                 static_cast<long long>(config_.ny) - 1));
+  return field[index(ix, iy)] - config_.ambient_k;
+}
+
+double HeatSolver::influence_ratio(double d_um) const {
+  if (d_um < 0.0) throw std::invalid_argument("influence_ratio: distance must be >= 0");
+  // One 1 mW heater mid-grid; probe at the same depth, d_um away.
+  const double x0 = static_cast<double>(config_.nx) * config_.cell_um * 0.5;
+  const double y0 = static_cast<double>(config_.ny) * config_.cell_um * 0.5;
+  const std::vector<Heater> heaters{{x0, y0, 1.0}};
+  const std::vector<double> field = solve(heaters);
+
+  auto probe = [&](double x) {
+    const auto ix = static_cast<std::size_t>(
+        std::clamp(std::llround(x / config_.cell_um), 0LL,
+                   static_cast<long long>(config_.nx) - 1));
+    const auto iy = static_cast<std::size_t>(std::llround(y0 / config_.cell_um));
+    return field[index(ix, iy)] - config_.ambient_k;
+  };
+
+  const double self = probe(x0);
+  if (self <= 0.0) return 0.0;
+  return std::clamp(probe(x0 + d_um) / self, 0.0, 1.0);
+}
+
+}  // namespace xl::thermal

@@ -1,0 +1,69 @@
+// 2-D steady-state heat-diffusion solver.
+//
+// Substitution note (DESIGN.md): the paper uses Lumerical HEAT, a commercial
+// 3-D thermal EDA tool, to characterize thermal crosstalk between micro-
+// heaters (Fig. 4). We replace it with a finite-difference solve of the
+// steady-state heat equation on a 2-D chip cross-section:
+//
+//     k * laplacian(T) + q = 0,  Dirichlet T = T_ambient on the boundary
+//
+// which captures the property Fig. 4 relies on — the temperature (and hence
+// phase) crosstalk between an MR pair decays monotonically, approximately
+// exponentially, with their separation. The solver is linear in the heat
+// sources, so per-heater influence columns superpose exactly; the coupling
+// matrix builder exploits this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xl::thermal {
+
+struct HeatGridConfig {
+  std::size_t nx = 256;        ///< Grid cells along the MR bank (x).
+  std::size_t ny = 96;         ///< Grid cells into the substrate (y).
+  double cell_um = 1.0;        ///< Cell edge length.
+  double conductivity_w_per_mk = 1.4;  ///< SiO2 cladding thermal conductivity.
+  double ambient_k = 300.0;    ///< Heat-sink boundary temperature.
+  /// Gauss-Seidel/SOR iteration controls.
+  double sor_omega = 1.8;
+  double tolerance_k = 1e-7;
+  std::size_t max_iterations = 200000;
+};
+
+/// Steady-state temperature field for a set of point heaters on a 2-D slab.
+class HeatSolver {
+ public:
+  explicit HeatSolver(const HeatGridConfig& config = {});
+
+  struct Heater {
+    double x_um = 0.0;
+    double y_um = 0.0;
+    double power_mw = 0.0;
+  };
+
+  /// Solve for the temperature field given heaters; returns the field as a
+  /// row-major ny x nx vector (Kelvin). Throws std::runtime_error when SOR
+  /// fails to converge within the iteration budget.
+  [[nodiscard]] std::vector<double> solve(const std::vector<Heater>& heaters) const;
+
+  /// Temperature rise above ambient at probe (x, y) for the given heaters.
+  [[nodiscard]] double temperature_rise_at(const std::vector<Heater>& heaters,
+                                           double x_um, double y_um) const;
+
+  /// Normalized thermal influence: temperature rise at distance `d_um` from a
+  /// 1 mW heater, divided by the rise at the heater itself. This is the
+  /// kernel that becomes Fig. 4's phase-crosstalk-ratio curve.
+  [[nodiscard]] double influence_ratio(double d_um) const;
+
+  [[nodiscard]] const HeatGridConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t ix, std::size_t iy) const noexcept {
+    return iy * config_.nx + ix;
+  }
+
+  HeatGridConfig config_;
+};
+
+}  // namespace xl::thermal

@@ -1,0 +1,126 @@
+#include "thermal/ted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/solver.hpp"
+
+namespace xl::thermal {
+
+using xl::numerics::Matrix;
+using xl::numerics::Vector;
+
+TedTuner::TedTuner(Matrix coupling) : coupling_(std::move(coupling)) {
+  if (coupling_.rows() != coupling_.cols() || coupling_.rows() == 0) {
+    throw std::invalid_argument("TedTuner: coupling matrix must be square and nonempty");
+  }
+  if (!coupling_.is_symmetric(1e-9 * (1.0 + coupling_.norm_frobenius()))) {
+    throw std::invalid_argument("TedTuner: coupling matrix must be symmetric");
+  }
+  eigen_ = xl::numerics::eigen_symmetric(coupling_);
+  const double lambda_min = eigen_.eigenvalues[0];
+  const double lambda_max = eigen_.eigenvalues[eigen_.eigenvalues.size() - 1];
+  if (lambda_min <= 0.0) {
+    throw std::invalid_argument("TedTuner: coupling matrix must be positive definite");
+  }
+  condition_ = lambda_max / lambda_min;
+}
+
+TedSolution TedTuner::solve(const Vector& phase_targets_rad) const {
+  const std::size_t n = bank_size();
+  if (phase_targets_rad.size() != n) {
+    throw std::invalid_argument("TedTuner::solve: target dimension mismatch");
+  }
+
+  // Apply K^-1 in the eigenbasis: p = V diag(1/w) V^T x.
+  auto apply_inverse = [&](const Vector& x) {
+    Vector coeff(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += eigen_.eigenvectors(i, k) * x[i];
+      coeff[k] = acc / eigen_.eigenvalues[k];
+    }
+    Vector p(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += eigen_.eigenvectors(i, k) * coeff[k];
+      p[i] = acc;
+    }
+    return p;
+  };
+
+  const Vector p0 = apply_inverse(phase_targets_rad);
+  const Vector ones(n, 1.0);
+  const Vector s = apply_inverse(ones);
+
+  // Choose the minimal common-mode bias b >= 0 with p0 + b*s >= 0.
+  // s = K^-1 1 is strictly positive for physical (diagonally dominant,
+  // positive) thermal kernels; guard anyway.
+  double bias = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p0[i] < 0.0) {
+      if (s[i] <= 0.0) {
+        throw std::runtime_error("TedTuner::solve: bias direction not positive");
+      }
+      bias = std::max(bias, -p0[i] / s[i]);
+    }
+  }
+
+  TedSolution sol;
+  sol.heater_powers_mw = p0 + bias * s;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Clip tiny negative round-off.
+    sol.heater_powers_mw[i] = std::max(0.0, sol.heater_powers_mw[i]);
+  }
+  sol.common_mode_bias_rad = bias;
+  sol.total_power_mw = sol.heater_powers_mw.sum();
+  sol.mean_power_mw = sol.total_power_mw / static_cast<double>(n);
+  sol.max_power_mw = sol.heater_powers_mw.max();
+
+  const Vector achieved = coupling_.matvec(sol.heater_powers_mw);
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual = std::max(residual, std::abs(achieved[i] - (phase_targets_rad[i] + bias)));
+  }
+  sol.residual_rad = residual;
+  return sol;
+}
+
+NaiveTuningResult naive_tuning_powers(const Matrix& coupling, const Vector& phase_targets_rad,
+                                      double rho_max) {
+  const std::size_t n = coupling.rows();
+  if (coupling.rows() != coupling.cols() || n == 0) {
+    throw std::invalid_argument("naive_tuning_powers: coupling must be square, nonempty");
+  }
+  if (phase_targets_rad.size() != n) {
+    throw std::invalid_argument("naive_tuning_powers: target dimension mismatch");
+  }
+  if (rho_max <= 0.0 || rho_max >= 1.0) {
+    throw std::invalid_argument("naive_tuning_powers: rho_max must be in (0, 1)");
+  }
+
+  NaiveTuningResult res;
+  res.heater_powers_mw = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double self = coupling(i, i);
+    if (self <= 0.0) {
+      throw std::invalid_argument("naive_tuning_powers: non-positive self coupling");
+    }
+    double rho = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) rho += coupling(i, j) / self;
+    }
+    if (rho >= rho_max) {
+      rho = rho_max;
+      res.feasible = false;
+    }
+    const double base_power = std::abs(phase_targets_rad[i]) / self;
+    res.heater_powers_mw[i] = base_power / (1.0 - rho);
+  }
+  res.total_power_mw = res.heater_powers_mw.sum();
+  res.mean_power_mw = res.total_power_mw / static_cast<double>(n);
+  return res;
+}
+
+}  // namespace xl::thermal

@@ -1,0 +1,78 @@
+// Thermal Eigenmode Decomposition (TED) collective tuning
+// (Milanizadeh et al., JLT 2019 — paper ref [23]; CrossLight Section IV-B).
+//
+// Problem: heaters on an MR bank couple through the substrate, so per-ring
+// phase targets cannot be met by driving each heater independently. TED
+// diagonalizes the symmetric coupling matrix K (phase shift on ring i per mW
+// on heater j) and solves the *collective* drive problem
+//
+//     K p = dphi + b * 1,   p >= 0,  b >= 0 minimal,
+//
+// in the thermal eigenbasis. The uniform bias b keeps heater powers
+// physical (heaters cannot cool); a common-mode resonance offset is absorbed
+// by shifting the laser comb with the bank (documented simplification).
+//
+// The no-TED reference implements what prior accelerators do: drive each
+// heater for its own target and overdrive to dominate uncompensated
+// neighbour crosstalk, which diverges as rings move closer — this is the
+// "notably higher" dotted curve of Fig. 4.
+#pragma once
+
+#include "numerics/eigen.hpp"
+#include "numerics/matrix.hpp"
+
+namespace xl::thermal {
+
+/// Result of one collective tuning solve.
+struct TedSolution {
+  xl::numerics::Vector heater_powers_mw;  ///< Per-heater drive, all >= 0.
+  double common_mode_bias_rad = 0.0;      ///< Uniform extra phase b.
+  double total_power_mw = 0.0;
+  double mean_power_mw = 0.0;
+  double max_power_mw = 0.0;
+  /// Residual ||K p - (dphi + b 1)||_inf; ~0 unless the matrix was singular.
+  double residual_rad = 0.0;
+};
+
+/// Collective tuner for one MR bank.
+class TedTuner {
+ public:
+  /// `coupling` is the symmetric phase/power matrix (rad/mW). Throws
+  /// std::invalid_argument when not square/symmetric or not positive
+  /// definite (eigenvalues <= 0 indicate an unphysical kernel).
+  explicit TedTuner(xl::numerics::Matrix coupling);
+
+  /// Solve for heater powers realizing `phase_targets_rad` (>= 0 per ring up
+  /// to the common-mode bias). Throws on dimension mismatch.
+  [[nodiscard]] TedSolution solve(const xl::numerics::Vector& phase_targets_rad) const;
+
+  /// Condition number of the coupling matrix; grows as rings get closer.
+  [[nodiscard]] double condition_number() const noexcept { return condition_; }
+
+  [[nodiscard]] const xl::numerics::Matrix& coupling() const noexcept { return coupling_; }
+  [[nodiscard]] std::size_t bank_size() const noexcept { return coupling_.rows(); }
+
+ private:
+  xl::numerics::Matrix coupling_;
+  xl::numerics::EigenDecomposition eigen_;
+  double condition_ = 1.0;
+};
+
+/// No-TED reference: independent per-heater drive with crosstalk overdrive.
+/// Each heater must realize its own target and additionally fight the
+/// worst-case neighbour disturbance; the standard first-order model is a
+/// 1 / (1 - rho_i) overdrive where rho_i = sum_{j != i} K(i,j) / K(i,i).
+/// Banks with rho >= rho_max are infeasible without TED; their power is
+/// reported at the clamped maximum (practically: designers must instead
+/// space rings 120-200 um apart, Section IV-A).
+struct NaiveTuningResult {
+  xl::numerics::Vector heater_powers_mw;
+  double total_power_mw = 0.0;
+  double mean_power_mw = 0.0;
+  bool feasible = true;  ///< false when overdrive clamped at rho_max.
+};
+[[nodiscard]] NaiveTuningResult naive_tuning_powers(
+    const xl::numerics::Matrix& coupling, const xl::numerics::Vector& phase_targets_rad,
+    double rho_max = 0.95);
+
+}  // namespace xl::thermal

@@ -1,0 +1,73 @@
+#include "thermal/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xl::thermal {
+
+ThermalRcModel::ThermalRcModel(const ThermalRcParams& params) : params_(params) {
+  if (params.tau_us <= 0.0) {
+    throw std::invalid_argument("ThermalRcModel: tau must be positive");
+  }
+  if (params.shift_nm_per_mw <= 0.0) {
+    throw std::invalid_argument("ThermalRcModel: gain must be positive");
+  }
+}
+
+double ThermalRcModel::step_response_nm(double power_mw, double t_us) const {
+  if (t_us < 0.0) throw std::invalid_argument("step_response_nm: negative time");
+  const double steady = params_.shift_nm_per_mw * power_mw;
+  return steady * (1.0 - std::exp(-t_us / params_.tau_us));
+}
+
+double ThermalRcModel::settling_time_us(double tolerance) const {
+  if (tolerance <= 0.0 || tolerance >= 1.0) {
+    throw std::invalid_argument("settling_time_us: tolerance in (0, 1)");
+  }
+  return -params_.tau_us * std::log(tolerance);
+}
+
+std::vector<double> ThermalRcModel::simulate_nm(const std::vector<double>& power_mw,
+                                                double dt_us,
+                                                double initial_shift_nm) const {
+  if (dt_us <= 0.0) throw std::invalid_argument("simulate_nm: dt must be positive");
+  if (dt_us >= params_.tau_us) {
+    throw std::invalid_argument("simulate_nm: dt must be << tau for stability");
+  }
+  std::vector<double> shift(power_mw.size());
+  double s = initial_shift_nm;
+  for (std::size_t i = 0; i < power_mw.size(); ++i) {
+    const double target = params_.shift_nm_per_mw * power_mw[i];
+    s += dt_us / params_.tau_us * (target - s);
+    shift[i] = s;
+  }
+  return shift;
+}
+
+RecalibrationEvent plan_recalibration(double ambient_shift_nm, std::size_t rings,
+                                      const ThermalRcParams& params) {
+  if (rings == 0) throw std::invalid_argument("plan_recalibration: empty bank");
+  const ThermalRcModel model(params);
+  RecalibrationEvent event;
+  event.ambient_shift_nm = ambient_shift_nm;
+  event.downtime_us = model.settling_time_us();
+  // Heaters only red-shift: a red ambient shift is compensated by *reducing*
+  // existing bias power where available; budget the magnitude per ring.
+  event.extra_power_mw =
+      std::abs(ambient_shift_nm) / params.shift_nm_per_mw * static_cast<double>(rings);
+  return event;
+}
+
+double throughput_retention(double downtime_us, double interval_ms) {
+  if (interval_ms <= 0.0) {
+    throw std::invalid_argument("throughput_retention: interval must be positive");
+  }
+  if (downtime_us < 0.0) {
+    throw std::invalid_argument("throughput_retention: negative downtime");
+  }
+  const double interval_us = interval_ms * 1e3;
+  if (downtime_us >= interval_us) return 0.0;
+  return 1.0 - downtime_us / interval_us;
+}
+
+}  // namespace xl::thermal

@@ -1,0 +1,67 @@
+// Transient (time-domain) thermal response of a TO-tuned microring.
+//
+// Table II lists 4 us for the TO tuning latency [17]; this module models
+// where that number comes from: the heater/ring stack is a first-order
+// thermal RC system, and tuning "latency" is the time to settle within a
+// tolerance band of the target resonance shift. The model also supports the
+// runtime recalibration events of Section IV-B (rare large ambient shifts
+// that trigger a one-time TO re-trim while inference pauses).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xl::thermal {
+
+struct ThermalRcParams {
+  /// Thermal time constant of the heater/ring stack. 4 us settling to 2%
+  /// corresponds to tau ~ 1 us (settle ~ 4 tau).
+  double tau_us = 1.0;
+  /// Steady-state resonance shift per mW of heater power (nm/mW); the
+  /// reciprocal of Table II's 27.5 mW per 18 nm FSR.
+  double shift_nm_per_mw = 18.0 / 27.5;
+};
+
+/// First-order thermal plant: d(shift)/dt = (gain * power - shift) / tau.
+class ThermalRcModel {
+ public:
+  explicit ThermalRcModel(const ThermalRcParams& params = {});
+
+  /// Closed-form step response at time t for a power step to `power_mw`.
+  [[nodiscard]] double step_response_nm(double power_mw, double t_us) const;
+
+  /// Time to settle within `tolerance` (relative) of the steady-state shift
+  /// after a power step; independent of the step size for a linear plant.
+  [[nodiscard]] double settling_time_us(double tolerance = 0.02) const;
+
+  /// Simulate an arbitrary power trajectory sampled at `dt_us`; returns the
+  /// shift trajectory (explicit Euler, stable for dt << tau).
+  [[nodiscard]] std::vector<double> simulate_nm(const std::vector<double>& power_mw,
+                                                double dt_us,
+                                                double initial_shift_nm = 0.0) const;
+
+  [[nodiscard]] const ThermalRcParams& params() const noexcept { return params_; }
+
+ private:
+  ThermalRcParams params_;
+};
+
+/// One Section IV-B runtime recalibration event: ambient temperature moved
+/// the bank by `ambient_shift_nm`; the TO trim re-centres it.
+struct RecalibrationEvent {
+  double ambient_shift_nm = 0.0;
+  double downtime_us = 0.0;      ///< Inference pause (settling time).
+  double extra_power_mw = 0.0;   ///< Steady-state heater power delta.
+};
+
+/// Plan a recalibration for a bank of `rings` rings and a given ambient
+/// drift (all rings shift together for a uniform ambient change).
+[[nodiscard]] RecalibrationEvent plan_recalibration(double ambient_shift_nm,
+                                                    std::size_t rings,
+                                                    const ThermalRcParams& params = {});
+
+/// Throughput retained when recalibrating every `interval_ms` with the
+/// given per-event downtime (Section IV-B: "required rarely").
+[[nodiscard]] double throughput_retention(double downtime_us, double interval_ms);
+
+}  // namespace xl::thermal

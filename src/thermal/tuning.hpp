@@ -1,0 +1,73 @@
+// Hybrid TO + EO tuning controller (Section IV-B workflow).
+//
+// Runtime policy implemented here, exactly as the paper describes:
+//   1. At boot, a one-time TO calibration compensates design-time FPV drifts
+//      (collectively via TED, or per-heater without it).
+//   2. Crosstalk cancellation phases are computed "offline" (here: from the
+//      coupling matrix) and folded into the same TO solve.
+//   3. At runtime, fast EO tuning (20 ns, 4 uW/nm) imprints vector elements.
+//   4. Rarely, a large ambient-temperature excursion triggers a TO re-trim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "photonics/device_params.hpp"
+#include "thermal/crosstalk_matrix.hpp"
+#include "thermal/ted.hpp"
+
+namespace xl::thermal {
+
+enum class TuningMode : std::uint8_t {
+  kThermalOnly,  ///< Conventional TO tuning (prior accelerators).
+  kHybridTed,    ///< CrossLight: TED-based TO trim + EO runtime imprint.
+};
+
+struct TuningBankConfig {
+  std::size_t rings = 15;       ///< MRs in the bank.
+  double pitch_um = 5.0;        ///< Adjacent-ring spacing.
+  TuningMode mode = TuningMode::kHybridTed;
+  /// Max resonance shift the EO tuner can realize (hybrid BaTiO3 platform).
+  double eo_max_shift_nm = 1.5;
+  CouplingModelConfig coupling;
+};
+
+/// Static/dynamic power and latency report for one MR bank.
+struct TuningReport {
+  double static_to_power_mw = 0.0;  ///< Continuous heater power (FPV trim).
+  double eo_energy_per_imprint_pj = 0.0;  ///< Energy per runtime weight imprint.
+  double imprint_latency_ns = 0.0;  ///< Runtime per-vector tuning latency.
+  double boot_calibration_us = 0.0; ///< One-time TO settle at boot.
+  bool feasible = true;             ///< False when no-TED crosstalk diverges.
+};
+
+/// Controller owning the tuning plan for one bank of MRs.
+class HybridTuningController {
+ public:
+  /// Throws std::invalid_argument for empty banks / non-positive pitch.
+  HybridTuningController(const TuningBankConfig& config,
+                         const xl::photonics::DeviceParams& params);
+
+  /// Compute the boot-time TO solve for the given per-ring FPV drifts (nm)
+  /// and produce the bank's power/latency report. `mean_imprint_shift_nm` is
+  /// the average EO excursion a runtime weight imprint needs.
+  [[nodiscard]] TuningReport plan(const std::vector<double>& fpv_drifts_nm,
+                                  double mean_imprint_shift_nm = 0.5) const;
+
+  /// Phase shift (rad) equivalent to a resonance shift in nm: one FSR of
+  /// wavelength shift corresponds to 2*pi of round-trip phase.
+  [[nodiscard]] double phase_per_nm() const noexcept;
+
+  /// True when `shift_nm` fits in the EO tuner's range; larger shifts fall
+  /// back to TO actuation.
+  [[nodiscard]] bool eo_covers(double shift_nm) const noexcept;
+
+  [[nodiscard]] const TuningBankConfig& config() const noexcept { return config_; }
+
+ private:
+  TuningBankConfig config_;
+  xl::photonics::DeviceParams params_;
+  xl::numerics::Matrix coupling_;
+};
+
+}  // namespace xl::thermal

@@ -1,0 +1,86 @@
+// Area model and report aggregation tests.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/area.hpp"
+#include "dnn/models.hpp"
+
+namespace xl::core {
+namespace {
+
+TEST(Area, BestConfigWithinPaperEnvelope) {
+  // Section V-D compares accelerators within ~16-25 mm^2; the TED-packed
+  // flagship must land in that neighbourhood.
+  const AreaBreakdown a = evaluate_area(best_config());
+  EXPECT_GT(a.total_mm2(), 10.0);
+  EXPECT_LT(a.total_mm2(), 30.0);
+}
+
+TEST(Area, ComponentsAllPositive) {
+  const AreaBreakdown a = evaluate_area(best_config());
+  EXPECT_GT(a.mr_arms_mm2, 0.0);
+  EXPECT_GT(a.detectors_mm2, 0.0);
+  EXPECT_GT(a.transceivers_mm2, 0.0);
+  EXPECT_GT(a.laser_mm2, 0.0);
+  EXPECT_GT(a.control_mm2, 0.0);
+  EXPECT_NEAR(a.total_mm2(),
+              a.mr_arms_mm2 + a.detectors_mm2 + a.transceivers_mm2 + a.laser_mm2 +
+                  a.control_mm2,
+              1e-12);
+}
+
+TEST(Area, GuardSpacingBlowsUpArea) {
+  // TED's 5 um pitch is the enabler of competitive density: at 120 um guard
+  // spacing the same organization is several times larger (Section IV-A).
+  ArchitectureConfig ted = best_config();
+  ted.variant = Variant::kOptTed;
+  ArchitectureConfig guard = best_config();
+  guard.variant = Variant::kOpt;
+  const double ted_area = evaluate_area(ted).total_mm2();
+  const double guard_area = evaluate_area(guard).total_mm2();
+  EXPECT_GT(guard_area, 2.0 * ted_area);
+}
+
+TEST(Area, ScalesWithUnitCount) {
+  ArchitectureConfig small_cfg = best_config();
+  small_cfg.conv_units = 50;
+  small_cfg.fc_units = 30;
+  EXPECT_LT(evaluate_area(small_cfg).total_mm2(), evaluate_area(best_config()).total_mm2());
+}
+
+TEST(Accelerator, ReportsAreConsistent) {
+  const CrossLightAccelerator accel(best_config());
+  const auto models = xl::dnn::table1_models();
+  const auto reports = accel.evaluate_all(models);
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.accelerator, "Cross_opt_TED");
+    EXPECT_EQ(r.resolution_bits, 16);
+    EXPECT_GT(r.macs_per_frame, 0u);
+    EXPECT_GT(r.epb_pj(), 0.0);
+    EXPECT_GT(r.kfps_per_watt(), 0.0);
+    EXPECT_DOUBLE_EQ(r.area_mm2, accel.area().total_mm2());
+  }
+}
+
+TEST(Accelerator, MapExposesDecomposition) {
+  const CrossLightAccelerator accel(best_config());
+  const auto mapping = accel.map(xl::dnn::lenet5_spec());
+  EXPECT_EQ(mapping.layers.size(), 4u);
+}
+
+TEST(Accelerator, BitsPerFrameUsesResolution) {
+  AcceleratorReport r;
+  r.resolution_bits = 8;
+  r.macs_per_frame = 10;
+  EXPECT_DOUBLE_EQ(r.bits_per_frame(), 160.0);
+}
+
+TEST(Accelerator, DegenerateMetricsAreZero) {
+  AcceleratorReport r;  // No power, no fps.
+  EXPECT_EQ(r.epb_pj(), 0.0);
+  EXPECT_EQ(r.kfps_per_watt(), 0.0);
+}
+
+}  // namespace
+}  // namespace xl::core

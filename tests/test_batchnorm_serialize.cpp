@@ -1,0 +1,207 @@
+// BatchNorm layer tests (forward semantics + gradient checks) and weight
+// serialization round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "dnn/activations.hpp"
+#include "dnn/batchnorm.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/serialize.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::dnn {
+namespace {
+
+using xl::numerics::Rng;
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return t;
+}
+
+TEST(BatchNorm, Validation) {
+  EXPECT_THROW(BatchNorm(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm(4, 0.9, 0.0), std::invalid_argument);
+  BatchNorm bn(4);
+  EXPECT_THROW((void)bn.output_shape({2, 3}), std::invalid_argument);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(1);
+  BatchNorm bn(3);
+  const Tensor x = random_tensor({16, 3}, rng);
+  const Tensor y = bn.forward(x, /*training=*/true);
+  // Per-feature output mean ~0, variance ~1 (gamma=1, beta=0).
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0;
+    for (std::size_t n = 0; n < 16; ++n) mean += y.at2(n, f);
+    mean /= 16.0;
+    double var = 0.0;
+    for (std::size_t n = 0; n < 16; ++n) var += (y.at2(n, f) - mean) * (y.at2(n, f) - mean);
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  Rng rng(2);
+  BatchNorm bn(2);
+  bn.gamma()[0] = 2.0F;
+  bn.beta()[0] = 1.0F;
+  const Tensor x = random_tensor({8, 2}, rng);
+  const Tensor y = bn.forward(x, true);
+  double mean0 = 0.0;
+  for (std::size_t n = 0; n < 8; ++n) mean0 += y.at2(n, 0);
+  EXPECT_NEAR(mean0 / 8.0, 1.0, 1e-4);  // beta shifts the mean.
+}
+
+TEST(BatchNorm, RunningStatsTrackTraining) {
+  Rng rng(3);
+  BatchNorm bn(2, 0.5);
+  for (int step = 0; step < 20; ++step) {
+    Tensor x({8, 2});
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.gaussian(3.0, 2.0));
+    }
+    (void)bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0, 0.8);
+  EXPECT_NEAR(std::sqrt(bn.running_var()[0]), 2.0, 0.8);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm bn(1, 0.0);  // momentum 0: running stats = last batch.
+  Tensor x({64, 1});
+  for (std::size_t i = 0; i < 64; ++i) x[i] = static_cast<float>(rng.gaussian(5.0, 1.0));
+  (void)bn.forward(x, true);
+  // A single inference sample at the running mean maps to ~0.
+  Tensor probe({1, 1});
+  probe[0] = static_cast<float>(bn.running_mean()[0]);
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0F, 1e-3);
+}
+
+TEST(BatchNorm, Rank4PerChannel) {
+  Rng rng(5);
+  BatchNorm bn(3);
+  const Tensor x = random_tensor({4, 3, 5, 5}, rng);
+  const Tensor y = bn.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  // Channel 1 mean ~ 0.
+  double mean = 0.0;
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t i = 0; i < 25; ++i) mean += y.at4(n, 1, i / 5, i % 5);
+  }
+  EXPECT_NEAR(mean / 100.0, 0.0, 1e-4);
+}
+
+TEST(BatchNorm, GradientMatchesNumeric) {
+  Rng rng(6);
+  BatchNorm bn(2);
+  Tensor x = random_tensor({6, 2}, rng);
+
+  auto objective = [&](const Tensor& input) {
+    BatchNorm local(2);  // Fresh BN with identical (default) params.
+    const Tensor out = local.forward(input, true);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      acc += 0.5 * static_cast<double>(out[i]) * out[i];
+    }
+    return acc;
+  };
+
+  const Tensor out = bn.forward(x, true);
+  Tensor grad_seed = out;
+  const Tensor analytic = bn.backward(grad_seed);
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < x.numel(); i += 3) {
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    const double numeric = (objective(xp) - objective(xm)) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 2e-2 * (1.0 + std::abs(numeric)));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesWeights) {
+  Rng rng(7);
+  Network net;
+  net.emplace<Dense>(8, 4, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(4, 2, rng);
+
+  std::stringstream buffer;
+  save_weights(net, buffer);
+
+  Rng rng2(99);  // Different init.
+  Network copy;
+  copy.emplace<Dense>(8, 4, rng2);
+  copy.emplace<ReLU>();
+  copy.emplace<Dense>(4, 2, rng2);
+  load_weights(copy, buffer);
+
+  const auto a = net.parameters();
+  const auto b = copy.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    for (std::size_t i = 0; i < a[p].value->numel(); ++i) {
+      EXPECT_EQ((*a[p].value)[i], (*b[p].value)[i]);
+    }
+  }
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(8);
+  Network net;
+  net.emplace<Dense>(8, 4, rng);
+  std::stringstream buffer;
+  save_weights(net, buffer);
+
+  Network wrong_count;
+  wrong_count.emplace<Dense>(8, 4, rng);
+  wrong_count.emplace<Dense>(4, 2, rng);
+  EXPECT_THROW(load_weights(wrong_count, buffer), std::runtime_error);
+
+  std::stringstream buffer2;
+  save_weights(net, buffer2);
+  Network wrong_shape;
+  wrong_shape.emplace<Dense>(8, 5, rng);
+  EXPECT_THROW(load_weights(wrong_shape, buffer2), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptStream) {
+  Network net;
+  Rng rng(9);
+  net.emplace<Dense>(2, 2, rng);
+  std::stringstream garbage("not a weights file");
+  EXPECT_THROW(load_weights(net, garbage), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(10);
+  Network net;
+  net.emplace<Dense>(3, 3, rng);
+  const std::string path = "/tmp/xl_test_weights.bin";
+  save_weights(net, path);
+  Network copy;
+  Rng rng2(11);
+  copy.emplace<Dense>(3, 3, rng2);
+  load_weights(copy, path);
+  EXPECT_EQ((*net.parameters()[0].value)[0], (*copy.parameters()[0].value)[0]);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_weights(copy, "/nonexistent/path.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xl::dnn

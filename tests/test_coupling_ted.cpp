@@ -1,0 +1,177 @@
+// Thermal coupling matrix and TED collective-tuning tests (Section IV-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/rng.hpp"
+#include "thermal/crosstalk_matrix.hpp"
+#include "thermal/heat_solver.hpp"
+#include "thermal/ted.hpp"
+
+namespace xl::thermal {
+namespace {
+
+using xl::numerics::Matrix;
+using xl::numerics::Vector;
+
+TEST(CrosstalkKernel, UnityAtContactDecaysExponentially) {
+  const CouplingModelConfig cfg;
+  EXPECT_DOUBLE_EQ(exponential_crosstalk_ratio(0.0, cfg), 1.0);
+  const double r5 = exponential_crosstalk_ratio(5.0, cfg);
+  const double r10 = exponential_crosstalk_ratio(10.0, cfg);
+  EXPECT_GT(r5, r10);
+  // Exponential: ratio over equal distance increments is constant.
+  const double r15 = exponential_crosstalk_ratio(15.0, cfg);
+  EXPECT_NEAR(r10 / r5, r15 / r10, 1e-9);
+  EXPECT_THROW((void)exponential_crosstalk_ratio(-1.0, cfg), std::invalid_argument);
+}
+
+TEST(CouplingMatrix, SymmetricToeplitzPositiveDefinite) {
+  const Matrix k = coupling_matrix_exponential(10, 5.0);
+  EXPECT_TRUE(k.is_symmetric());
+  // Toeplitz structure: entries depend only on |i - j|.
+  EXPECT_NEAR(k(0, 3), k(4, 7), 1e-12);
+  // Positive definite (TedTuner verifies; constructing must not throw).
+  EXPECT_NO_THROW(TedTuner{k});
+}
+
+TEST(CouplingMatrix, DiagonalIsSelfEfficiency) {
+  const CouplingModelConfig cfg;
+  const Matrix k = coupling_matrix_exponential(5, 5.0, cfg);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(k(i, i), cfg.self_phase_rad_per_mw, 1e-12);
+  }
+}
+
+TEST(CouplingMatrix, Validation) {
+  EXPECT_THROW((void)coupling_matrix_exponential(0, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)coupling_matrix_exponential(5, 0.0), std::invalid_argument);
+}
+
+TEST(CouplingMatrix, FromSolverMatchesKernelShape) {
+  HeatGridConfig grid;
+  grid.nx = 128;
+  grid.ny = 48;
+  const HeatSolver solver(grid);
+  const Matrix k = coupling_matrix_from_solver(solver, 6, 5.0);
+  EXPECT_TRUE(k.is_symmetric(1e-9));
+  // Off-diagonals decay with distance.
+  EXPECT_GT(k(0, 1), k(0, 2));
+  EXPECT_GT(k(0, 2), k(0, 4));
+}
+
+TEST(CalibrateKernel, FitsSolverDecay) {
+  HeatGridConfig grid;
+  grid.nx = 128;
+  grid.ny = 48;
+  const HeatSolver solver(grid);
+  const CouplingModelConfig fitted = calibrate_kernel(solver);
+  EXPECT_GT(fitted.decay_length_um, 0.5);
+  EXPECT_LT(fitted.decay_length_um, 50.0);
+  EXPECT_LE(fitted.contact_ratio, 1.0);
+}
+
+TEST(TedTuner, RejectsBadMatrices) {
+  EXPECT_THROW(TedTuner{Matrix(2, 3)}, std::invalid_argument);
+  Matrix asym{{1.0, 0.5}, {0.1, 1.0}};
+  EXPECT_THROW(TedTuner{asym}, std::invalid_argument);
+  // Indefinite symmetric matrix.
+  Matrix indef{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_THROW(TedTuner{indef}, std::invalid_argument);
+}
+
+TEST(TedTuner, AchievesTargetsUpToCommonMode) {
+  const Matrix k = coupling_matrix_exponential(8, 5.0);
+  const TedTuner tuner(k);
+  Vector targets(8);
+  xl::numerics::Rng rng(3);
+  for (std::size_t i = 0; i < 8; ++i) targets[i] = rng.uniform(0.1, 1.5);
+  const TedSolution sol = tuner.solve(targets);
+  EXPECT_LT(sol.residual_rad, 1e-9);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(sol.heater_powers_mw[i], 0.0);
+  }
+  // Achieved phases equal target + uniform bias.
+  const Vector achieved = k * sol.heater_powers_mw;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(achieved[i], targets[i] + sol.common_mode_bias_rad, 1e-9);
+  }
+}
+
+TEST(TedTuner, ZeroTargetsZeroPower) {
+  const Matrix k = coupling_matrix_exponential(5, 5.0);
+  const TedTuner tuner(k);
+  const TedSolution sol = tuner.solve(Vector(5));
+  EXPECT_NEAR(sol.total_power_mw, 0.0, 1e-12);
+  EXPECT_NEAR(sol.common_mode_bias_rad, 0.0, 1e-12);
+}
+
+TEST(TedTuner, DimensionMismatchThrows) {
+  const TedTuner tuner(coupling_matrix_exponential(5, 5.0));
+  EXPECT_THROW((void)tuner.solve(Vector(4)), std::invalid_argument);
+}
+
+TEST(TedTuner, ConditionNumberGrowsAsRingsApproach) {
+  const TedTuner far_tuner(coupling_matrix_exponential(10, 20.0));
+  const TedTuner near_tuner(coupling_matrix_exponential(10, 2.0));
+  EXPECT_GT(near_tuner.condition_number(), far_tuner.condition_number());
+}
+
+TEST(TedTuner, CommonModeTargetsBenefitFromCoupling) {
+  // For an all-equal target the coupled solve needs *less* total power than
+  // the crosstalk-free baseline sum(phi)/k_self — neighbours help each other.
+  const CouplingModelConfig cfg;
+  const Matrix k = coupling_matrix_exponential(10, 5.0, cfg);
+  const TedTuner tuner(k);
+  const Vector targets(10, 1.0);
+  const TedSolution sol = tuner.solve(targets);
+  const double baseline = 10.0 * 1.0 / cfg.self_phase_rad_per_mw;
+  EXPECT_LT(sol.total_power_mw, baseline);
+}
+
+TEST(NaiveTuning, MatchesBaselineWhenUncoupled) {
+  // At huge pitch the naive powers equal target / self-efficiency.
+  const CouplingModelConfig cfg;
+  const Matrix k = coupling_matrix_exponential(6, 500.0, cfg);
+  Vector targets(6, 0.7);
+  const NaiveTuningResult res = naive_tuning_powers(k, targets);
+  EXPECT_TRUE(res.feasible);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(res.heater_powers_mw[i], 0.7 / cfg.self_phase_rad_per_mw, 1e-6);
+  }
+}
+
+TEST(NaiveTuning, OverdriveDivergesAtSmallPitch) {
+  const Matrix k_far = coupling_matrix_exponential(10, 20.0);
+  const Matrix k_near = coupling_matrix_exponential(10, 1.0);
+  const Vector targets(10, 1.0);
+  const NaiveTuningResult far = naive_tuning_powers(k_far, targets);
+  const NaiveTuningResult near = naive_tuning_powers(k_near, targets);
+  EXPECT_GT(near.total_power_mw, 2.0 * far.total_power_mw);
+  EXPECT_FALSE(near.feasible);  // rho exceeds the feasibility cap at 1 um.
+}
+
+TEST(NaiveTuning, FigFourShape_TedBeatsNaiveAtSamePitch) {
+  // The Fig. 4 claim: at dense pitch, collective TED tuning needs notably
+  // less power than independent tuning.
+  xl::numerics::Rng rng(7);
+  for (double pitch : {2.0, 3.0, 5.0}) {
+    const Matrix k = coupling_matrix_exponential(10, pitch);
+    Vector targets(10);
+    for (std::size_t i = 0; i < 10; ++i) targets[i] = std::abs(rng.gaussian(0.8, 0.3));
+    const TedTuner tuner(k);
+    EXPECT_LT(tuner.solve(targets).total_power_mw,
+              naive_tuning_powers(k, targets).total_power_mw)
+        << "pitch " << pitch;
+  }
+}
+
+TEST(NaiveTuning, Validation) {
+  const Matrix k = coupling_matrix_exponential(4, 5.0);
+  EXPECT_THROW((void)naive_tuning_powers(k, Vector(3)), std::invalid_argument);
+  EXPECT_THROW((void)naive_tuning_powers(k, Vector(4), 1.5), std::invalid_argument);
+  EXPECT_THROW((void)naive_tuning_powers(Matrix(2, 3), Vector(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::thermal

@@ -1,0 +1,136 @@
+// Synthetic dataset generator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/datasets.hpp"
+
+namespace xl::dnn {
+namespace {
+
+TEST(Datasets, ShapesMatchSpec) {
+  SyntheticSpec spec = cifar10_like();
+  const Dataset d = generate_classification(spec, 64);
+  EXPECT_EQ(d.images.shape(), (Shape{64, 3, 32, 32}));
+  EXPECT_EQ(d.labels.size(), 64u);
+  EXPECT_EQ(d.classes, 10u);
+}
+
+TEST(Datasets, PixelsInUnitRange) {
+  const Dataset d = generate_classification(signmnist_like(), 32);
+  for (std::size_t i = 0; i < d.images.numel(); ++i) {
+    EXPECT_GE(d.images[i], 0.0F);
+    EXPECT_LE(d.images[i], 1.0F);
+  }
+}
+
+TEST(Datasets, LabelsWithinClassCount) {
+  const Dataset d = generate_classification(omniglot_like(), 128);
+  for (std::size_t label : d.labels) EXPECT_LT(label, d.classes);
+}
+
+TEST(Datasets, Deterministic) {
+  const Dataset a = generate_classification(cifar10_like(), 16);
+  const Dataset b = generate_classification(cifar10_like(), 16);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.images.numel(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(Datasets, SaltProducesDistinctSplit) {
+  const Dataset train = generate_classification(cifar10_like(), 16, 0);
+  const Dataset test = generate_classification(cifar10_like(), 16, 1);
+  int identical = 0;
+  for (std::size_t i = 0; i < train.images.numel(); ++i) {
+    if (train.images[i] == test.images[i]) ++identical;
+  }
+  EXPECT_LT(identical, static_cast<int>(train.images.numel() / 2));
+}
+
+TEST(Datasets, ClassesAreSeparable) {
+  // Mean intra-class pixel distance should undercut inter-class distance;
+  // otherwise no model could learn the task.
+  SyntheticSpec spec = signmnist_like();
+  spec.noise_std = 0.05;
+  spec.jitter_px = 0;
+  const Dataset d = generate_classification(spec, 400);
+  const std::size_t stride = 28 * 28;
+
+  auto sq_dist = [&](std::size_t i, std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < stride; ++k) {
+      const double diff = d.images[i * stride + k] - d.images[j * stride + k];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      if (d.labels[i] == d.labels[j]) {
+        intra += sq_dist(i, j);
+        ++n_intra;
+      } else {
+        inter += sq_dist(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(Datasets, DifficultyOrderingViaOverlap) {
+  // STL10-like is configured harder (more prototype overlap) than
+  // Sign-MNIST-like, which drives Fig. 5's sensitivity ordering.
+  EXPECT_GT(stl10_like().prototype_overlap, signmnist_like().prototype_overlap);
+  EXPECT_GT(stl10_like().noise_std, signmnist_like().noise_std);
+}
+
+TEST(Datasets, PairsShapesAndBalance) {
+  const PairDataset p = generate_pairs(omniglot_like(), 200);
+  EXPECT_EQ(p.images_a.shape(), (Shape{200, 1, 28, 28}));
+  EXPECT_EQ(p.images_b.shape(), (Shape{200, 1, 28, 28}));
+  EXPECT_EQ(p.same.size(), 200u);
+  int genuine = 0;
+  for (int s : p.same) genuine += s;
+  EXPECT_NEAR(genuine / 200.0, 0.5, 0.15);
+}
+
+TEST(Datasets, BatchExtraction) {
+  const Dataset d = generate_classification(signmnist_like(), 20);
+  const Tensor batch = batch_images(d, 4, 8);
+  EXPECT_EQ(batch.shape(), (Shape{8, 1, 28, 28}));
+  const auto labels = batch_labels(d, 4, 8);
+  EXPECT_EQ(labels.size(), 8u);
+  EXPECT_EQ(labels[0], d.labels[4]);
+  EXPECT_THROW((void)batch_images(d, 16, 8), std::out_of_range);
+  EXPECT_THROW((void)batch_labels(d, 16, 8), std::out_of_range);
+}
+
+TEST(Datasets, SpecValidation) {
+  SyntheticSpec bad = signmnist_like();
+  bad.classes = 1;
+  EXPECT_THROW((void)generate_classification(bad, 4), std::invalid_argument);
+  bad = signmnist_like();
+  bad.prototype_overlap = 1.0;
+  EXPECT_THROW((void)generate_classification(bad, 4), std::invalid_argument);
+  bad = signmnist_like();
+  bad.noise_std = -0.1;
+  EXPECT_THROW((void)generate_pairs(bad, 4), std::invalid_argument);
+}
+
+TEST(Datasets, PresetGeometryMatchesTableOne) {
+  EXPECT_EQ(signmnist_like().classes, 24u);   // Sign MNIST letters minus J/Z.
+  EXPECT_EQ(cifar10_like().classes, 10u);
+  EXPECT_EQ(stl10_like(96).height, 96u);      // Native STL-10 geometry.
+  EXPECT_EQ(omniglot_like().channels, 1u);
+}
+
+}  // namespace
+}  // namespace xl::dnn

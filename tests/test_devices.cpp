@@ -1,0 +1,111 @@
+// Functional optoelectronic device model tests (MZM, PD, VCSEL, quantizer).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "photonics/devices.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(Mzm, ScalesPowerByValue) {
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(2.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(2.0, 1.0), 2.0);
+}
+
+TEST(Mzm, ClampsDriveAndPower) {
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(2.0, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(2.0, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(MachZehnderModulator::modulate(-1.0, 0.5), 0.0);
+}
+
+TEST(Photodetector, SumsChannels) {
+  const Photodetector pd(1.0);
+  const std::vector<double> powers{0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(pd.detect(powers), 1.0);
+}
+
+TEST(Photodetector, ResponsivityScales) {
+  const Photodetector pd(0.8);
+  const std::vector<double> powers{1.0};
+  EXPECT_DOUBLE_EQ(pd.detect(powers), 0.8);
+  EXPECT_THROW(Photodetector(0.0), std::invalid_argument);
+}
+
+TEST(BalancedPhotodetector, SubtractsArms) {
+  const BalancedPhotodetector bpd(1.0);
+  const std::vector<double> pos{0.7, 0.3};
+  const std::vector<double> neg{0.4};
+  EXPECT_DOUBLE_EQ(bpd.detect(pos, neg), 0.6);
+}
+
+TEST(Vcsel, EmitsScaledPeakPower) {
+  const Vcsel v(0.66);
+  EXPECT_DOUBLE_EQ(v.emit(1.0), 0.66);
+  EXPECT_DOUBLE_EQ(v.emit(0.5), 0.33);
+  EXPECT_DOUBLE_EQ(v.emit(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.emit(2.0), 0.66);
+  EXPECT_THROW(Vcsel(0.0), std::invalid_argument);
+}
+
+TEST(Quantizer, LevelsAndBits) {
+  const UniformQuantizer q(4);
+  EXPECT_EQ(q.bits(), 4);
+  EXPECT_EQ(q.levels(), 16u);
+  EXPECT_THROW(UniformQuantizer(0), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(25), std::invalid_argument);
+}
+
+TEST(Quantizer, EndpointsExact) {
+  const UniformQuantizer q(8);
+  EXPECT_DOUBLE_EQ(q.quantize(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantize(1.0), 1.0);
+}
+
+TEST(Quantizer, ClampsOutOfRange) {
+  const UniformQuantizer q(8);
+  EXPECT_DOUBLE_EQ(q.quantize(-0.3), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantize(1.7), 1.0);
+}
+
+TEST(Quantizer, EncodeDecodeRoundTrip) {
+  const UniformQuantizer q(6);
+  for (std::uint32_t code = 0; code < q.levels(); ++code) {
+    EXPECT_EQ(q.encode(q.decode(code)), code);
+  }
+}
+
+class QuantizerError : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerError, BoundedByHalfStep) {
+  const UniformQuantizer q(GetParam());
+  for (int i = 0; i <= 1000; ++i) {
+    const double v = i / 1000.0;
+    EXPECT_LE(std::abs(q.quantize(v) - v), q.max_error() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerError, ::testing::Values(1, 2, 4, 8, 12, 16));
+
+TEST(Quantizer, HigherResolutionNeverWorse) {
+  const UniformQuantizer q4(4);
+  const UniformQuantizer q8(8);
+  for (int i = 0; i <= 100; ++i) {
+    const double v = i / 100.0;
+    EXPECT_LE(std::abs(q8.quantize(v) - v), std::abs(q4.quantize(v) - v) + 1e-12);
+  }
+}
+
+TEST(Quantizer, VectorOverloadMatchesScalar) {
+  const UniformQuantizer q(5);
+  const std::vector<double> in{0.1, 0.5, 0.9};
+  const auto out = q.quantize(in);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], q.quantize(in[i]));
+  }
+}
+
+}  // namespace
+}  // namespace xl::photonics

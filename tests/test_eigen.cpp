@@ -1,0 +1,110 @@
+// Jacobi eigensolver tests, including randomized property sweeps: the TED
+// tuner depends on correct eigenpairs of thermal coupling matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/eigen.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::numerics {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSorted) {
+  const Matrix d = Matrix::diag(Vector{3.0, 1.0, 2.0});
+  const EigenDecomposition ed = eigen_symmetric(d);
+  EXPECT_DOUBLE_EQ(ed.eigenvalues[0], 1.0);
+  EXPECT_DOUBLE_EQ(ed.eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(ed.eigenvalues[2], 3.0);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenDecomposition ed = eigen_symmetric(m);
+  EXPECT_NEAR(ed.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(ed.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW((void)eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Eigen, RejectsNonSymmetric) {
+  const Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)eigen_symmetric(m), std::invalid_argument);
+}
+
+TEST(Eigen, SingleElement) {
+  const Matrix m{{4.2}};
+  const EigenDecomposition ed = eigen_symmetric(m);
+  EXPECT_DOUBLE_EQ(ed.eigenvalues[0], 4.2);
+  EXPECT_DOUBLE_EQ(ed.eigenvectors(0, 0), 1.0);
+}
+
+TEST(Eigen, TraceIsPreserved) {
+  Rng rng(11);
+  const Matrix m = random_symmetric(6, rng);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) trace += m(i, i);
+  const EigenDecomposition ed = eigen_symmetric(m);
+  EXPECT_NEAR(ed.eigenvalues.sum(), trace, 1e-9);
+}
+
+TEST(Eigen, ConditionNumberOfIdentityIsOne) {
+  EXPECT_DOUBLE_EQ(spectral_condition_number(Matrix::identity(4)), 1.0);
+}
+
+/// Property sweep: A v_k = w_k v_k and V orthonormal, for random sizes.
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, ReconstructsAndOrthonormal) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(1000 + GetParam());
+  const Matrix a = random_symmetric(n, rng);
+  const EigenDecomposition ed = eigen_symmetric(a);
+
+  // Columns are unit-norm and pairwise orthogonal.
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += ed.eigenvectors(i, j) * ed.eigenvectors(i, j);
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+    for (std::size_t k = j + 1; k < n; ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += ed.eigenvectors(i, j) * ed.eigenvectors(i, k);
+      EXPECT_NEAR(dot, 0.0, 1e-9);
+    }
+  }
+
+  // A v = w v for every pair.
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = ed.eigenvectors(i, j);
+    const Vector av = a * v;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], ed.eigenvalues[j] * v[i], 1e-8);
+    }
+  }
+
+  // Eigenvalues ascend.
+  for (std::size_t j = 1; j < n; ++j) {
+    EXPECT_LE(ed.eigenvalues[j - 1], ed.eigenvalues[j] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty, ::testing::Values(2, 3, 5, 8, 13, 15, 21));
+
+}  // namespace
+}  // namespace xl::numerics

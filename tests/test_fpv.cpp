@@ -1,0 +1,106 @@
+// Fabrication-process-variation model tests: the Section IV-A statistics
+// (7.1 nm conventional vs 2.1 nm optimized max drift, 70% reduction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/stats.hpp"
+#include "photonics/fpv.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(FpvModel, MaxDriftBoundsRespected) {
+  const FpvModel fpv;
+  for (int i = 0; i < 500; ++i) {
+    const double x = 17.0 * i;
+    const double y = 3.0 * i;
+    EXPECT_LE(std::abs(fpv.drift_nm(MrDesignKind::kConventional, x, y)), 7.1 + 1e-9);
+    EXPECT_LE(std::abs(fpv.drift_nm(MrDesignKind::kOptimized, x, y)), 2.1 + 1e-9);
+  }
+}
+
+TEST(FpvModel, OptimizedReductionIsSeventyPercent) {
+  const FpvModel fpv;
+  EXPECT_NEAR(1.0 - fpv.max_drift_nm(MrDesignKind::kOptimized) /
+                        fpv.max_drift_nm(MrDesignKind::kConventional),
+              0.70, 0.01);
+}
+
+TEST(FpvModel, DeterministicInPosition) {
+  const FpvModel fpv;
+  const double a = fpv.drift_nm(MrDesignKind::kConventional, 123.0, 456.0);
+  const double b = fpv.drift_nm(MrDesignKind::kConventional, 123.0, 456.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FpvModel, SeedChangesRealization) {
+  FpvModelConfig c1;
+  c1.seed = 1;
+  FpvModelConfig c2;
+  c2.seed = 2;
+  const FpvModel f1(c1);
+  const FpvModel f2(c2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (f1.drift_nm(MrDesignKind::kOptimized, 10.0 * i, 0.0) ==
+        f2.drift_nm(MrDesignKind::kOptimized, 10.0 * i, 0.0)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(FpvModel, NearbyDevicesAreCorrelated) {
+  // With a smooth systematic component, drift differences over 5 um are much
+  // smaller than over 5 mm.
+  const FpvModel fpv;
+  numerics::RunningStats near_diff;
+  numerics::RunningStats far_diff;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 31.0 * i;
+    const double base = fpv.drift_nm(MrDesignKind::kConventional, x, 50.0);
+    near_diff.add(std::abs(fpv.drift_nm(MrDesignKind::kConventional, x + 5.0, 50.0) - base));
+    far_diff.add(std::abs(fpv.drift_nm(MrDesignKind::kConventional, x + 5000.0, 50.0) - base));
+  }
+  EXPECT_LT(near_diff.mean(), far_diff.mean());
+}
+
+TEST(FpvModel, RowDriftsShapeAndDeterminism) {
+  const FpvModel fpv;
+  const auto row1 = fpv.row_drifts_nm(MrDesignKind::kOptimized, 15, 5.0, 100.0, 200.0);
+  const auto row2 = fpv.row_drifts_nm(MrDesignKind::kOptimized, 15, 5.0, 100.0, 200.0);
+  ASSERT_EQ(row1.size(), 15u);
+  EXPECT_EQ(row1, row2);
+  EXPECT_THROW((void)fpv.row_drifts_nm(MrDesignKind::kOptimized, 5, 0.0), std::invalid_argument);
+}
+
+TEST(FpvModel, ConfigValidation) {
+  FpvModelConfig bad;
+  bad.max_drift_conventional_nm = 1.0;
+  bad.max_drift_optimized_nm = 2.0;
+  EXPECT_THROW(FpvModel{bad}, std::invalid_argument);
+
+  bad = FpvModelConfig{};
+  bad.correlation_length_um = 0.0;
+  EXPECT_THROW(FpvModel{bad}, std::invalid_argument);
+
+  bad = FpvModelConfig{};
+  bad.systematic_fraction = 1.5;
+  EXPECT_THROW(FpvModel{bad}, std::invalid_argument);
+}
+
+TEST(FpvModel, DriftDistributionExercisesBothSigns) {
+  const FpvModel fpv;
+  int positive = 0;
+  int negative = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double d = fpv.drift_nm(MrDesignKind::kConventional, 53.0 * i, 11.0 * i);
+    (d >= 0.0 ? positive : negative)++;
+  }
+  EXPECT_GT(positive, 50);
+  EXPECT_GT(negative, 50);
+}
+
+}  // namespace
+}  // namespace xl::photonics

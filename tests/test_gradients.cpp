@@ -1,0 +1,199 @@
+// Numerical gradient checks: central-difference derivatives vs backprop for
+// every trainable layer and activation. This is the strongest correctness
+// guarantee for the training stack behind the Fig. 5 QAT sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "dnn/activations.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/loss.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::dnn {
+namespace {
+
+using xl::numerics::Rng;
+
+/// Scalar objective: 0.5 * sum(output^2); its gradient w.r.t. output is the
+/// output itself, giving a convenient seed for backward().
+double objective(const Tensor& out) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(out[i]) * out[i];
+  }
+  return acc;
+}
+
+Tensor objective_grad(const Tensor& out) { return out; }
+
+/// Checks d objective / d input via central differences against backward().
+void check_input_gradient(Layer& layer, Tensor x, double tol = 2e-2) {
+  const Tensor out = layer.forward(x, true);
+  const Tensor analytic = layer.backward(objective_grad(out));
+  ASSERT_EQ(analytic.numel(), x.numel());
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < x.numel(); i += std::max<std::size_t>(1, x.numel() / 24)) {
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    const double numeric =
+        (objective(layer.forward(xp, true)) - objective(layer.forward(xm, true))) /
+        (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * (1.0 + std::abs(numeric))) << "index " << i;
+  }
+}
+
+/// Checks d objective / d theta for every parameter tensor.
+void check_param_gradient(Layer& layer, const Tensor& x, double tol = 2e-2) {
+  // Zero grads, run forward+backward to accumulate analytic gradients.
+  for (const ParamRef& p : layer.parameters()) p.grad->fill(0.0F);
+  const Tensor out = layer.forward(x, true);
+  (void)layer.backward(objective_grad(out));
+
+  const float eps = 1e-2F;
+  for (const ParamRef& p : layer.parameters()) {
+    for (std::size_t i = 0; i < p.value->numel();
+         i += std::max<std::size_t>(1, p.value->numel() / 16)) {
+      const float saved = (*p.value)[i];
+      (*p.value)[i] = saved + eps;
+      const double plus = objective(layer.forward(x, true));
+      (*p.value)[i] = saved - eps;
+      const double minus = objective(layer.forward(x, true));
+      (*p.value)[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric, tol * (1.0 + std::abs(numeric))) << "param index " << i;
+    }
+  }
+}
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Gradients, DenseInputAndParams) {
+  Rng rng(1);
+  Dense layer(5, 4, rng);
+  const Tensor x = random_tensor({3, 5}, rng);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(Gradients, Conv2dInputAndParams) {
+  Rng rng(2);
+  Conv2d layer(Conv2dConfig{2, 3, 3, 1, 1}, rng);
+  const Tensor x = random_tensor({2, 2, 5, 5}, rng);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(Gradients, Conv2dStrided) {
+  Rng rng(3);
+  Conv2d layer(Conv2dConfig{1, 2, 3, 2, 0}, rng);
+  const Tensor x = random_tensor({1, 1, 7, 7}, rng);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(Gradients, ReLUInput) {
+  Rng rng(4);
+  ReLU layer;
+  Tensor x = random_tensor({2, 10}, rng);
+  // Keep values away from the kink to make finite differences valid.
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05F) x[i] = 0.2F;
+  }
+  check_input_gradient(layer, x);
+}
+
+TEST(Gradients, SigmoidInput) {
+  Rng rng(5);
+  Sigmoid layer;
+  check_input_gradient(layer, random_tensor({2, 8}, rng), 3e-2);
+}
+
+TEST(Gradients, TanhInput) {
+  Rng rng(6);
+  Tanh layer;
+  check_input_gradient(layer, random_tensor({2, 8}, rng), 3e-2);
+}
+
+TEST(Gradients, AvgPoolInput) {
+  Rng rng(7);
+  AvgPool2d layer(2);
+  check_input_gradient(layer, random_tensor({1, 2, 4, 4}, rng));
+}
+
+TEST(Gradients, FlattenInput) {
+  Rng rng(8);
+  Flatten layer;
+  check_input_gradient(layer, random_tensor({2, 2, 3, 3}, rng));
+}
+
+TEST(Gradients, SoftmaxCrossEntropyMatchesNumeric) {
+  Rng rng(9);
+  Tensor logits = random_tensor({3, 5}, rng);
+  const std::vector<std::size_t> labels{1, 4, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    Tensor lm = logits;
+    lm[i] -= eps;
+    const double numeric = (softmax_cross_entropy(lp, labels).value -
+                            softmax_cross_entropy(lm, labels).value) /
+                           (2.0 * eps);
+    EXPECT_NEAR(res.gradient[i], numeric, 1e-3);
+  }
+}
+
+TEST(Gradients, ContrastiveLossMatchesNumeric) {
+  Rng rng(10);
+  Tensor emb = random_tensor({6, 4}, rng);  // 3 pairs.
+  const std::vector<int> same{1, 0, 1};
+  const LossResult res = contrastive_loss(emb, same, 1.0);
+
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < emb.numel(); ++i) {
+    Tensor ep = emb;
+    ep[i] += eps;
+    Tensor em = emb;
+    em[i] -= eps;
+    const double numeric =
+        (contrastive_loss(ep, same, 1.0).value - contrastive_loss(em, same, 1.0).value) /
+        (2.0 * eps);
+    EXPECT_NEAR(res.gradient[i], numeric, 2e-3);
+  }
+}
+
+TEST(Gradients, MseLossMatchesNumeric) {
+  Rng rng(11);
+  Tensor pred = random_tensor({2, 3}, rng);
+  const Tensor target = random_tensor({2, 3}, rng);
+  const LossResult res = mse_loss(pred, target);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    Tensor pp = pred;
+    pp[i] += eps;
+    Tensor pm = pred;
+    pm[i] -= eps;
+    const double numeric =
+        (mse_loss(pp, target).value - mse_loss(pm, target).value) / (2.0 * eps);
+    EXPECT_NEAR(res.gradient[i], numeric, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace xl::dnn

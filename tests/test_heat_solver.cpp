@@ -1,0 +1,102 @@
+// Finite-difference heat solver tests (the Lumerical HEAT substitute).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/heat_solver.hpp"
+
+namespace xl::thermal {
+namespace {
+
+HeatGridConfig small_grid() {
+  HeatGridConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 48;
+  cfg.tolerance_k = 1e-8;
+  return cfg;
+}
+
+TEST(HeatSolver, ValidatesConfig) {
+  HeatGridConfig cfg = small_grid();
+  cfg.nx = 4;
+  EXPECT_THROW(HeatSolver{cfg}, std::invalid_argument);
+  cfg = small_grid();
+  cfg.cell_um = 0.0;
+  EXPECT_THROW(HeatSolver{cfg}, std::invalid_argument);
+  cfg = small_grid();
+  cfg.sor_omega = 2.5;
+  EXPECT_THROW(HeatSolver{cfg}, std::invalid_argument);
+}
+
+TEST(HeatSolver, NoHeatersGivesAmbientEverywhere) {
+  const HeatSolver solver(small_grid());
+  const auto field = solver.solve({});
+  for (double t : field) EXPECT_NEAR(t, 300.0, 1e-9);
+}
+
+TEST(HeatSolver, HeaterRaisesLocalTemperature) {
+  const HeatSolver solver(small_grid());
+  const double rise = solver.temperature_rise_at({{48.0, 24.0, 1.0}}, 48.0, 24.0);
+  EXPECT_GT(rise, 0.0);
+}
+
+TEST(HeatSolver, TemperatureDecaysWithDistance) {
+  const HeatSolver solver(small_grid());
+  const std::vector<HeatSolver::Heater> h{{48.0, 24.0, 1.0}};
+  double prev = solver.temperature_rise_at(h, 48.0, 24.0);
+  for (double d : {4.0, 8.0, 16.0, 24.0}) {
+    const double rise = solver.temperature_rise_at(h, 48.0 + d, 24.0);
+    EXPECT_LT(rise, prev);
+    prev = rise;
+  }
+}
+
+TEST(HeatSolver, LinearityInPower) {
+  const HeatSolver solver(small_grid());
+  const double one = solver.temperature_rise_at({{48.0, 24.0, 1.0}}, 52.0, 24.0);
+  const double three = solver.temperature_rise_at({{48.0, 24.0, 3.0}}, 52.0, 24.0);
+  EXPECT_NEAR(three, 3.0 * one, 1e-5 * std::abs(three) + 1e-7);
+}
+
+TEST(HeatSolver, SuperpositionOfTwoHeaters) {
+  const HeatSolver solver(small_grid());
+  const double a = solver.temperature_rise_at({{40.0, 24.0, 1.0}}, 46.0, 24.0);
+  const double b = solver.temperature_rise_at({{52.0, 24.0, 1.0}}, 46.0, 24.0);
+  const double both =
+      solver.temperature_rise_at({{40.0, 24.0, 1.0}, {52.0, 24.0, 1.0}}, 46.0, 24.0);
+  EXPECT_NEAR(both, a + b, 1e-5 * std::abs(both) + 1e-7);
+}
+
+TEST(HeatSolver, InfluenceRatioBounds) {
+  const HeatSolver solver(small_grid());
+  EXPECT_NEAR(solver.influence_ratio(0.0), 1.0, 1e-9);
+  for (double d : {2.0, 5.0, 10.0}) {
+    const double r = solver.influence_ratio(d);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+  EXPECT_THROW((void)solver.influence_ratio(-1.0), std::invalid_argument);
+}
+
+TEST(HeatSolver, InfluenceRatioMonotoneDecay) {
+  const HeatSolver solver(small_grid());
+  double prev = 1.0;
+  for (double d = 1.0; d <= 15.0; d += 2.0) {
+    const double r = solver.influence_ratio(d);
+    EXPECT_LE(r, prev + 1e-9);
+    prev = r;
+  }
+}
+
+TEST(HeatSolver, SymmetricAroundHeater) {
+  const HeatSolver solver(small_grid());
+  const std::vector<HeatSolver::Heater> h{{48.0, 24.0, 1.0}};
+  const double left = solver.temperature_rise_at(h, 42.0, 24.0);
+  const double right = solver.temperature_rise_at(h, 54.0, 24.0);
+  // SOR sweeps left-to-right, leaving a small directional residual at the
+  // stopping tolerance; symmetry holds to ~0.1%.
+  EXPECT_NEAR(left, right, 1e-6 + 1e-3 * std::abs(left));
+}
+
+}  // namespace
+}  // namespace xl::thermal

@@ -1,0 +1,165 @@
+// Loss-function semantics and optimizer convergence tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/loss.hpp"
+#include "dnn/optimizer.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::dnn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 4});
+  logits.at2(0, 0) = 5.0F;
+  logits.at2(1, 3) = -2.0F;
+  const Tensor p = softmax(logits);
+  for (std::size_t n = 0; n < 2; ++n) {
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < 4; ++c) sum += p.at2(n, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-6);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits.at2(0, 0) = 1000.0F;
+  logits.at2(0, 1) = 999.0F;
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p.at2(0, 0)));
+  EXPECT_GT(p.at2(0, 0), p.at2(0, 1));
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 3});
+  logits.at2(0, 1) = 50.0F;
+  const LossResult res = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(res.value, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionIsLogC) {
+  const Tensor logits({1, 8});  // All-zero logits -> uniform.
+  const LossResult res = softmax_cross_entropy(logits, {3});
+  EXPECT_NEAR(res.value, std::log(8.0), 1e-6);
+}
+
+TEST(CrossEntropy, Validation) {
+  const Tensor logits({2, 3});
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0, 7}), std::out_of_range);
+}
+
+TEST(Contrastive, GenuinePairsPenalizedByDistance) {
+  Tensor emb({2, 2});
+  emb.at2(0, 0) = 1.0F;  // Pair distance 1.
+  const LossResult res = contrastive_loss(emb, {1}, 1.0);
+  EXPECT_NEAR(res.value, 1.0, 1e-5);
+}
+
+TEST(Contrastive, ImpostorPairsBeyondMarginFree) {
+  Tensor emb({2, 2});
+  emb.at2(0, 0) = 5.0F;  // Distance 5 > margin 1.
+  const LossResult res = contrastive_loss(emb, {0}, 1.0);
+  EXPECT_NEAR(res.value, 0.0, 1e-9);
+}
+
+TEST(Contrastive, ImpostorInsideMarginPenalized) {
+  Tensor emb({2, 2});
+  emb.at2(0, 0) = 0.4F;  // Distance 0.4 < margin 1 -> (1 - 0.4)^2.
+  const LossResult res = contrastive_loss(emb, {0}, 1.0);
+  EXPECT_NEAR(res.value, 0.36, 1e-4);
+}
+
+TEST(Contrastive, Validation) {
+  EXPECT_THROW((void)contrastive_loss(Tensor({3, 2}), {1}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)contrastive_loss(Tensor({4, 2}), {1}, 1.0), std::invalid_argument);
+}
+
+TEST(PairAccuracy, ThresholdClassification) {
+  Tensor emb({4, 1});
+  emb.at2(0, 0) = 0.0F;
+  emb.at2(2, 0) = 0.1F;  // Pair 0 distance 0.1 -> same.
+  emb.at2(1, 0) = 0.0F;
+  emb.at2(3, 0) = 2.0F;  // Pair 1 distance 2.0 -> different.
+  EXPECT_DOUBLE_EQ(pair_accuracy(emb, {1, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(pair_accuracy(emb, {0, 1}, 0.5), 0.0);
+}
+
+TEST(Accuracy, ArgmaxMatching) {
+  Tensor logits({2, 3});
+  logits.at2(0, 2) = 1.0F;
+  logits.at2(1, 0) = 1.0F;
+  EXPECT_DOUBLE_EQ(accuracy(logits, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {2, 1}), 0.5);
+}
+
+// --- optimizers -------------------------------------------------------------
+
+/// Minimize f(w) = sum (w - 3)^2 with each optimizer.
+template <typename Opt>
+double minimize_quadratic(Opt&& opt, int steps) {
+  Tensor w({4}, 0.0F);
+  Tensor g({4});
+  const std::vector<ParamRef> params{{&w, &g}};
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < 4; ++i) g[i] = 2.0F * (w[i] - 3.0F);
+    opt.step(params);
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) err += std::abs(w[i] - 3.0F);
+  return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  EXPECT_LT(minimize_quadratic(Sgd(0.05, 0.9), 200), 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesOverPlain) {
+  const double plain = minimize_quadratic(Sgd(0.01, 0.0), 50);
+  const double momentum = minimize_quadratic(Sgd(0.01, 0.9), 50);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Tensor w({1}, 10.0F);
+  Tensor g({1}, 0.0F);
+  Sgd opt(0.1, 0.0, 0.5);
+  opt.step({{&w, &g}});
+  EXPECT_LT(w[0], 10.0F);
+}
+
+TEST(Sgd, Validation) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 0.5, -1.0), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_LT(minimize_quadratic(Adam(0.1), 300), 1e-2);
+}
+
+TEST(Adam, Validation) {
+  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Optimizer, StepZerosGradients) {
+  Tensor w({2}, 1.0F);
+  Tensor g({2}, 1.0F);
+  Sgd opt(0.1);
+  opt.step({{&w, &g}});
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 0.0F);
+}
+
+TEST(Optimizer, ZeroGradientsHelper) {
+  Tensor w({2}, 1.0F);
+  Tensor g({2}, 5.0F);
+  Optimizer::zero_gradients({{&w, &g}});
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(w[0], 1.0F);
+}
+
+}  // namespace
+}  // namespace xl::dnn

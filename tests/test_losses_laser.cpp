@@ -1,0 +1,118 @@
+// Loss-budget and Eq. 7 laser-power model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/laser.hpp"
+#include "photonics/losses.hpp"
+#include "photonics/units.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(LossBudget, AccumulatesItems) {
+  LossBudget b;
+  b.add("a", 1.5);
+  b.add("b", 0.25);
+  EXPECT_DOUBLE_EQ(b.total_db(), 1.75);
+  EXPECT_EQ(b.items().size(), 2u);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(LossBudget, RejectsGain) {
+  LossBudget b;
+  EXPECT_THROW(b.add("gain", -0.1), std::invalid_argument);
+}
+
+TEST(LossBudget, ToStringMentionsLabels) {
+  LossBudget b;
+  b.add("propagation", 1.0);
+  const std::string s = b.to_string();
+  EXPECT_NE(s.find("propagation"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+TEST(ArmLossBudget, CountsEveryContribution) {
+  DeviceParams params = default_device_params();
+  ArmPathSpec spec;
+  spec.mrs_on_waveguide = 15;
+  spec.banks_per_arm = 2;
+  spec.splitter_stages = 2;
+  spec.waveguide_length_cm = 0.1;
+  spec.combiner_stages = 1;
+
+  const LossBudget budget = arm_loss_budget(spec, params);
+  // propagation 0.1, splitters 0.26, 28 passive MRs 0.56, 2 modulating 1.44,
+  // combiner 0.9.
+  EXPECT_NEAR(budget.total_db(), 0.1 + 0.26 + 28 * 0.02 + 2 * 0.72 + 0.9, 1e-9);
+}
+
+TEST(ArmLossBudget, MicrodisksAreLossier) {
+  DeviceParams params = default_device_params();
+  ArmPathSpec mr_spec;
+  mr_spec.mrs_on_waveguide = 8;
+  ArmPathSpec disk_spec = mr_spec;
+  disk_spec.uses_microdisks = true;
+  EXPECT_GT(arm_loss_budget(disk_spec, params).total_db(),
+            arm_loss_budget(mr_spec, params).total_db());
+}
+
+TEST(ArmLossBudget, EoTunedSegmentAddsLoss) {
+  DeviceParams params = default_device_params();
+  ArmPathSpec spec;
+  spec.tuned_segment_cm = 0.05;
+  const LossBudget with_eo = arm_loss_budget(spec, params);
+  spec.tuned_segment_cm = 0.0;
+  const LossBudget without = arm_loss_budget(spec, params);
+  EXPECT_NEAR(with_eo.total_db() - without.total_db(), 0.05 * 6.0, 1e-9);
+}
+
+TEST(LaserPower, EqualitySolvesEqSeven) {
+  DeviceParams params = default_device_params();
+  // P_laser = S + loss + 10 log10(N).
+  const LaserRequirement req = required_laser_power(10.0, 10, params);
+  EXPECT_NEAR(req.output_power_dbm, params.pd_sensitivity_dbm + 10.0 + 10.0, 1e-9);
+  EXPECT_NEAR(req.output_power_mw, dbm_to_mw(req.output_power_dbm), 1e-12);
+  EXPECT_NEAR(req.wall_plug_power_mw, req.output_power_mw / params.laser_efficiency, 1e-12);
+}
+
+TEST(LaserPower, SingleWavelengthHasNoSharingPenalty) {
+  DeviceParams params = default_device_params();
+  const LaserRequirement one = required_laser_power(5.0, 1, params);
+  EXPECT_NEAR(one.output_power_dbm, params.pd_sensitivity_dbm + 5.0, 1e-9);
+}
+
+TEST(LaserPower, MonotoneInLossAndWavelengths) {
+  DeviceParams params = default_device_params();
+  double prev = 0.0;
+  for (double loss = 0.0; loss <= 20.0; loss += 2.5) {
+    const double p = required_laser_power(loss, 4, params).output_power_mw;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(required_laser_power(5.0, 2, params).output_power_mw,
+            required_laser_power(5.0, 16, params).output_power_mw);
+}
+
+TEST(LaserPower, TenWavelengthsCostTenDb) {
+  DeviceParams params = default_device_params();
+  const double one = required_laser_power(3.0, 1, params).output_power_dbm;
+  const double ten = required_laser_power(3.0, 10, params).output_power_dbm;
+  EXPECT_NEAR(ten - one, 10.0, 1e-9);
+}
+
+TEST(LaserPower, MarginAddsDirectly) {
+  DeviceParams params = default_device_params();
+  const double base = required_laser_power(3.0, 4, params, 0.0).output_power_dbm;
+  const double margin = required_laser_power(3.0, 4, params, 2.5).output_power_dbm;
+  EXPECT_NEAR(margin - base, 2.5, 1e-9);
+}
+
+TEST(LaserPower, Validation) {
+  DeviceParams params = default_device_params();
+  EXPECT_THROW((void)required_laser_power(1.0, 0, params), std::invalid_argument);
+  EXPECT_THROW((void)required_laser_power(-1.0, 1, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::photonics

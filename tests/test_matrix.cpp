@@ -1,0 +1,155 @@
+// Unit tests for the dense matrix/vector types.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/matrix.hpp"
+
+namespace xl::numerics {
+namespace {
+
+TEST(Vector, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, ZeroInitialized) {
+  Vector v(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v.sum(), 7.5);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(Vector, AdditionSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 5.0};
+  const Vector sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  const Vector diff = b - a;
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(Vector, DimensionMismatchThrows) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+}
+
+TEST(Vector, ScalarMultiply) {
+  Vector v{1.0, -2.0};
+  const Vector scaled = 2.0 * v;
+  EXPECT_EQ(scaled[0], 2.0);
+  EXPECT_EQ(scaled[1], -4.0);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+}
+
+TEST(Vector, MinMax) {
+  Vector v{2.0, -7.0, 5.0};
+  EXPECT_EQ(v.max(), 5.0);
+  EXPECT_EQ(v.min(), -7.0);
+  Vector empty;
+  EXPECT_THROW((void)empty.max(), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  const Matrix d = Matrix::diag(Vector{2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, InitializerListRequiresRectangular) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, MatvecMatchesManual) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{5.0, 6.0};
+  const Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, MatmulMatchesManual) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, MatmulDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 2);
+  EXPECT_THROW((void)a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  const Matrix back = t.transposed();
+  EXPECT_EQ(back(1, 2), 6.0);
+}
+
+TEST(Matrix, SymmetryDetection) {
+  Matrix s{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  s(0, 1) = 2.1;
+  EXPECT_FALSE(s.is_symmetric(1e-6));
+  const Matrix rect(2, 3);
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(Matrix, MaxOffdiagAbs) {
+  const Matrix m{{1.0, -7.0}, {3.0, 2.0}};
+  EXPECT_EQ(m.max_offdiag_abs(), 7.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_frobenius(), 5.0);
+}
+
+TEST(Matrix, RowSpanAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 2u);
+  EXPECT_EQ(row1[0], 3.0);
+  EXPECT_THROW((void)m.row(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xl::numerics

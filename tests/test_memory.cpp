@@ -1,0 +1,114 @@
+// Memory subsystem model tests.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/memory.hpp"
+#include "dnn/models.hpp"
+
+namespace xl::core {
+namespace {
+
+struct Fixture {
+  ArchitectureConfig cfg = best_config();
+  ModelMapping mapping;
+  PerformanceReport perf;
+
+  explicit Fixture(const xl::dnn::ModelSpec& model) {
+    mapping = map_model(model, cfg);
+    perf = evaluate_performance(mapping, cfg);
+  }
+};
+
+TEST(Memory, Validation) {
+  const Fixture s(xl::dnn::lenet5_spec());
+  MemoryParams bad;
+  bad.bandwidth_gbps = 0.0;
+  EXPECT_THROW((void)evaluate_memory(s.mapping, s.cfg, s.perf, bad), std::invalid_argument);
+  bad = MemoryParams{};
+  bad.sram_energy_pj_per_bit = -1.0;
+  EXPECT_THROW((void)evaluate_memory(s.mapping, s.cfg, s.perf, bad), std::invalid_argument);
+}
+
+TEST(Memory, TrafficComponentsSum) {
+  const Fixture s(xl::dnn::cnn_cifar10_spec());
+  const MemoryReport m = evaluate_memory(s.mapping, s.cfg, s.perf);
+  EXPECT_NEAR(m.traffic_bits_per_frame,
+              m.weight_bits + m.activation_bits + m.partial_sum_bits, 1.0);
+  EXPECT_GT(m.weight_bits, 0.0);
+  EXPECT_GT(m.activation_bits, 0.0);
+  EXPECT_GT(m.partial_sum_bits, 0.0);
+}
+
+TEST(Memory, HandTrafficOnTinyLayer) {
+  // One dense layer 10 -> 10 on K = 150 units: 10 passes of chunk 150 each
+  // (padded accounting uses unit_size), 10 partial sums + 10 results.
+  ArchitectureConfig cfg = best_config();
+  xl::dnn::ModelSpec tiny;
+  tiny.name = "tiny";
+  tiny.layers = {xl::dnn::dense_spec("fc", 10, 10)};
+  const ModelMapping mapping = map_model(tiny, cfg);
+  const PerformanceReport perf = evaluate_performance(mapping, cfg);
+  const MemoryReport m = evaluate_memory(mapping, cfg, perf);
+  const double bits = 16.0;
+  EXPECT_NEAR(m.activation_bits, 10.0 * 150.0 * bits, 1e-9);
+  EXPECT_NEAR(m.weight_bits, 10.0 * 150.0 * bits, 1e-9);
+  EXPECT_NEAR(m.partial_sum_bits, (10.0 + 10.0) * bits, 1e-9);
+}
+
+TEST(Memory, MoreWorkMoreTraffic) {
+  const Fixture small_model(xl::dnn::lenet5_spec());
+  const Fixture big_model(xl::dnn::cnn_stl10_spec());
+  const MemoryReport ms = evaluate_memory(small_model.mapping, small_model.cfg,
+                                          small_model.perf);
+  const MemoryReport mb =
+      evaluate_memory(big_model.mapping, big_model.cfg, big_model.perf);
+  EXPECT_GT(mb.traffic_bits_per_frame, ms.traffic_bits_per_frame);
+}
+
+TEST(Memory, RooflineDetectsStarvedPools) {
+  const Fixture s(xl::dnn::cnn_cifar10_spec());
+  MemoryParams huge;
+  huge.bandwidth_gbps = 1e9;
+  const MemoryReport fed = evaluate_memory(s.mapping, s.cfg, s.perf, huge);
+  EXPECT_FALSE(fed.memory_bound());
+  EXPECT_DOUBLE_EQ(fed.sustainable_fraction, 1.0);
+
+  MemoryParams tiny;
+  tiny.bandwidth_gbps = 1.0;
+  const MemoryReport starved = evaluate_memory(s.mapping, s.cfg, s.perf, tiny);
+  EXPECT_TRUE(starved.memory_bound());
+  EXPECT_LT(starved.sustainable_fraction, 1.0);
+  // Corrected latency stretches by exactly the starvation factor.
+  EXPECT_NEAR(memory_corrected_latency_us(s.perf, starved),
+              s.perf.frame_latency_us / starved.sustainable_fraction, 1e-9);
+}
+
+TEST(Memory, AccessPowerScalesWithEnergyPerBit) {
+  const Fixture s(xl::dnn::lenet5_spec());
+  MemoryParams cheap;
+  cheap.sram_energy_pj_per_bit = 0.01;
+  MemoryParams costly;
+  costly.sram_energy_pj_per_bit = 0.10;
+  const MemoryReport a = evaluate_memory(s.mapping, s.cfg, s.perf, cheap);
+  const MemoryReport b = evaluate_memory(s.mapping, s.cfg, s.perf, costly);
+  EXPECT_NEAR(b.access_power_mw, 10.0 * a.access_power_mw, 1e-6);
+}
+
+TEST(Memory, BufferSizedByWidestPool) {
+  const Fixture s(xl::dnn::cnn_cifar10_spec());
+  const MemoryReport m = evaluate_memory(s.mapping, s.cfg, s.perf);
+  // Widest pool is conv (n = 100): 100 in-flight partials at 16 bits.
+  EXPECT_NEAR(m.partial_sum_buffer_bits, 100.0 * 16.0, 1e-9);
+}
+
+TEST(Memory, DefaultBandwidthSustainsFlagship) {
+  // The default 1 Tb/s global buffer must keep the paper configuration
+  // compute-bound on conv-heavy work... or report honestly that it cannot.
+  const Fixture s(xl::dnn::cnn_stl10_spec());
+  const MemoryReport m = evaluate_memory(s.mapping, s.cfg, s.perf);
+  EXPECT_GT(m.required_bandwidth_gbps, 0.0);
+  EXPECT_GT(m.sustainable_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace xl::core

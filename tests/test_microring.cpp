@@ -1,0 +1,155 @@
+// Microring device-model tests: spectral shape, drift handling, and the
+// weight-imprint inverse problem (the heart of photonic multiplication).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/device_params.hpp"
+#include "photonics/microring.hpp"
+
+namespace xl::photonics {
+namespace {
+
+MicroringDesign default_design() {
+  MicroringDesign d;
+  d.resonance_nm = 1550.0;
+  d.q_factor = 8000.0;
+  d.fsr_nm = 18.0;
+  d.extinction_ratio_db = 25.0;
+  return d;
+}
+
+TEST(Microring, RejectsNonPhysicalDesigns) {
+  MicroringDesign d = default_design();
+  d.q_factor = 0.5;
+  EXPECT_THROW(Microring{d}, std::invalid_argument);
+  d = default_design();
+  d.resonance_nm = -1.0;
+  EXPECT_THROW(Microring{d}, std::invalid_argument);
+  d = default_design();
+  d.extinction_ratio_db = 0.0;
+  EXPECT_THROW(Microring{d}, std::invalid_argument);
+}
+
+TEST(Microring, HalfBandwidthMatchesQ) {
+  const Microring mr(default_design());
+  EXPECT_NEAR(mr.half_bandwidth_nm(), 1550.0 / 16000.0, 1e-12);
+}
+
+TEST(Microring, MinimumTransmissionAtResonance) {
+  const Microring mr(default_design());
+  const double t_res = mr.transmission(1550.0);
+  EXPECT_NEAR(t_res, mr.min_transmission(), 1e-12);
+  // ER 25 dB -> ~0.00316 floor.
+  EXPECT_NEAR(mr.min_transmission(), 0.00316, 1e-4);
+}
+
+TEST(Microring, TransmissionApproachesUnityFarFromResonance) {
+  const Microring mr(default_design());
+  EXPECT_GT(mr.transmission(1555.0), 0.999);
+  EXPECT_GT(mr.transmission(1545.0), 0.999);
+}
+
+TEST(Microring, LorentzianIsSymmetric) {
+  const Microring mr(default_design());
+  for (double d : {0.05, 0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(mr.transmission(1550.0 + d), mr.transmission(1550.0 - d), 1e-12);
+  }
+}
+
+TEST(Microring, TransmissionMonotoneInDetuning) {
+  const Microring mr(default_design());
+  double prev = mr.transmission(1550.0);
+  for (double d = 0.01; d < 1.0; d += 0.01) {
+    const double t = mr.transmission(1550.0 + d);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Microring, HalfPowerAtHalfBandwidth) {
+  const Microring mr(default_design());
+  const double delta = mr.half_bandwidth_nm();
+  // At one half-bandwidth detuning the Lorentzian dip is half depth.
+  const double t = mr.transmission(1550.0 + delta);
+  const double expected = 1.0 - (1.0 - mr.min_transmission()) * 0.5;
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(Microring, DriftsShiftResonance) {
+  Microring mr(default_design());
+  mr.set_fpv_drift_nm(1.0);
+  mr.set_thermal_drift_nm(-0.25);
+  mr.set_tuning_shift_nm(0.5);
+  EXPECT_DOUBLE_EQ(mr.effective_resonance_nm(), 1551.25);
+  EXPECT_DOUBLE_EQ(mr.residual_detuning_nm(), 1.25);
+  // The dip follows the effective resonance.
+  EXPECT_NEAR(mr.transmission(1551.25), mr.min_transmission(), 1e-12);
+}
+
+TEST(Microring, DetuningForTransmissionInvertsLorentzian) {
+  const Microring mr(default_design());
+  for (double target : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const auto det = mr.detuning_for_transmission(target);
+    ASSERT_TRUE(det.has_value()) << "target " << target;
+    EXPECT_NEAR(mr.transmission(1550.0 + *det), target, 1e-9);
+  }
+}
+
+TEST(Microring, DetuningOutOfRangeIsNullopt) {
+  const Microring mr(default_design());
+  EXPECT_FALSE(mr.detuning_for_transmission(1.0).has_value());
+  EXPECT_FALSE(mr.detuning_for_transmission(1e-5).has_value());  // Below ER floor.
+}
+
+class WeightImprint : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightImprint, RealizesTargetTransmission) {
+  Microring mr(default_design());
+  // Imprinting works even under FPV/thermal drift (tuning compensates).
+  mr.set_fpv_drift_nm(0.7);
+  mr.set_thermal_drift_nm(-0.1);
+  const double weight = GetParam();
+  mr.imprint_weight(weight, 1550.0);
+  EXPECT_NEAR(mr.transmission(1550.0), weight, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WeightImprint,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.5, 0.6, 0.8, 0.95, 0.999));
+
+TEST(Microring, ImprintClampsOutOfRangeWeights) {
+  Microring mr(default_design());
+  mr.imprint_weight(-0.5, 1550.0);  // Clamps to ER floor.
+  EXPECT_NEAR(mr.transmission(1550.0), mr.min_transmission(), 1e-9);
+  mr.imprint_weight(1.5, 1550.0);  // Clamps just below unity.
+  EXPECT_GT(mr.transmission(1550.0), 0.999);
+}
+
+TEST(Microring, OptimizedGeometryDetection) {
+  MicroringDesign d = default_design();
+  EXPECT_TRUE(d.is_fpv_optimized());  // Defaults are the 400/800 nm design.
+  d.input_waveguide_width_nm = 500.0;
+  EXPECT_FALSE(d.is_fpv_optimized());
+}
+
+TEST(DeviceParams, DefaultsValidateAndDeriveCorrectly) {
+  const DeviceParams p = default_device_params();
+  EXPECT_NEAR(p.to_tuning_power_mw_per_nm(), 27.5 / 18.0, 1e-12);
+  EXPECT_NEAR(p.mr_half_bandwidth_nm(), 1550.0 / 16000.0, 1e-12);
+  EXPECT_NEAR(p.transceiver_energy_pj_per_bit(), 250.0 / 56.0, 1e-12);
+}
+
+TEST(DeviceParams, ValidationCatchesNonsense) {
+  DeviceParams p = default_device_params();
+  p.mr_q_factor = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_device_params();
+  p.laser_efficiency = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_device_params();
+  p.fpv_drift_optimized_nm = 10.0;  // Above conventional.
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::photonics

@@ -1,0 +1,129 @@
+// Model zoo tests: Table I layer counts and parameter counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/models.hpp"
+
+namespace xl::dnn {
+namespace {
+
+TEST(ModelZoo, TableOneRowCount) {
+  EXPECT_EQ(table1_models().size(), 4u);
+}
+
+TEST(ModelZoo, LayerCountsMatchTableOne) {
+  const auto models = table1_models();
+  // Table I: CONV layers 2/4/7/8, FC layers 2/2/2/4.
+  EXPECT_EQ(models[0].conv_layer_count(), 2u);
+  EXPECT_EQ(models[0].dense_layer_count(), 2u);
+  EXPECT_EQ(models[1].conv_layer_count(), 4u);
+  EXPECT_EQ(models[1].dense_layer_count(), 2u);
+  EXPECT_EQ(models[2].conv_layer_count(), 7u);
+  EXPECT_EQ(models[2].dense_layer_count(), 2u);
+  EXPECT_EQ(models[3].conv_layer_count(), 8u);  // Twin branches: 2 x 4.
+  EXPECT_EQ(models[3].dense_layer_count(), 4u); // Twin branches: 2 x 2.
+}
+
+TEST(ModelZoo, SiameseParameterCountExact) {
+  // Model 4 is the Koch et al. one-shot network; the paper's 38,951,745
+  // parameter count identifies it exactly.
+  EXPECT_EQ(siamese_omniglot_spec().total_parameters(), 38951745u);
+}
+
+TEST(ModelZoo, ReconstructedCountsWithinHalfPercent) {
+  const auto models = table1_models();
+  for (int i = 0; i < 4; ++i) {
+    const auto ours = static_cast<double>(models[static_cast<std::size_t>(i)].total_parameters());
+    const auto paper = static_cast<double>(paper_parameter_count(i + 1));
+    EXPECT_LT(std::abs(ours - paper) / paper, 0.005)
+        << models[static_cast<std::size_t>(i)].name << ": " << ours << " vs " << paper;
+  }
+}
+
+TEST(ModelZoo, PaperCountValidation) {
+  EXPECT_THROW((void)paper_parameter_count(0), std::invalid_argument);
+  EXPECT_THROW((void)paper_parameter_count(5), std::invalid_argument);
+}
+
+TEST(ModelZoo, DatasetsMatchTableOne) {
+  const auto models = table1_models();
+  EXPECT_EQ(models[0].dataset, "Sign MNIST");
+  EXPECT_EQ(models[1].dataset, "CIFAR10");
+  EXPECT_EQ(models[2].dataset, "STL10");
+  EXPECT_EQ(models[3].dataset, "Omniglot");
+}
+
+TEST(ModelZoo, MacCountsArePositiveAndOrdered) {
+  const auto models = table1_models();
+  // Bigger models do more work per inference.
+  EXPECT_LT(models[0].total_macs(), models[1].total_macs());
+  EXPECT_LT(models[1].total_macs(), models[2].total_macs());
+  EXPECT_LT(models[2].total_macs(), models[3].total_macs());
+}
+
+TEST(LayerSpec, DotProductAccounting) {
+  const LayerSpec conv = conv_spec("c", 3, 8, 5, 10, 10);
+  EXPECT_EQ(conv.dot_product_count(), 800u);      // 10*10*8.
+  EXPECT_EQ(conv.dot_product_length(), 75u);      // 5*5*3.
+  EXPECT_EQ(conv.mac_count(), 60000u);
+  EXPECT_EQ(conv.parameter_count(), 8u * (75u + 1u));
+
+  const LayerSpec fc = dense_spec("f", 100, 40);
+  EXPECT_EQ(fc.dot_product_count(), 40u);
+  EXPECT_EQ(fc.dot_product_length(), 100u);
+  EXPECT_EQ(fc.mac_count(), 4000u);
+  EXPECT_EQ(fc.parameter_count(), 40u * 101u);
+}
+
+TEST(LayerSpec, NonComputeLayersHaveNoWork) {
+  LayerSpec pool;
+  pool.kind = LayerKind::kPool;
+  EXPECT_EQ(pool.mac_count(), 0u);
+  EXPECT_FALSE(pool.is_accelerated());
+  EXPECT_TRUE(conv_spec("c", 1, 1, 1, 1, 1).is_accelerated());
+}
+
+TEST(TrainableModels, ShapesInferCorrectly) {
+  xl::numerics::Rng rng(1);
+  Network lenet = build_lenet5(rng);
+  EXPECT_EQ(lenet.output_shape({1, 1, 28, 28}), (Shape{1, 24}));
+
+  Network cifar = build_reduced_cifar_cnn(rng);
+  EXPECT_EQ(cifar.output_shape({2, 3, 16, 16}), (Shape{2, 10}));
+
+  Network stl = build_reduced_stl_cnn(rng);
+  EXPECT_EQ(stl.output_shape({1, 3, 24, 24}), (Shape{1, 10}));
+
+  Network siamese = build_reduced_siamese_branch(rng);
+  EXPECT_EQ(siamese.output_shape({4, 1, 28, 28}), (Shape{4, 64}));
+}
+
+TEST(TrainableModels, LenetMatchesFullSpecParameterCount) {
+  xl::numerics::Rng rng(1);
+  Network lenet = build_lenet5(rng);
+  EXPECT_EQ(lenet.parameter_count(), lenet5_spec().total_parameters());
+}
+
+TEST(TrainableModels, ExportedSpecsRoundTrip) {
+  xl::numerics::Rng rng(1);
+  Network lenet = build_lenet5(rng);
+  const auto specs = lenet.export_specs({1, 1, 28, 28});
+  std::size_t convs = 0;
+  std::size_t denses = 0;
+  for (const auto& s : specs) {
+    if (s.kind == LayerKind::kConv) ++convs;
+    if (s.kind == LayerKind::kDense) ++denses;
+  }
+  EXPECT_EQ(convs, 2u);
+  EXPECT_EQ(denses, 2u);
+}
+
+TEST(TrainableModels, ReducedInputShapes) {
+  EXPECT_EQ(reduced_input_shape(1), (Shape{1, 1, 28, 28}));
+  EXPECT_EQ(reduced_input_shape(3), (Shape{1, 3, 24, 24}));
+  EXPECT_THROW((void)reduced_input_shape(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::dnn

@@ -1,0 +1,110 @@
+// Photodetector noise / BER model tests, including the Section I anchor:
+// a 0.25 nm drift degrades link BER from ~1e-12 to ~1e-6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/microring.hpp"
+#include "photonics/noise.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(Noise, BudgetComponentsPositive) {
+  const NoiseBudget n = receiver_noise(0.1);
+  EXPECT_GT(n.shot_a2, 0.0);
+  EXPECT_GT(n.thermal_a2, 0.0);
+  EXPECT_GT(n.rin_a2, 0.0);
+  EXPECT_NEAR(n.total_a2(), n.shot_a2 + n.thermal_a2 + n.rin_a2, 1e-30);
+  EXPECT_THROW((void)receiver_noise(-1.0), std::invalid_argument);
+}
+
+TEST(Noise, ShotNoiseGrowsWithPower) {
+  EXPECT_GT(receiver_noise(1.0).shot_a2, receiver_noise(0.01).shot_a2);
+}
+
+TEST(Noise, ThermalNoiseIndependentOfPower) {
+  EXPECT_DOUBLE_EQ(receiver_noise(1.0).thermal_a2, receiver_noise(0.01).thermal_a2);
+}
+
+TEST(Noise, SnrMonotoneInPower) {
+  double prev = 0.0;
+  for (double p : {0.001, 0.01, 0.1, 1.0}) {
+    const double snr = receiver_snr(p);
+    EXPECT_GT(snr, prev);
+    prev = snr;
+  }
+}
+
+TEST(Noise, BerDecreasesWithPower) {
+  double prev = 1.0;
+  for (double p : {0.0001, 0.001, 0.01, 0.1}) {
+    const double ber = ook_ber(p);
+    EXPECT_LT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(Noise, BerBounds) {
+  EXPECT_NEAR(ook_ber(0.0), 0.5, 1e-12);  // No signal: coin flip.
+  EXPECT_LT(ook_ber(1.0), 1e-15);         // Strong signal: error-free.
+}
+
+TEST(Noise, ResolutionBitsGrowWithPower) {
+  EXPECT_LE(receiver_resolution_bits(0.0001), receiver_resolution_bits(0.01));
+  EXPECT_LE(receiver_resolution_bits(0.01), receiver_resolution_bits(1.0));
+  EXPECT_EQ(receiver_resolution_bits(0.0), 0);
+}
+
+TEST(Noise, SectionOneBerAnchor) {
+  // Interconnect-grade demux ring (Q ~ 2000) with launch power calibrated
+  // for BER ~ 1e-12 at zero drift; 0.25 nm drift must land near 1e-6
+  // (within two decades), reproducing the Section I motivation.
+  MicroringDesign design;
+  design.resonance_nm = 1550.0;
+  design.q_factor = 2000.0;
+  design.fsr_nm = 18.0;
+  const Microring ring(design);
+
+  // Calibrate launch power for BER ~1e-12 at zero drift.
+  double launch_mw = 1e-4;
+  while (link_ber_with_drift(ring, 1550.0, 0.0, launch_mw) > 1e-12) {
+    launch_mw *= 1.1;
+  }
+  const double ber0 = link_ber_with_drift(ring, 1550.0, 0.0, launch_mw);
+  const double ber_drift = link_ber_with_drift(ring, 1550.0, 0.25, launch_mw);
+  EXPECT_LE(ber0, 1e-12);
+  EXPECT_GT(ber_drift, 1e-8);
+  EXPECT_LT(ber_drift, 1e-4);
+}
+
+TEST(Noise, BerDegradesMonotonicallyWithDrift) {
+  MicroringDesign design;
+  design.q_factor = 2000.0;
+  const Microring ring(design);
+  double prev = 0.0;
+  for (double drift : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    const double ber = link_ber_with_drift(ring, 1550.0, drift, 0.05);
+    EXPECT_GE(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(Noise, HigherQMoreDriftSensitive) {
+  // Narrow linewidth rings lose dropped power faster per nm of drift.
+  MicroringDesign high;
+  high.q_factor = 8000.0;
+  MicroringDesign low;
+  low.q_factor = 2000.0;
+  const double ber_high = link_ber_with_drift(Microring(high), 1550.0, 0.2, 0.05);
+  const double ber_low = link_ber_with_drift(Microring(low), 1550.0, 0.2, 0.05);
+  EXPECT_GT(ber_high, ber_low);
+}
+
+TEST(Noise, LaunchPowerValidation) {
+  const Microring ring(MicroringDesign{});
+  EXPECT_THROW((void)link_ber_with_drift(ring, 1550.0, 0.1, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::photonics

@@ -1,0 +1,117 @@
+// Whole-model photonic inference engine tests: a trained CNN executed with
+// every CONV/FC dot product on the simulated analog datapath.
+#include <gtest/gtest.h>
+
+#include "core/photonic_inference.hpp"
+#include "dnn/activations.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+#include "dnn/trainer.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace xl;
+
+dnn::SyntheticSpec tiny_task() {
+  dnn::SyntheticSpec spec;
+  spec.classes = 4;
+  spec.height = 10;
+  spec.width = 10;
+  spec.channels = 1;
+  spec.noise_std = 0.06;
+  spec.jitter_px = 1;
+  spec.seed = 33;
+  return spec;
+}
+
+dnn::Network tiny_cnn(numerics::Rng& rng) {
+  dnn::Network net;
+  net.emplace<dnn::Conv2d>(dnn::Conv2dConfig{1, 4, 3, 1, 1}, rng);
+  net.emplace<dnn::ReLU>();
+  net.emplace<dnn::MaxPool2d>(2);
+  net.emplace<dnn::Flatten>();
+  net.emplace<dnn::Dense>(4 * 5 * 5, 4, rng);
+  return net;
+}
+
+TEST(PhotonicInference, MatchesFloatPredictionsOnTrainedCnn) {
+  numerics::Rng rng(21);
+  const dnn::SyntheticSpec spec = tiny_task();
+  const dnn::Dataset train = dnn::generate_classification(spec, 256, 0);
+  const dnn::Dataset test = dnn::generate_classification(spec, 64, 1);
+
+  dnn::Network net = tiny_cnn(rng);
+  dnn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 3e-3;
+  const auto result = dnn::train_classifier(net, train, test, cfg);
+  ASSERT_GT(result.test_accuracy, 0.6);
+
+  core::PhotonicInferenceEngine engine(net);
+  const std::size_t samples = 24;
+  const double photonic_acc = engine.evaluate_accuracy(test, samples);
+  // The analog datapath must be within 15 points of float accuracy.
+  EXPECT_GT(photonic_acc, result.test_accuracy - 0.15);
+  // Stats populated: conv 4*5*... dot products per sample plus dense rows.
+  EXPECT_GT(engine.stats().photonic_dot_products, samples * 100);
+  EXPECT_GT(engine.stats().photonic_macs, engine.stats().photonic_dot_products);
+}
+
+TEST(PhotonicInference, PerLayerErrorBounded) {
+  numerics::Rng rng(22);
+  dnn::Network net = tiny_cnn(rng);
+  core::PhotonicInferenceEngine engine(net);
+  const dnn::Dataset data = dnn::generate_classification(tiny_task(), 4, 2);
+  (void)engine.infer(dnn::batch_images(data, 0, 1));
+  // Pre-activation analog error stays small relative to unit-scale values.
+  EXPECT_LT(engine.stats().max_abs_layer_error, 0.5);
+  EXPECT_GT(engine.stats().max_abs_layer_error, 0.0);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().photonic_dot_products, 0u);
+}
+
+TEST(PhotonicInference, RequiresSingleSampleBatch) {
+  numerics::Rng rng(23);
+  dnn::Network net = tiny_cnn(rng);
+  core::PhotonicInferenceEngine engine(net);
+  EXPECT_THROW((void)engine.infer(dnn::Tensor({2, 1, 10, 10})), std::invalid_argument);
+}
+
+TEST(PhotonicInference, EvaluateValidatesCount) {
+  numerics::Rng rng(24);
+  dnn::Network net = tiny_cnn(rng);
+  core::PhotonicInferenceEngine engine(net);
+  const dnn::Dataset data = dnn::generate_classification(tiny_task(), 4, 2);
+  EXPECT_THROW((void)engine.evaluate_accuracy(data, 0), std::invalid_argument);
+  EXPECT_THROW((void)engine.evaluate_accuracy(data, 5), std::invalid_argument);
+}
+
+TEST(PhotonicInference, LowResolutionDegradesAccuracy) {
+  numerics::Rng rng(25);
+  const dnn::SyntheticSpec spec = tiny_task();
+  const dnn::Dataset train = dnn::generate_classification(spec, 256, 0);
+  const dnn::Dataset test = dnn::generate_classification(spec, 48, 1);
+  dnn::Network net = tiny_cnn(rng);
+  dnn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 3e-3;
+  (void)dnn::train_classifier(net, train, test, cfg);
+
+  core::VdpSimOptions hi;
+  hi.resolution_bits = 16;
+  core::VdpSimOptions lo;
+  lo.resolution_bits = 2;
+  core::PhotonicInferenceEngine hi_engine(net, hi);
+  core::PhotonicInferenceEngine lo_engine(net, lo);
+  const double hi_acc = hi_engine.evaluate_accuracy(test, 24);
+  const double lo_acc = lo_engine.evaluate_accuracy(test, 24);
+  EXPECT_GE(hi_acc, lo_acc);  // The Fig. 5 story at the datapath level.
+}
+
+}  // namespace

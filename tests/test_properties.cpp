@@ -1,0 +1,145 @@
+// Cross-cutting property sweeps (parameterized gtest) over randomized and
+// gridded configurations: invariants that must hold for *every*
+// architecture point, not just the paper's.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/accelerator.hpp"
+#include "core/performance.hpp"
+#include "core/power.hpp"
+#include "dnn/models.hpp"
+#include "photonics/crosstalk.hpp"
+#include "thermal/crosstalk_matrix.hpp"
+#include "thermal/ted.hpp"
+
+namespace xl::core {
+namespace {
+
+using ConfigTuple = std::tuple<int, int, int, int>;  // N, K, n, m.
+
+ArchitectureConfig make_config(const ConfigTuple& t) {
+  ArchitectureConfig cfg = best_config();
+  cfg.conv_unit_size = static_cast<std::size_t>(std::get<0>(t));
+  cfg.fc_unit_size = static_cast<std::size_t>(std::get<1>(t));
+  cfg.conv_units = static_cast<std::size_t>(std::get<2>(t));
+  cfg.fc_units = static_cast<std::size_t>(std::get<3>(t));
+  return cfg;
+}
+
+class ConfigProperty : public ::testing::TestWithParam<ConfigTuple> {};
+
+TEST_P(ConfigProperty, MacsConservedUnderMapping) {
+  // Decomposition must never lose or duplicate work, whatever the config.
+  const ArchitectureConfig cfg = make_config(GetParam());
+  for (const auto& model : xl::dnn::table1_models()) {
+    const ModelMapping m = map_model(model, cfg);
+    EXPECT_EQ(m.total_macs, model.total_macs()) << model.name;
+    // Every pass processes at most unit_size elements.
+    for (const auto& layer : m.layers) {
+      const std::size_t capacity = layer.total_passes * layer.unit_size;
+      EXPECT_GE(capacity, layer.dot_products * layer.dot_length) << layer.layer_name;
+    }
+  }
+}
+
+TEST_P(ConfigProperty, MetricsFiniteAndPositive) {
+  const ArchitectureConfig cfg = make_config(GetParam());
+  const CrossLightAccelerator accel(cfg);
+  const auto report = accel.evaluate(xl::dnn::cnn_cifar10_spec());
+  EXPECT_GT(report.perf.fps, 0.0);
+  EXPECT_TRUE(std::isfinite(report.perf.fps));
+  EXPECT_GT(report.power.total_w(), 0.0);
+  EXPECT_GT(report.epb_pj(), 0.0);
+  EXPECT_GT(report.area_mm2, 0.0);
+}
+
+TEST_P(ConfigProperty, PowerScalesWithUnits) {
+  // Doubling both pools can only increase total power.
+  const ArchitectureConfig cfg = make_config(GetParam());
+  ArchitectureConfig doubled = cfg;
+  doubled.conv_units *= 2;
+  doubled.fc_units *= 2;
+  const auto model = xl::dnn::lenet5_spec();
+  const auto small_p =
+      CrossLightAccelerator(cfg).evaluate(model).power.total_w();
+  const auto big_p =
+      CrossLightAccelerator(doubled).evaluate(model).power.total_w();
+  EXPECT_GT(big_p, small_p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigProperty,
+    ::testing::Values(ConfigTuple{10, 50, 50, 30}, ConfigTuple{20, 150, 100, 60},
+                      ConfigTuple{30, 200, 150, 90}, ConfigTuple{15, 100, 50, 90},
+                      ConfigTuple{25, 50, 150, 30}, ConfigTuple{1, 1, 1, 1}));
+
+class ResolutionMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolutionMonotonicity, EpbGrowsWithResolutionBits) {
+  // At fixed power, higher resolution means a slower symbol clock but more
+  // bits per frame; EPB must respond monotonically to the (documented)
+  // definition. We only require the metric to be finite and positive here,
+  // and latency to grow with bits (slower symbols).
+  const int bits = GetParam();
+  ArchitectureConfig cfg = best_config();
+  cfg.resolution_bits = bits;
+  const auto report = CrossLightAccelerator(cfg).evaluate(xl::dnn::lenet5_spec());
+  EXPECT_GT(report.epb_pj(), 0.0);
+
+  ArchitectureConfig next = cfg;
+  next.resolution_bits = bits + 2;
+  const auto next_report =
+      CrossLightAccelerator(next).evaluate(xl::dnn::lenet5_spec());
+  EXPECT_GE(next_report.perf.frame_latency_us, report.perf.frame_latency_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, ResolutionMonotonicity, ::testing::Values(4, 8, 12, 14));
+
+class PitchSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PitchSweep, LaserPowerGrowsWithPitch) {
+  // Longer banks (larger pitch) mean more propagation loss, hence more
+  // laser power — the area/power coupling TED breaks (Section IV-A).
+  ArchitectureConfig cfg = best_config();
+  cfg.pitch_ted_um = GetParam();
+  cfg.pitch_guard_um = std::max(cfg.pitch_guard_um, GetParam());
+  const double here = unit_laser_power_mw(cfg, cfg.fc_unit_size);
+  ArchitectureConfig wider = cfg;
+  wider.pitch_ted_um = GetParam() * 2.0;
+  wider.pitch_guard_um = std::max(wider.pitch_guard_um, wider.pitch_ted_um);
+  const double further = unit_laser_power_mw(wider, cfg.fc_unit_size);
+  EXPECT_GT(further, here);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, PitchSweep, ::testing::Values(2.0, 5.0, 20.0, 60.0));
+
+class BankSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankSizeSweep, TedNeverWorseThanNaiveAtDensePitch) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const auto coupling = xl::thermal::coupling_matrix_exponential(n, 4.0);
+  xl::numerics::Vector targets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    targets[i] = 0.5 + 0.3 * static_cast<double>(i % 3);
+  }
+  const auto ted = xl::thermal::TedTuner(coupling).solve(targets);
+  const auto naive = xl::thermal::naive_tuning_powers(coupling, targets);
+  EXPECT_LE(ted.total_power_mw, naive.total_power_mw * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, BankSizeSweep, ::testing::Values(2, 5, 10, 15, 25));
+
+class CombSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombSweep, ResolutionNeverImprovesWithDenserCombs) {
+  const auto channels = static_cast<std::size_t>(GetParam());
+  const int here = xl::photonics::bank_resolution_bits(channels, 18.0);
+  const int denser = xl::photonics::bank_resolution_bits(channels + 5, 18.0);
+  EXPECT_GE(here, denser);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combs, CombSweep, ::testing::Values(5, 10, 15, 25, 40, 60, 85));
+
+}  // namespace
+}  // namespace xl::core

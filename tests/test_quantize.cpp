@@ -1,0 +1,154 @@
+// Fake-quantization / QAT machinery tests (the Fig. 5 substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "dnn/quantize.hpp"
+
+namespace xl::dnn {
+namespace {
+
+std::vector<float> ramp(std::size_t n, float lo, float hi) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<float>(i) / static_cast<float>(n - 1);
+  }
+  return v;
+}
+
+TEST(FakeQuantSymmetric, PreservesZeroAndExtremes) {
+  std::vector<float> in{-1.0F, 0.0F, 1.0F};
+  std::vector<float> out(3);
+  fake_quant_symmetric(in, out, 8);
+  EXPECT_FLOAT_EQ(out[0], -1.0F);
+  EXPECT_FLOAT_EQ(out[1], 0.0F);
+  EXPECT_FLOAT_EQ(out[2], 1.0F);
+}
+
+TEST(FakeQuantSymmetric, LevelCountMatchesBits) {
+  const auto in = ramp(2048, -1.0F, 1.0F);
+  std::vector<float> out(in.size());
+  fake_quant_symmetric(in, out, 3);
+  const std::set<float> levels(out.begin(), out.end());
+  // Signed 3-bit symmetric: 2*(2^2 - 1) + 1 = 7 distinct levels.
+  EXPECT_EQ(levels.size(), 7u);
+}
+
+TEST(FakeQuantSymmetric, ErrorBoundedByHalfStep) {
+  const auto in = ramp(512, -0.8F, 0.8F);
+  std::vector<float> out(in.size());
+  for (int bits : {2, 4, 8}) {
+    fake_quant_symmetric(in, out, bits);
+    const float step = 0.8F / static_cast<float>((1 << (bits - 1)) - 1);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_LE(std::abs(out[i] - in[i]), 0.5F * step + 1e-6F);
+    }
+  }
+}
+
+TEST(FakeQuantSymmetric, OneBitBinarizesToMeanMagnitude) {
+  std::vector<float> in{-2.0F, -1.0F, 1.0F, 2.0F};
+  std::vector<float> out(4);
+  fake_quant_symmetric(in, out, 1);
+  EXPECT_FLOAT_EQ(out[0], -1.5F);
+  EXPECT_FLOAT_EQ(out[2], 1.5F);
+}
+
+TEST(FakeQuantSymmetric, AllZerosStaysZero) {
+  std::vector<float> in(8, 0.0F);
+  std::vector<float> out(8, 1.0F);
+  fake_quant_symmetric(in, out, 4);
+  for (float v : out) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(FakeQuantSymmetric, Validation) {
+  std::vector<float> in(4);
+  std::vector<float> out(3);
+  EXPECT_THROW(fake_quant_symmetric(in, out, 4), std::invalid_argument);
+  std::vector<float> ok(4);
+  EXPECT_THROW(fake_quant_symmetric(in, ok, 0), std::invalid_argument);
+  EXPECT_THROW(fake_quant_symmetric(in, ok, 25), std::invalid_argument);
+}
+
+TEST(FakeQuantUnsigned, ClampsNegativeInputs) {
+  std::vector<float> in{-0.5F, 0.5F};
+  std::vector<float> out(2);
+  fake_quant_unsigned(in, out, 8, 1.0F);
+  EXPECT_FLOAT_EQ(out[0], 0.0F);
+  EXPECT_NEAR(out[1], 0.5F, 1e-2);
+}
+
+TEST(FakeQuantUnsigned, ZeroRangeIsPassthrough) {
+  std::vector<float> in{0.3F, 0.7F};
+  std::vector<float> out(2);
+  fake_quant_unsigned(in, out, 4, 0.0F);
+  EXPECT_FLOAT_EQ(out[0], 0.3F);
+  EXPECT_FLOAT_EQ(out[1], 0.7F);
+}
+
+TEST(FakeQuantUnsigned, OneBitTwoLevels) {
+  const auto in = ramp(100, 0.0F, 1.0F);
+  std::vector<float> out(in.size());
+  fake_quant_unsigned(in, out, 1, 1.0F);
+  const std::set<float> levels(out.begin(), out.end());
+  EXPECT_EQ(levels.size(), 2u);
+}
+
+TEST(ActivationRange, TracksMaximum) {
+  ActivationRange range;
+  EXPECT_EQ(range.range(), 0.0F);
+  std::vector<float> batch1{0.2F, 0.8F};
+  std::vector<float> batch2{0.5F, 1.4F};
+  range.observe(batch1);
+  EXPECT_FLOAT_EQ(range.range(), 0.8F);
+  range.observe(batch2);
+  EXPECT_FLOAT_EQ(range.range(), 1.4F);
+  range.reset();
+  EXPECT_EQ(range.range(), 0.0F);
+}
+
+TEST(ActivationRange, QuantizeInPlaceUsesTrackedRange) {
+  ActivationRange range;
+  std::vector<float> cal{2.0F};
+  range.observe(cal);
+  std::vector<float> vals{0.0F, 1.0F, 2.0F, 3.0F};
+  range.quantize_inplace(vals, 4);
+  EXPECT_FLOAT_EQ(vals[0], 0.0F);
+  EXPECT_NEAR(vals[1], 1.0F, 0.1F);
+  EXPECT_FLOAT_EQ(vals[2], 2.0F);
+  EXPECT_FLOAT_EQ(vals[3], 2.0F);  // Clamped to range.
+}
+
+TEST(QuantizationSpec, EnableFlags) {
+  QuantizationSpec off;
+  EXPECT_FALSE(off.weights_enabled());
+  EXPECT_FALSE(off.activations_enabled());
+  QuantizationSpec on{8, 6};
+  EXPECT_TRUE(on.weights_enabled());
+  EXPECT_TRUE(on.activations_enabled());
+}
+
+class QuantMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantMonotonicity, MoreBitsLowerError) {
+  const int bits = GetParam();
+  const auto in = ramp(256, -1.0F, 1.0F);
+  std::vector<float> low(in.size());
+  std::vector<float> high(in.size());
+  fake_quant_symmetric(in, low, bits);
+  fake_quant_symmetric(in, high, bits + 2);
+  double err_low = 0.0;
+  double err_high = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    err_low += std::abs(low[i] - in[i]);
+    err_high += std::abs(high[i] - in[i]);
+  }
+  EXPECT_LE(err_high, err_low);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantMonotonicity, ::testing::Values(2, 3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace xl::dnn

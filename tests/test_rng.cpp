@@ -1,0 +1,91 @@
+// Deterministic RNG tests — reproducibility underpins every experiment.
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+
+namespace xl::numerics {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, TruncatedGaussianStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.truncated_gaussian(0.0, 5.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedGaussianRejectsInvertedRange) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.truncated_gaussian(0.0, 1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  const auto p = rng.permutation(50);
+  ASSERT_EQ(p.size(), 50u);
+  std::vector<bool> seen(50, false);
+  for (std::size_t idx : p) {
+    ASSERT_LT(idx, 50u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(Rng, GaussianVectorSize) {
+  Rng rng(4);
+  const auto v = rng.gaussian_vector(17, 0.0, 1.0);
+  EXPECT_EQ(v.size(), 17u);
+}
+
+}  // namespace
+}  // namespace xl::numerics

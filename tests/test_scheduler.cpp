@@ -1,0 +1,101 @@
+// Event-driven scheduler tests: agreement with the analytic performance
+// model and utilization invariants.
+#include <gtest/gtest.h>
+
+#include "core/performance.hpp"
+#include "core/scheduler.hpp"
+#include "dnn/models.hpp"
+
+namespace xl::core {
+namespace {
+
+TEST(Scheduler, MatchesAnalyticLatencyOnZoo) {
+  const ArchitectureConfig cfg = best_config();
+  const EventScheduler scheduler(cfg);
+  for (const auto& model : {xl::dnn::lenet5_spec(), xl::dnn::cnn_cifar10_spec()}) {
+    const ModelMapping mapping = map_model(model, cfg);
+    const PerformanceReport analytic = evaluate_performance(mapping, cfg);
+    const ScheduleResult simulated = scheduler.run(mapping);
+    // The analytic round-robin bound and the event-driven makespan must
+    // agree within a few percent (the scheduler has no fragmentation for
+    // uniform pass lengths).
+    EXPECT_NEAR(simulated.makespan_us(), analytic.frame_latency_us,
+                0.05 * analytic.frame_latency_us)
+        << model.name;
+  }
+}
+
+TEST(Scheduler, PassConservation) {
+  const ArchitectureConfig cfg = best_config();
+  const EventScheduler scheduler(cfg);
+  const ModelMapping mapping = map_model(xl::dnn::cnn_cifar10_spec(), cfg);
+  const ScheduleResult r = scheduler.run(mapping);
+  EXPECT_EQ(r.total_passes, mapping.total_passes);
+  std::size_t scheduled = 0;
+  for (const UnitStats& u : r.conv_units) scheduled += u.passes;
+  for (const UnitStats& u : r.fc_units) scheduled += u.passes;
+  EXPECT_EQ(scheduled, mapping.total_passes);
+}
+
+TEST(Scheduler, LoadIsBalanced) {
+  const ArchitectureConfig cfg = best_config();
+  const EventScheduler scheduler(cfg);
+  const ModelMapping mapping = map_model(xl::dnn::cnn_cifar10_spec(), cfg);
+  const ScheduleResult r = scheduler.run(mapping);
+  std::size_t min_p = SIZE_MAX;
+  std::size_t max_p = 0;
+  for (const UnitStats& u : r.conv_units) {
+    min_p = std::min(min_p, u.passes);
+    max_p = std::max(max_p, u.passes);
+  }
+  // Earliest-free dispatch keeps the pool within one round of balance per
+  // layer; with 4 conv layers the spread is bounded by the layer count.
+  EXPECT_LE(max_p - min_p, 8u);
+}
+
+TEST(Scheduler, UtilizationWithinBounds) {
+  const ArchitectureConfig cfg = best_config();
+  const EventScheduler scheduler(cfg);
+  const ModelMapping mapping = map_model(xl::dnn::cnn_stl10_spec(), cfg);
+  const ScheduleResult r = scheduler.run(mapping);
+  EXPECT_GT(r.conv_pool_utilization, 0.0);
+  EXPECT_LE(r.conv_pool_utilization, 1.0);
+  EXPECT_GE(r.fc_pool_utilization, 0.0);
+  EXPECT_LE(r.fc_pool_utilization, 1.0);
+  // STL10 is conv-dominated: the conv pool works much harder.
+  EXPECT_GT(r.conv_pool_utilization, r.fc_pool_utilization);
+}
+
+TEST(Scheduler, BarrierlessScheduleIsNoSlower) {
+  const ArchitectureConfig cfg = best_config();
+  const ModelMapping mapping = map_model(xl::dnn::cnn_cifar10_spec(), cfg);
+  const ScheduleResult with_barriers = EventScheduler(cfg).run(mapping);
+  ScheduleOptions free_opts;
+  free_opts.layer_barriers = false;
+  const ScheduleResult without = EventScheduler(cfg, free_opts).run(mapping);
+  EXPECT_LE(without.makespan_ns, with_barriers.makespan_ns + 1e-9);
+}
+
+TEST(Scheduler, CustomTimingHonored) {
+  const ArchitectureConfig cfg = best_config();
+  ScheduleOptions opts;
+  opts.cycle_ns = 10.0;
+  opts.fill_ns = 0.0;
+  const EventScheduler scheduler(cfg, opts);
+  // Single layer with exactly one round: makespan = cycle.
+  xl::dnn::ModelSpec tiny;
+  tiny.name = "tiny";
+  tiny.layers = {xl::dnn::dense_spec("fc", 10, 10)};
+  const ModelMapping mapping = map_model(tiny, cfg);
+  const ScheduleResult r = scheduler.run(mapping);
+  EXPECT_NEAR(r.makespan_ns, 10.0, 1e-9);
+}
+
+TEST(Scheduler, RejectsNegativeTiming) {
+  ScheduleOptions opts;
+  opts.cycle_ns = -1.0;
+  EXPECT_THROW(EventScheduler(best_config(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::core

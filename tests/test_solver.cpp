@@ -1,0 +1,113 @@
+// Direct solver tests (Cholesky, LU, least squares, inverse).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/matrix.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/solver.hpp"
+
+namespace xl::numerics {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A^T A + n I is SPD.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Matrix l = cholesky(a);
+  const Matrix re = l * l.transposed();
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(re(i, j), a(i, j), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix m{{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3 and -1.
+  EXPECT_THROW((void)cholesky(m), std::runtime_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW((void)cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SolveSpd, KnownSystem) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Vector b{1.0, 2.0};
+  const Vector x = solve_spd(a, b);
+  const Vector ax = a * x;
+  EXPECT_NEAR(ax[0], 1.0, 1e-12);
+  EXPECT_NEAR(ax[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, PivotingHandlesZeroDiagonal) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector b{2.0, 3.0};
+  const Vector x = solve_lu(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)solve_lu(a, Vector{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(LeastSquares, ExactFitWhenSquare) {
+  const Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  const Vector b{4.0, 9.0};
+  const Vector x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_NEAR(x[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquares, OverdeterminedLineFit) {
+  // y = 2x + 1 sampled with no noise; columns [1, x].
+  Matrix a(4, 2);
+  Vector b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[static_cast<std::size_t>(i)] = 2.0 * i + 1.0;
+  }
+  const Vector x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(Inverse, MultipliesToIdentity) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix inv = inverse(a);
+  const Matrix id = a * inv;
+  EXPECT_NEAR(id(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(id(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(id(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(id(1, 1), 1.0, 1e-12);
+}
+
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, SpdResidualSmall) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(99 + GetParam());
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-2.0, 2.0);
+  const Vector x = solve_spd(a, b);
+  const Vector r = a * x - b;
+  EXPECT_LT(r.norm_inf(), 1e-9);
+  // LU agrees with Cholesky.
+  const Vector x_lu = solve_lu(a, b);
+  EXPECT_LT((x - x_lu).norm_inf(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverProperty, ::testing::Values(1, 2, 4, 8, 15, 25));
+
+}  // namespace
+}  // namespace xl::numerics

@@ -1,0 +1,85 @@
+// Tensor container tests.
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.hpp"
+
+namespace xl::dnn {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "(2, 3)");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, RejectsZeroDimension) {
+  EXPECT_THROW(Tensor({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FillConstructorAndFill) {
+  Tensor t({2, 2}, 1.5F);
+  EXPECT_EQ(t.sum(), 6.0F);
+  t.fill(-1.0F);
+  EXPECT_EQ(t.sum(), -4.0F);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0F;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0F);
+  EXPECT_THROW((void)Tensor({2, 2}).at4(0, 0, 0, 0), std::logic_error);
+}
+
+TEST(Tensor, At2Layout) {
+  Tensor t({3, 4});
+  t.at2(2, 1) = 9.0F;
+  EXPECT_EQ(t[2 * 4 + 1], 9.0F);
+  EXPECT_THROW((void)Tensor({2, 2, 2}).at2(0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.0F;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t[7], 3.0F);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({2}, 1.0F);
+  Tensor b({2}, 2.0F);
+  a += b;
+  EXPECT_EQ(a[0], 3.0F);
+  a -= b;
+  EXPECT_EQ(a[0], 1.0F);
+  a *= 4.0F;
+  EXPECT_EQ(a[1], 4.0F);
+  EXPECT_THROW(a += Tensor({3}), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbs) {
+  Tensor t({3});
+  t[0] = -5.0F;
+  t[1] = 2.0F;
+  EXPECT_EQ(t.max_abs(), 5.0F);
+}
+
+TEST(Tensor, RowExtraction) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const auto row = t.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 3.0F);
+  EXPECT_EQ(row[2], 5.0F);
+}
+
+}  // namespace
+}  // namespace xl::dnn

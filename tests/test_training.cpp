@@ -1,0 +1,161 @@
+// End-to-end training tests: networks learn synthetic tasks, and QAT shows
+// the Fig. 5 low-resolution degradation.
+#include <gtest/gtest.h>
+
+#include "dnn/activations.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/reshape.hpp"
+#include "dnn/models.hpp"
+#include "dnn/trainer.hpp"
+#include "numerics/rng.hpp"
+
+namespace xl::dnn {
+namespace {
+
+using xl::numerics::Rng;
+
+/// A small MLP for fast tests.
+Network small_mlp(Rng& rng, std::size_t inputs, std::size_t classes) {
+  Network net;
+  net.emplace<Dense>(inputs, 32, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(32, classes, rng);
+  return net;
+}
+
+SyntheticSpec tiny_task() {
+  SyntheticSpec spec;
+  spec.classes = 4;
+  spec.height = 8;
+  spec.width = 8;
+  spec.channels = 1;
+  spec.noise_std = 0.08;
+  spec.jitter_px = 0;
+  spec.seed = 9;
+  return spec;
+}
+
+TEST(Training, MlpLearnsTinyTask) {
+  Rng rng(1);
+  const SyntheticSpec spec = tiny_task();
+  const Dataset train = generate_classification(spec, 256, 0);
+  const Dataset test = generate_classification(spec, 128, 1);
+
+  Network net;
+  net.emplace<Flatten>();
+  net.emplace<Dense>(64, 32, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(32, 4, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 3e-3;
+  const TrainResult res = train_classifier(net, train, test, cfg);
+  EXPECT_GT(res.test_accuracy, 0.7) << "loss " << res.final_train_loss;
+  // Loss decreased over training.
+  EXPECT_LT(res.epoch_losses.back(), res.epoch_losses.front());
+}
+
+TEST(Training, LenetLearnsSignMnistLike) {
+  Rng rng(2);
+  SyntheticSpec spec = signmnist_like();
+  const Dataset train = generate_classification(spec, 384, 0);
+  const Dataset test = generate_classification(spec, 192, 1);
+  Network net = build_lenet5(rng);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 2e-3;
+  const TrainResult res = train_classifier(net, train, test, cfg);
+  // 24-way task, chance = 4.2%.
+  EXPECT_GT(res.test_accuracy, 0.5);
+}
+
+TEST(Training, QatHighResolutionDoesNotDestroyAccuracy) {
+  Rng rng(3);
+  const SyntheticSpec spec = tiny_task();
+  const Dataset train = generate_classification(spec, 256, 0);
+  const Dataset test = generate_classification(spec, 128, 1);
+
+  auto run = [&](QuantizationSpec q) {
+    Rng local(3);
+    Network net;
+    net.emplace<Flatten>();
+    net.emplace<Dense>(64, 32, local);
+    net.emplace<ReLU>();
+    net.emplace<Dense>(32, 4, local);
+    net.set_quantization(q);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 32;
+    cfg.learning_rate = 3e-3;
+    return train_classifier(net, train, test, cfg).test_accuracy;
+  };
+
+  const double fp = run(QuantizationSpec{});
+  const double q8 = run(QuantizationSpec{8, 8});
+  const double q1 = run(QuantizationSpec{1, 1});
+  // 8-bit QAT tracks full precision closely; 1-bit collapses hard (Fig. 5).
+  EXPECT_GT(q8, fp - 0.15);
+  EXPECT_LT(q1, q8);
+}
+
+TEST(Training, SiameseLearnsVerification) {
+  Rng rng(4);
+  SyntheticSpec spec = omniglot_like();
+  spec.height = 16;
+  spec.width = 16;
+  const PairDataset train = generate_pairs(spec, 256, 0);
+  const PairDataset test = generate_pairs(spec, 128, 1);
+
+  Network branch;
+  branch.emplace<Flatten>();
+  branch.emplace<Dense>(256, 48, rng);
+  branch.emplace<ReLU>();
+  branch.emplace<Dense>(48, 16, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 2e-3;
+  cfg.contrastive_margin = 1.0;
+  const TrainResult res = train_siamese(branch, train, test, cfg);
+  EXPECT_GT(res.test_accuracy, 0.58);  // Chance = 0.5.
+}
+
+TEST(Training, EvaluateRejectsEmptyData) {
+  Rng rng(5);
+  Network net = small_mlp(rng, 8, 2);
+  Dataset empty;
+  EXPECT_THROW((void)evaluate_classifier(net, empty), std::invalid_argument);
+  PairDataset empty_pairs;
+  EXPECT_THROW((void)evaluate_siamese(net, empty_pairs, 1.0), std::invalid_argument);
+}
+
+TEST(Training, QuantizedInferenceAfterFloatTraining) {
+  // Post-training quantization path: train in float, enable weight
+  // quantization for inference only.
+  Rng rng(6);
+  const SyntheticSpec spec = tiny_task();
+  const Dataset train = generate_classification(spec, 256, 0);
+  const Dataset test = generate_classification(spec, 128, 1);
+  Network net;
+  net.emplace<Flatten>();
+  net.emplace<Dense>(64, 32, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(32, 4, rng);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 3e-3;
+  (void)train_classifier(net, train, test, cfg);
+  const double fp_acc = evaluate_classifier(net, test);
+  net.set_quantization(QuantizationSpec{16, 0});
+  const double q16_acc = evaluate_classifier(net, test);
+  EXPECT_NEAR(q16_acc, fp_acc, 0.05);  // 16-bit is indistinguishable.
+}
+
+}  // namespace
+}  // namespace xl::dnn

@@ -1,0 +1,108 @@
+// Transient thermal model tests: Table II's 4 us TO settling anchor and the
+// Section IV-B runtime recalibration accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/transient.hpp"
+
+namespace xl::thermal {
+namespace {
+
+TEST(ThermalRc, Validation) {
+  ThermalRcParams bad;
+  bad.tau_us = 0.0;
+  EXPECT_THROW(ThermalRcModel{bad}, std::invalid_argument);
+  bad = ThermalRcParams{};
+  bad.shift_nm_per_mw = -1.0;
+  EXPECT_THROW(ThermalRcModel{bad}, std::invalid_argument);
+}
+
+TEST(ThermalRc, StepResponseAsymptote) {
+  const ThermalRcModel model;
+  // 27.5 mW drives one FSR = 18 nm at steady state.
+  const double steady = model.step_response_nm(27.5, 1000.0);
+  EXPECT_NEAR(steady, 18.0, 1e-6);
+  EXPECT_DOUBLE_EQ(model.step_response_nm(27.5, 0.0), 0.0);
+  EXPECT_THROW((void)model.step_response_nm(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ThermalRc, StepResponseMonotone) {
+  const ThermalRcModel model;
+  double prev = -1.0;
+  for (double t = 0.0; t < 6.0; t += 0.5) {
+    const double s = model.step_response_nm(10.0, t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ThermalRc, TableTwoSettlingAnchor) {
+  // tau = 1 us settles to 2% in ~3.9 us — Table II's "4 us" TO latency.
+  const ThermalRcModel model;
+  const double settle = model.settling_time_us(0.02);
+  EXPECT_GT(settle, 3.5);
+  EXPECT_LT(settle, 4.5);
+  EXPECT_THROW((void)model.settling_time_us(0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.settling_time_us(1.0), std::invalid_argument);
+}
+
+TEST(ThermalRc, SettlingConsistentWithStepResponse) {
+  const ThermalRcModel model;
+  const double settle = model.settling_time_us(0.02);
+  const double steady = model.params().shift_nm_per_mw * 10.0;
+  const double at_settle = model.step_response_nm(10.0, settle);
+  EXPECT_NEAR(at_settle / steady, 0.98, 1e-6);
+}
+
+TEST(ThermalRc, EulerSimulationTracksClosedForm) {
+  const ThermalRcModel model;
+  const double dt = 0.01;
+  const std::vector<double> power(600, 10.0);  // 6 us step.
+  const auto shift = model.simulate_nm(power, dt);
+  for (std::size_t i = 99; i < shift.size(); i += 100) {
+    const double t = static_cast<double>(i + 1) * dt;
+    EXPECT_NEAR(shift[i], model.step_response_nm(10.0, t),
+                0.02 * model.params().shift_nm_per_mw * 10.0);
+  }
+}
+
+TEST(ThermalRc, SimulationValidation) {
+  const ThermalRcModel model;
+  EXPECT_THROW((void)model.simulate_nm({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.simulate_nm({1.0}, 2.0), std::invalid_argument);
+}
+
+TEST(ThermalRc, PowerOffDecays) {
+  const ThermalRcModel model;
+  std::vector<double> power(200, 10.0);
+  power.insert(power.end(), 400, 0.0);  // Heater off after 2 us.
+  const auto shift = model.simulate_nm(power, 0.01);
+  EXPECT_GT(shift[199], shift.back());
+  EXPECT_NEAR(shift.back(), 0.0, 0.2);
+}
+
+TEST(Recalibration, PlanScalesWithBankAndShift) {
+  const RecalibrationEvent small = plan_recalibration(0.1, 15);
+  const RecalibrationEvent large = plan_recalibration(0.4, 15);
+  EXPECT_GT(large.extra_power_mw, small.extra_power_mw);
+  EXPECT_DOUBLE_EQ(small.downtime_us, large.downtime_us);  // Settling is linear.
+  const RecalibrationEvent wide = plan_recalibration(0.1, 30);
+  EXPECT_NEAR(wide.extra_power_mw, 2.0 * small.extra_power_mw, 1e-9);
+  EXPECT_THROW((void)plan_recalibration(0.1, 0), std::invalid_argument);
+}
+
+TEST(Recalibration, RareEventsCostNothing) {
+  // Section IV-B: runtime TO re-trim "required rarely". A 4 us pause every
+  // second retains essentially full throughput.
+  const double retention = throughput_retention(4.0, 1000.0);
+  EXPECT_GT(retention, 0.999995);
+  // Pathological: recalibrating every 10 us would be catastrophic.
+  EXPECT_LT(throughput_retention(4.0, 0.01), 0.7);
+  EXPECT_THROW((void)throughput_retention(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)throughput_retention(1.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(throughput_retention(20.0, 0.01), 0.0);
+}
+
+}  // namespace
+}  // namespace xl::thermal

@@ -1,0 +1,110 @@
+// Hybrid TO+EO tuning controller tests (Section IV-B workflow).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "photonics/device_params.hpp"
+#include "thermal/tuning.hpp"
+
+namespace xl::thermal {
+namespace {
+
+using xl::photonics::default_device_params;
+
+TuningBankConfig ted_bank() {
+  TuningBankConfig cfg;
+  cfg.rings = 15;
+  cfg.pitch_um = 5.0;
+  cfg.mode = TuningMode::kHybridTed;
+  return cfg;
+}
+
+std::vector<double> drifts(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+TEST(HybridTuning, Validation) {
+  TuningBankConfig cfg = ted_bank();
+  cfg.rings = 0;
+  EXPECT_THROW(HybridTuningController(cfg, default_device_params()), std::invalid_argument);
+  cfg = ted_bank();
+  cfg.pitch_um = 0.0;
+  EXPECT_THROW(HybridTuningController(cfg, default_device_params()), std::invalid_argument);
+  cfg = ted_bank();
+  cfg.eo_max_shift_nm = -1.0;
+  EXPECT_THROW(HybridTuningController(cfg, default_device_params()), std::invalid_argument);
+}
+
+TEST(HybridTuning, PhasePerNmMatchesFsr) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  // One FSR (18 nm) of shift = 2 pi of phase.
+  EXPECT_NEAR(ctl.phase_per_nm() * 18.0, 2.0 * M_PI, 1e-12);
+}
+
+TEST(HybridTuning, EoRangeDecision) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  EXPECT_TRUE(ctl.eo_covers(0.5));
+  EXPECT_TRUE(ctl.eo_covers(-1.4));
+  EXPECT_FALSE(ctl.eo_covers(2.0));  // Falls back to TO.
+}
+
+TEST(HybridTuning, PlanValidatesInputs) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  EXPECT_THROW((void)ctl.plan(drifts(14, 0.5)), std::invalid_argument);
+  EXPECT_THROW((void)ctl.plan(drifts(15, 0.5), -1.0), std::invalid_argument);
+}
+
+TEST(HybridTuning, HybridImprintIsFastAndCheap) {
+  const auto params = default_device_params();
+  const HybridTuningController ctl(ted_bank(), params);
+  const TuningReport report = ctl.plan(drifts(15, 1.0));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_DOUBLE_EQ(report.imprint_latency_ns, params.eo_tuning_latency_ns);
+  // EO imprint: 4 uW/nm * 0.5 nm * 20 ns = 0.04 pJ.
+  EXPECT_NEAR(report.eo_energy_per_imprint_pj, 0.04, 1e-9);
+}
+
+TEST(HybridTuning, ThermalOnlyImprintIsSlowAndCostly) {
+  const auto params = default_device_params();
+  TuningBankConfig cfg = ted_bank();
+  cfg.mode = TuningMode::kThermalOnly;
+  cfg.pitch_um = 120.0;  // Guard spacing required without TED.
+  const HybridTuningController ctl(cfg, params);
+  const TuningReport report = ctl.plan(drifts(15, 1.0));
+  // TO imprint: microseconds, not nanoseconds.
+  EXPECT_NEAR(report.imprint_latency_ns, 4000.0, 1e-9);
+  const HybridTuningController hybrid(ted_bank(), params);
+  const TuningReport h = hybrid.plan(drifts(15, 1.0));
+  EXPECT_GT(report.imprint_latency_ns, 100.0 * h.imprint_latency_ns);
+  EXPECT_GT(report.eo_energy_per_imprint_pj, 1000.0 * h.eo_energy_per_imprint_pj);
+}
+
+TEST(HybridTuning, LargerDriftsNeedMorePower) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  const TuningReport small = ctl.plan(drifts(15, 0.5));
+  const TuningReport large = ctl.plan(drifts(15, 2.0));
+  EXPECT_GT(large.static_to_power_mw, small.static_to_power_mw);
+}
+
+TEST(HybridTuning, ZeroDriftZeroTrimPower) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  const TuningReport report = ctl.plan(drifts(15, 0.0));
+  EXPECT_NEAR(report.static_to_power_mw, 0.0, 1e-9);
+}
+
+TEST(HybridTuning, DriftSignIrrelevant) {
+  const HybridTuningController ctl(ted_bank(), default_device_params());
+  const TuningReport pos = ctl.plan(drifts(15, 1.0));
+  const TuningReport neg = ctl.plan(drifts(15, -1.0));
+  EXPECT_NEAR(pos.static_to_power_mw, neg.static_to_power_mw, 1e-9);
+}
+
+TEST(HybridTuning, BootCalibrationUsesToLatency) {
+  const auto params = default_device_params();
+  const HybridTuningController ctl(ted_bank(), params);
+  EXPECT_DOUBLE_EQ(ctl.plan(drifts(15, 0.5)).boot_calibration_us, params.to_tuning_latency_us);
+}
+
+}  // namespace
+}  // namespace xl::thermal

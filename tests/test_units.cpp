@@ -1,0 +1,51 @@
+// Unit-conversion tests — every power/loss computation rides on these.
+#include <gtest/gtest.h>
+
+#include "photonics/units.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(Units, MwToDbmKnownPoints) {
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mw_to_dbm(10.0), 10.0);
+  EXPECT_NEAR(mw_to_dbm(2.0), 3.0103, 1e-4);
+}
+
+TEST(Units, DbmToMwRoundTrip) {
+  for (double dbm : {-30.0, -10.0, 0.0, 7.5, 20.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-12);
+  }
+}
+
+TEST(Units, MwToDbmRejectsNonPositive) {
+  EXPECT_THROW((void)mw_to_dbm(0.0), std::domain_error);
+  EXPECT_THROW((void)mw_to_dbm(-1.0), std::domain_error);
+}
+
+TEST(Units, RatioDbRoundTrip) {
+  EXPECT_DOUBLE_EQ(ratio_to_db(1.0), 0.0);
+  EXPECT_NEAR(db_to_ratio(3.0), 1.9953, 1e-4);
+  EXPECT_NEAR(ratio_to_db(db_to_ratio(-4.7)), -4.7, 1e-12);
+}
+
+TEST(Units, AttenuationHalvesAtThreeDb) {
+  EXPECT_NEAR(attenuate_mw(10.0, 3.0103), 5.0, 1e-3);
+  EXPECT_DOUBLE_EQ(attenuate_mw(10.0, 0.0), 10.0);
+}
+
+TEST(Units, AttenuationComposes) {
+  // Sequential attenuation in dB is additive.
+  const double once = attenuate_mw(attenuate_mw(8.0, 1.3), 2.7);
+  const double combined = attenuate_mw(8.0, 4.0);
+  EXPECT_NEAR(once, combined, 1e-12);
+}
+
+TEST(Units, WavelengthToFrequency) {
+  // 1550 nm -> ~193.4 THz.
+  EXPECT_NEAR(wavelength_nm_to_freq_ghz(1550.0), 193414.0, 10.0);
+  EXPECT_THROW((void)wavelength_nm_to_freq_ghz(0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace xl::photonics

@@ -1,0 +1,124 @@
+// WDM grid, wavelength reuse (Section IV-C.3), and the Eq. 8-10 crosstalk /
+// resolution analysis (Section V-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/crosstalk.hpp"
+#include "photonics/wdm.hpp"
+
+namespace xl::photonics {
+namespace {
+
+TEST(WavelengthGrid, SpacingTilesFsr) {
+  const WavelengthGrid grid(15, 18.0, 1550.0);
+  EXPECT_EQ(grid.channels(), 15u);
+  EXPECT_NEAR(grid.spacing_nm(), 1.2, 1e-12);
+  EXPECT_NEAR(grid.wavelength_nm(14), 1550.0 + 14 * 1.2, 1e-9);
+}
+
+TEST(WavelengthGrid, Validation) {
+  EXPECT_THROW(WavelengthGrid(0, 18.0), std::invalid_argument);
+  EXPECT_THROW(WavelengthGrid(4, -1.0), std::invalid_argument);
+}
+
+TEST(WavelengthGrid, MinSeparationWrapsAroundFsr) {
+  const WavelengthGrid grid(6, 18.0, 1550.0);  // Spacing 3 nm.
+  // Adjacent channels: 3 nm.
+  EXPECT_NEAR(grid.min_separation_nm(0, 1), 3.0, 1e-9);
+  // Extreme channels: direct 15 nm, but only 3 nm through the FSR wrap.
+  EXPECT_NEAR(grid.min_separation_nm(0, 5), 3.0, 1e-9);
+}
+
+TEST(WavelengthReuse, BoundsUniqueWavelengths) {
+  const auto plan = plan_wavelength_reuse(150, 15);
+  EXPECT_EQ(plan.arms, 10u);
+  EXPECT_EQ(plan.unique_wavelengths, 15u);
+  EXPECT_EQ(plan.wavelengths_without_reuse, 150u);
+}
+
+TEST(WavelengthReuse, SmallVectorsNeedFewerWavelengths) {
+  const auto plan = plan_wavelength_reuse(7, 15);
+  EXPECT_EQ(plan.arms, 1u);
+  EXPECT_EQ(plan.unique_wavelengths, 7u);
+}
+
+TEST(WavelengthReuse, ZeroChunkThrows) {
+  EXPECT_THROW((void)plan_wavelength_reuse(10, 0), std::invalid_argument);
+}
+
+TEST(Crosstalk, CouplingIsEqEight) {
+  // phi = delta^2 / (sep^2 + delta^2).
+  EXPECT_DOUBLE_EQ(crosstalk_coupling(0.0, 0.1), 1.0);
+  EXPECT_NEAR(crosstalk_coupling(0.1, 0.1), 0.5, 1e-12);
+  EXPECT_NEAR(crosstalk_coupling(1.0, 0.1), 0.01 / 1.01, 1e-12);
+  EXPECT_THROW((void)crosstalk_coupling(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Crosstalk, CouplingDecreasesWithSeparation) {
+  double prev = 1.0;
+  for (double sep = 0.1; sep < 5.0; sep += 0.1) {
+    const double phi = crosstalk_coupling(sep, 0.0969);
+    EXPECT_LT(phi, prev);
+    prev = phi;
+  }
+}
+
+TEST(Resolution, PaperOperatingPointReachesSixteenBits) {
+  // Q ~ 8000, FSR 18 nm, 15 MRs/bank with > 1 nm spacing (Section V-B).
+  EXPECT_EQ(bank_resolution_bits(15, 18.0), 16);
+}
+
+TEST(Resolution, SingleChannelIsTransceiverLimited) {
+  EXPECT_EQ(bank_resolution_bits(1, 18.0), 16);
+}
+
+TEST(Resolution, DegradesWithChannelCount) {
+  // Without wavelength reuse, large vectors force dense combs (prior work).
+  int prev_bits = 17;
+  for (std::size_t channels : {15ul, 30ul, 45ul, 60ul, 90ul}) {
+    const int bits = bank_resolution_bits(channels, 18.0);
+    EXPECT_LE(bits, prev_bits);
+    prev_bits = bits;
+  }
+  // DEAP-style dense combs collapse to a few bits (paper: 4), Holylight-style
+  // per-device resolution collapses further (paper: 2 per microdisk).
+  EXPECT_LE(bank_resolution_bits(60, 18.0), 4);
+  EXPECT_LE(bank_resolution_bits(90, 18.0), 2);
+}
+
+TEST(Resolution, DegradesWithLowerQ) {
+  ResolutionOptions high_q;
+  high_q.q_factor = 8000.0;
+  ResolutionOptions low_q;
+  low_q.q_factor = 2000.0;
+  EXPECT_GE(bank_resolution_bits(15, 18.0, high_q), bank_resolution_bits(15, 18.0, low_q));
+  EXPECT_LT(bank_resolution_bits(15, 18.0, low_q), 16);
+}
+
+TEST(Resolution, NoisePowerPerChannelComputed) {
+  const WavelengthGrid grid(15, 18.0, 1550.0);
+  const CrosstalkAnalysis a = analyze_crosstalk(grid);
+  ASSERT_EQ(a.noise_power.size(), 15u);
+  for (double p : a.noise_power) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, a.max_noise_power);
+  }
+  EXPECT_NEAR(a.resolution, 1.0 / a.max_noise_power, 1e-12);
+}
+
+TEST(Resolution, EdgeChannelsSeeSameNoiseUnderFsrWrap) {
+  // With periodic wrap, every channel of a uniform comb is equivalent.
+  const WavelengthGrid grid(10, 18.0, 1550.0);
+  const CrosstalkAnalysis a = analyze_crosstalk(grid);
+  for (double p : a.noise_power) {
+    EXPECT_NEAR(p, a.noise_power.front(), 1e-9);
+  }
+}
+
+TEST(Resolution, EmptyBankThrows) {
+  EXPECT_THROW((void)bank_resolution_bits(0, 18.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xl::photonics
