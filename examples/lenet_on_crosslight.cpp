@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/batched_vdp_engine.hpp"
 #include "core/vdp_simulator.hpp"
 #include "dnn/datasets.hpp"
 #include "dnn/dense.hpp"
@@ -39,27 +40,38 @@ int main() {
               result.test_accuracy - q_acc);
 
   // --- 3. Spot-check the analog datapath on real layer weights ------------
-  // Run a handful of fc2 row dot-products through the photonic simulator.
-  const core::VdpSimulator sim;
-  auto& fc2 = dynamic_cast<dnn::Dense&>(net.layer(9));  // Final dense layer.
+  // Run a batch of probe activations against every fc2 weight row in one
+  // photonic GEMM and compare with the exact electronic GEMM.
+  core::BatchedVdpEngine engine;
+  auto& fc2 = static_cast<dnn::Dense&>(net.layer(9));  // Final dense layer.
   numerics::Rng probe_rng(7);
-  double worst_rel_err = 0.0;
-  for (int trial = 0; trial < 8; ++trial) {
-    std::vector<double> activation(fc2.in_features());
-    for (double& a : activation) a = probe_rng.uniform(0.0, 1.0);
-    std::vector<double> weights(fc2.in_features());
-    const auto row = static_cast<std::size_t>(
-        probe_rng.uniform_int(0, static_cast<std::int64_t>(fc2.out_features()) - 1));
+  const std::size_t probes = 8;
+  numerics::Matrix activations(probes, fc2.in_features());
+  for (std::size_t b = 0; b < probes; ++b) {
     for (std::size_t i = 0; i < fc2.in_features(); ++i) {
-      weights[i] = fc2.weights().at2(row, i);
+      activations(b, i) = probe_rng.uniform(0.0, 1.0);
     }
-    const double exact = core::VdpSimulator::exact_dot(activation, weights);
-    const double photonic = sim.dot(activation, weights);
-    const double rel = exact == 0.0 ? 0.0 : std::abs(photonic - exact) / std::abs(exact);
-    worst_rel_err = std::max(worst_rel_err, rel);
   }
-  std::printf("photonic VDP spot-check: worst relative error %.2f%% over 8 rows\n\n",
-              100.0 * worst_rel_err);
+  numerics::Matrix weights(fc2.out_features(), fc2.in_features());
+  for (std::size_t o = 0; o < fc2.out_features(); ++o) {
+    for (std::size_t i = 0; i < fc2.in_features(); ++i) {
+      weights(o, i) = fc2.weights().at2(o, i);
+    }
+  }
+  const numerics::Matrix photonic = engine.photonic_matmul(activations, weights);
+  const numerics::Matrix exact = core::BatchedVdpEngine::exact_matmul(activations, weights);
+  double worst_abs_err = 0.0;
+  double scale = 0.0;
+  for (std::size_t b = 0; b < photonic.rows(); ++b) {
+    for (std::size_t o = 0; o < photonic.cols(); ++o) {
+      worst_abs_err = std::max(worst_abs_err, std::abs(photonic(b, o) - exact(b, o)));
+      scale = std::max(scale, std::abs(exact(b, o)));
+    }
+  }
+  std::printf("photonic GEMM spot-check: worst error %.2f%% of full scale over\n"
+              "%zu x %zu outputs (%zu MACs in one batched call)\n\n",
+              100.0 * worst_abs_err / scale, photonic.rows(), photonic.cols(),
+              engine.stats().macs);
 
   // --- 4. Hardware metrics for this model on the flagship config ----------
   const core::CrossLightAccelerator accel(core::best_config());

@@ -76,6 +76,17 @@ int main() {
                 photonics::bank_resolution_bits(15, 18.0, ro));
   }
 
+  // Work accounting of the batched engine (one photonic GEMM per CONV/FC
+  // layer per batch instead of one scalar dot per output element).
+  core::PhotonicInferenceEngine engine(net);
+  (void)engine.evaluate_accuracy(test, kSamples);
+  const auto& st = engine.stats();
+  std::printf("\nbatched datapath work: %zu samples in %zu batches -> %zu photonic\n"
+              "GEMMs covering %zu dot products (%.2f MMACs)\n",
+              st.samples_inferred, st.batches_inferred, st.photonic_matmuls,
+              st.photonic_dot_products,
+              static_cast<double>(st.photonic_macs) * 1e-6);
+
   std::printf("\nBoth views agree: at the paper's operating point (Q = 8000,\n"
               "16-bit) the analog datapath preserves model accuracy; degrading\n"
               "either knob degrades both the analytical bank resolution and the\n"

@@ -1,0 +1,138 @@
+#include "core/batched_vdp_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/gemm.hpp"
+#include "photonics/crosstalk.hpp"
+
+namespace xl::core {
+
+namespace {
+/// Output tile edge: 32x32 pairs keep the per-sample activation row and the
+/// per-output detuning row hot in cache while giving OpenMP enough tiles.
+constexpr std::size_t kTile = 32;
+}  // namespace
+
+BatchedVdpEngine::BatchedVdpEngine(const VdpSimOptions& opts)
+    : opts_(opts), sim_(opts) {}
+
+numerics::Matrix BatchedVdpEngine::exact_matmul(const numerics::Matrix& x,
+                                                const numerics::Matrix& w) {
+  return numerics::matmul_transposed(x, w);
+}
+
+numerics::Matrix BatchedVdpEngine::photonic_matmul(const numerics::Matrix& x,
+                                                   const numerics::Matrix& w) {
+  if (x.cols() != w.cols()) {
+    throw std::invalid_argument("BatchedVdpEngine::photonic_matmul: K mismatch");
+  }
+  const std::size_t batch = x.rows();
+  const std::size_t outputs = w.rows();
+  const std::size_t k = x.cols();
+  numerics::Matrix y(batch, outputs);
+  if (batch == 0 || outputs == 0) return y;
+
+  stats_.matmuls += 1;
+  stats_.dot_products += batch * outputs;
+  stats_.macs += batch * outputs * k;
+  stats_.max_batch_rows = std::max(stats_.max_batch_rows, batch);
+  if (k == 0) return y;
+
+  const auto& lut = sim_.lut();
+  const auto& quant = lut.quantizer();
+  const std::size_t bank = lut.bank_size();
+  const bool crosstalk = opts_.model_crosstalk;
+
+  // DAC row normalization, once per row instead of once per output element.
+  const numerics::Vector sx = numerics::row_abs_max(x);
+  const numerics::Vector sw = numerics::row_abs_max(w);
+
+  // Activation-side tables, once per (sample, element): quantized magnitude
+  // and the sign bit that is folded into the weight at pair time.
+  std::vector<double> a_mag(batch * k);
+  std::vector<unsigned char> x_neg(batch * k);
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (sx[b] == 0.0) continue;  // Row contributes exact zeros.
+    const std::span<const double> row = x.row(b);
+    for (std::size_t i = 0; i < k; ++i) {
+      a_mag[b * k + i] = lut.quantize_magnitude(std::abs(row[i]) / sx[b]);
+      x_neg[b * k + i] = row[i] < 0.0 ? 1 : 0;
+    }
+  }
+
+  // Weight-side tables, once per (output, element): imprint detuning via the
+  // per-code LUT, plus the weight sign for the balanced-PD arm split.
+  std::vector<double> w_det(outputs * k);
+  std::vector<unsigned char> w_neg(outputs * k);
+  std::vector<unsigned char> w_zero(outputs * k);
+  for (std::size_t o = 0; o < outputs; ++o) {
+    if (sw[o] == 0.0) continue;
+    const std::span<const double> row = w.row(o);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double wv = row[i];
+      w_det[o * k + i] =
+          lut.detune_for_code(i % bank, quant.encode(std::abs(wv) / sw[o]));
+      w_neg[o * k + i] = wv < 0.0 ? 1 : 0;
+      w_zero[o * k + i] = wv == 0.0 ? 1 : 0;
+    }
+  }
+
+  const auto row_tiles = static_cast<std::int64_t>((batch + kTile - 1) / kTile);
+  const auto col_tiles = static_cast<std::int64_t>((outputs + kTile - 1) / kTile);
+
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    xl::photonics::VdpScratch scratch;
+    std::vector<unsigned char> neg(k);
+#ifdef _OPENMP
+#pragma omp for collapse(2) schedule(static)
+#endif
+    for (std::int64_t bt = 0; bt < row_tiles; ++bt) {
+      for (std::int64_t ot = 0; ot < col_tiles; ++ot) {
+        const std::size_t b0 = static_cast<std::size_t>(bt) * kTile;
+        const std::size_t b1 = std::min(batch, b0 + kTile);
+        const std::size_t o0 = static_cast<std::size_t>(ot) * kTile;
+        const std::size_t o1 = std::min(outputs, o0 + kTile);
+        for (std::size_t b = b0; b < b1; ++b) {
+          if (sx[b] == 0.0) continue;  // y row already zero.
+          const double* a_row = a_mag.data() + b * k;
+          const unsigned char* xs = x_neg.data() + b * k;
+          for (std::size_t o = o0; o < o1; ++o) {
+            if (sw[o] == 0.0) continue;
+            const double* det_row = w_det.data() + o * k;
+            const unsigned char* ws = w_neg.data() + o * k;
+            const unsigned char* wz = w_zero.data() + o * k;
+            // Fold the activation sign into the weight: the folded weight is
+            // negative iff signs differ and the weight is nonzero (a zero
+            // weight lands on the positive arm, as in the scalar path).
+            for (std::size_t i = 0; i < k; ++i) {
+              neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
+            }
+            y(b, o) = lut.vdp_dot({a_row, k}, {det_row, k}, {neg.data(), k},
+                                  crosstalk, scratch) *
+                      sx[b] * sw[o];
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+int BatchedVdpEngine::achievable_resolution_bits() const {
+  xl::photonics::ResolutionOptions ro;
+  ro.q_factor = opts_.q_factor;
+  ro.center_wavelength_nm = opts_.center_wavelength_nm;
+  ro.dac_bit_cap = opts_.resolution_bits;
+  const xl::photonics::WavelengthGrid grid(opts_.mrs_per_bank, opts_.fsr_nm,
+                                           opts_.center_wavelength_nm);
+  return xl::photonics::analyze_crosstalk(grid, ro).resolution_bits;
+}
+
+}  // namespace xl::core

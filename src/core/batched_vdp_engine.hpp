@@ -1,0 +1,74 @@
+// Batched photonic execution engine: whole GEMMs on the simulated VDP
+// datapath.
+//
+// Where VdpSimulator answers "what does one analog dot product compute",
+// this engine answers the same question for an entire matrix product
+// Y = X * W^T (a batch of activations against a layer's weight rows, or an
+// im2col patch matrix against conv filters). Per-call work that the scalar
+// path repeats for every output element is hoisted to once per operand:
+//   * DAC row normalization (per-row max magnitudes via numerics kernels),
+//   * activation quantization, once per (sample, element),
+//   * weight quantization and the weight->detuning imprint inversion, once
+//     per (output, element) via the photonics::MrBankTransferLut code LUT.
+// The inner chunked kernel is *shared* with VdpSimulator, so every output
+// element is bit-identical to the scalar sim.dot(X.row(b), W.row(o)) —
+// verified by tests/test_batched_vdp_engine.cpp.
+//
+// Output tiles are processed in parallel with OpenMP; each element is owned
+// by exactly one iteration, so results are deterministic for any thread
+// count.
+#pragma once
+
+#include <cstddef>
+
+#include "core/vdp_simulator.hpp"
+#include "numerics/matrix.hpp"
+#include "photonics/bank_lut.hpp"
+
+namespace xl::core {
+
+/// Work counters for one engine (accumulated across photonic_matmul calls).
+struct BatchedVdpStats {
+  std::size_t matmuls = 0;        ///< photonic_matmul invocations.
+  std::size_t dot_products = 0;   ///< Output elements simulated.
+  std::size_t macs = 0;           ///< Multiply-accumulates simulated.
+  std::size_t max_batch_rows = 0; ///< Largest activation batch seen.
+};
+
+class BatchedVdpEngine {
+ public:
+  explicit BatchedVdpEngine(const VdpSimOptions& opts = {});
+
+  /// Photonic Y = X * W^T: X is (batch x K) activations, W is (outputs x K)
+  /// weight rows, Y is (batch x outputs). Rows are normalized independently
+  /// (per-sample sx, per-output sw), matching the scalar simulator's
+  /// per-dot DAC scaling. Throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] numerics::Matrix photonic_matmul(const numerics::Matrix& x,
+                                                 const numerics::Matrix& w);
+
+  /// Exact electronic reference for the same GEMM shape (tiled kernel).
+  [[nodiscard]] static numerics::Matrix exact_matmul(const numerics::Matrix& x,
+                                                     const numerics::Matrix& w);
+
+  [[nodiscard]] const VdpSimOptions& options() const noexcept { return opts_; }
+  /// Precomputed transfer tables (shared kernel with VdpSimulator).
+  [[nodiscard]] const xl::photonics::MrBankTransferLut& lut() const noexcept {
+    return sim_.lut();
+  }
+  /// Scalar reference simulator over the same bank (for parity checks).
+  [[nodiscard]] const VdpSimulator& scalar_simulator() const noexcept { return sim_; }
+
+  /// Eq. 8-10 achievable resolution of this engine's WDM comb, from the
+  /// precomputed crosstalk row sums (Section V-B).
+  [[nodiscard]] int achievable_resolution_bits() const;
+
+  [[nodiscard]] const BatchedVdpStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = BatchedVdpStats{}; }
+
+ private:
+  VdpSimOptions opts_;
+  VdpSimulator sim_;  ///< Owns the grid + LUT; also the scalar fallback.
+  BatchedVdpStats stats_;
+};
+
+}  // namespace xl::core

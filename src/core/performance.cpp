@@ -25,22 +25,38 @@ double pipeline_fill_ns(const ArchitectureConfig& config) {
 
 PerformanceReport evaluate_performance(const ModelMapping& mapping,
                                        const ArchitectureConfig& config) {
+  return evaluate_performance(mapping, config, 1);
+}
+
+PerformanceReport evaluate_performance(const ModelMapping& mapping,
+                                       const ArchitectureConfig& config,
+                                       std::size_t batch) {
   config.validate();
   if (mapping.layers.empty()) {
     throw std::invalid_argument("evaluate_performance: empty mapping");
   }
+  if (batch == 0) {
+    throw std::invalid_argument("evaluate_performance: batch must be >= 1");
+  }
   const double cycle = vdp_cycle_ns(config);
   const double fill = pipeline_fill_ns(config);
 
+  // Per layer: pass rounds scale with the batch, the pipeline fill (weight
+  // imprint + optoelectronic chain) is paid once per layer per batch.
   double latency_ns = 0.0;
   for (const LayerMapping& layer : mapping.layers) {
-    latency_ns += static_cast<double>(layer.rounds) * cycle + fill;
+    const std::size_t batched_passes = layer.total_passes * batch;
+    const std::size_t rounds =
+        layer.unit_pool > 0 ? (batched_passes + layer.unit_pool - 1) / layer.unit_pool
+                            : batched_passes;
+    latency_ns += static_cast<double>(rounds) * cycle + fill;
   }
 
   PerformanceReport perf;
   perf.cycle_ns = cycle;
+  perf.batch = batch;
   perf.frame_latency_us = latency_ns * 1e-3;
-  perf.fps = 1e9 / latency_ns;
+  perf.fps = static_cast<double>(batch) * 1e9 / latency_ns;
   return perf;
 }
 

@@ -25,4 +25,13 @@ namespace xl::core {
 [[nodiscard]] PerformanceReport evaluate_performance(const ModelMapping& mapping,
                                                      const ArchitectureConfig& config);
 
+/// Batched variant: `batch` samples execute back-to-back per layer, so the
+/// per-layer pipeline fill (EO imprint + optoelectronic chain) amortizes
+/// over the batch while pass rounds scale with it. Mirrors the event
+/// scheduler's ScheduleOptions::batch; the two agree within a few percent
+/// (asserted in tests/test_scheduler.cpp).
+[[nodiscard]] PerformanceReport evaluate_performance(const ModelMapping& mapping,
+                                                     const ArchitectureConfig& config,
+                                                     std::size_t batch);
+
 }  // namespace xl::core

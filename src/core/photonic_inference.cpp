@@ -1,122 +1,158 @@
 #include "core/photonic_inference.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "dnn/conv2d.hpp"
 #include "dnn/dense.hpp"
-#include "dnn/loss.hpp"
+#include "dnn/im2col.hpp"
+#include "numerics/matrix.hpp"
 
 namespace xl::core {
 
 using dnn::Conv2d;
 using dnn::Dense;
+using dnn::LayerKind;
 using dnn::Shape;
 using dnn::Tensor;
+using numerics::Matrix;
 
 PhotonicInferenceEngine::PhotonicInferenceEngine(dnn::Network& network,
                                                  const VdpSimOptions& options)
-    : network_(network), simulator_(options) {}
+    : network_(network), engine_(options) {}
+
+void PhotonicInferenceEngine::set_eval_batch_size(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("PhotonicInference: zero batch size");
+  eval_batch_ = n;
+}
+
+void PhotonicInferenceEngine::accumulate_layer_error(const Tensor& photonic,
+                                                     const Tensor& reference) {
+  for (std::size_t j = 0; j < photonic.numel(); ++j) {
+    stats_.max_abs_layer_error =
+        std::max(stats_.max_abs_layer_error,
+                 static_cast<double>(std::abs(photonic[j] - reference[j])));
+  }
+}
 
 Tensor PhotonicInferenceEngine::run_dense_photonic(const Tensor& input, Dense& layer) {
-  if (input.rank() != 2 || input.dim(0) != 1 || input.dim(1) != layer.in_features()) {
+  if (input.rank() != 2 || input.dim(1) != layer.in_features()) {
     throw std::invalid_argument("PhotonicInference: dense input shape mismatch");
   }
-  std::vector<double> x(layer.in_features());
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = input[i];
+  const std::size_t batch = input.dim(0);
+  const std::size_t in = layer.in_features();
+  const std::size_t out_f = layer.out_features();
 
-  Tensor out({1, layer.out_features()});
-  std::vector<double> w(layer.in_features());
-  for (std::size_t o = 0; o < layer.out_features(); ++o) {
-    for (std::size_t i = 0; i < w.size(); ++i) w[i] = layer.weights().at2(o, i);
-    out.at2(0, o) = static_cast<float>(simulator_.dot(x, w) + layer.bias()[o]);
-    ++stats_.photonic_dot_products;
-    stats_.photonic_macs += w.size();
+  Matrix x(batch, in);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t i = 0; i < in; ++i) x(b, i) = input.at2(b, i);
   }
+  Matrix w(out_f, in);
+  for (std::size_t o = 0; o < out_f; ++o) {
+    for (std::size_t i = 0; i < in; ++i) w(o, i) = layer.weights().at2(o, i);
+  }
+
+  const Matrix y = engine_.photonic_matmul(x, w);
+  Tensor out({batch, out_f});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_f; ++o) {
+      out.at2(b, o) = static_cast<float>(y(b, o) + layer.bias()[o]);
+    }
+  }
+  stats_.photonic_matmuls += 1;
+  stats_.photonic_dot_products += batch * out_f;
+  stats_.photonic_macs += batch * out_f * in;
   return out;
 }
 
 Tensor PhotonicInferenceEngine::run_conv_photonic(const Tensor& input, Conv2d& layer) {
   const Shape out_shape = layer.output_shape(input.shape());
   const auto& cfg = layer.config();
-  const std::size_t h_in = input.dim(2);
-  const std::size_t w_in = input.dim(3);
-  const std::size_t patch_len = cfg.in_channels * cfg.kernel * cfg.kernel;
-  const auto pad = static_cast<std::ptrdiff_t>(cfg.padding);
 
-  // Pre-extract filter rows once per layer (im2col-style lowering: every
-  // output pixel is one VDP dot product, Section IV-C.1).
-  std::vector<std::vector<double>> filters(cfg.out_channels,
-                                           std::vector<double>(patch_len));
+  // Shared im2col lowering: the whole batch becomes one patch-matrix GEMM
+  // against the filter rows (Section IV-C.1, batched).
+  const Tensor patches = dnn::im2col(input, cfg);
+  const std::size_t rows = patches.dim(0);
+  const std::size_t patch_len = patches.dim(1);
+
+  Matrix x(rows, patch_len);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* src = patches.data() + r * patch_len;
+    for (std::size_t i = 0; i < patch_len; ++i) x(r, i) = src[i];
+  }
+  Matrix w(cfg.out_channels, patch_len);
   for (std::size_t co = 0; co < cfg.out_channels; ++co) {
-    std::size_t k = 0;
-    for (std::size_t ci = 0; ci < cfg.in_channels; ++ci) {
-      for (std::size_t ky = 0; ky < cfg.kernel; ++ky) {
-        for (std::size_t kx = 0; kx < cfg.kernel; ++kx) {
-          filters[co][k++] = layer.weights().at4(co, ci, ky, kx);
-        }
-      }
-    }
+    const float* src = layer.weights().data() + co * patch_len;
+    for (std::size_t i = 0; i < patch_len; ++i) w(co, i) = src[i];
   }
 
+  const Matrix y = engine_.photonic_matmul(x, w);
+  const std::size_t pixels = out_shape[2] * out_shape[3];
   Tensor out(out_shape);
-  std::vector<double> patch(patch_len);
-  for (std::size_t oy = 0; oy < out_shape[2]; ++oy) {
-    for (std::size_t ox = 0; ox < out_shape[3]; ++ox) {
-      const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy * cfg.stride) - pad;
-      const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * cfg.stride) - pad;
-      std::size_t k = 0;
-      for (std::size_t ci = 0; ci < cfg.in_channels; ++ci) {
-        for (std::size_t ky = 0; ky < cfg.kernel; ++ky) {
-          for (std::size_t kx = 0; kx < cfg.kernel; ++kx, ++k) {
-            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
-            const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
-            const bool inside = iy >= 0 && iy < static_cast<std::ptrdiff_t>(h_in) &&
-                                ix >= 0 && ix < static_cast<std::ptrdiff_t>(w_in);
-            patch[k] = inside ? input.at4(0, ci, static_cast<std::size_t>(iy),
-                                          static_cast<std::size_t>(ix))
-                              : 0.0;
-          }
-        }
-      }
-      for (std::size_t co = 0; co < cfg.out_channels; ++co) {
-        out.at4(0, co, oy, ox) =
-            static_cast<float>(simulator_.dot(patch, filters[co]) + layer.bias()[co]);
-        ++stats_.photonic_dot_products;
-        stats_.photonic_macs += patch_len;
-      }
+  float* dst = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t n = r / pixels;
+    const std::size_t pixel = r % pixels;
+    for (std::size_t co = 0; co < cfg.out_channels; ++co) {
+      dst[(n * cfg.out_channels + co) * pixels + pixel] =
+          static_cast<float>(y(r, co) + layer.bias()[co]);
     }
   }
+  stats_.photonic_matmuls += 1;
+  stats_.photonic_dot_products += rows * cfg.out_channels;
+  stats_.photonic_macs += rows * cfg.out_channels * patch_len;
   return out;
+}
+
+Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
+  if (batch.rank() < 2 || batch.dim(0) == 0) {
+    throw std::invalid_argument("PhotonicInference: batch must have rank >= 2 and N >= 1");
+  }
+  Tensor x = batch;
+  for (std::size_t i = 0; i < network_.layer_count(); ++i) {
+    dnn::Layer& layer = network_.layer(i);
+    switch (layer.kind_id()) {
+      case LayerKind::kDense: {
+        auto& dense = static_cast<Dense&>(layer);
+        if (track_layer_error_) {
+          const Tensor reference = dense.forward(x, false);
+          x = run_dense_photonic(x, dense);
+          accumulate_layer_error(x, reference);
+        } else {
+          x = run_dense_photonic(x, dense);
+        }
+        break;
+      }
+      case LayerKind::kConv: {
+        auto& conv = static_cast<Conv2d&>(layer);
+        if (track_layer_error_) {
+          const Tensor reference = conv.forward(x, false);
+          x = run_conv_photonic(x, conv);
+          accumulate_layer_error(x, reference);
+        } else {
+          x = run_conv_photonic(x, conv);
+        }
+        break;
+      }
+      case LayerKind::kPool:
+      case LayerKind::kActivation:
+      case LayerKind::kOther:
+        // Electronic-domain layer (pooling, activation, flatten, dropout).
+        x = layer.forward(x, false);
+        break;
+    }
+  }
+  stats_.samples_inferred += batch.dim(0);
+  stats_.batches_inferred += 1;
+  return x;
 }
 
 Tensor PhotonicInferenceEngine::infer(const Tensor& sample) {
   if (sample.rank() < 2 || sample.dim(0) != 1) {
     throw std::invalid_argument("PhotonicInference: batch dimension must be 1");
   }
-  Tensor x = sample;
-  for (std::size_t i = 0; i < network_.layer_count(); ++i) {
-    dnn::Layer& layer = network_.layer(i);
-    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
-      const Tensor reference = dense->forward(x, false);
-      x = run_dense_photonic(x, *dense);
-      for (std::size_t j = 0; j < x.numel(); ++j) {
-        stats_.max_abs_layer_error = std::max(
-            stats_.max_abs_layer_error, static_cast<double>(std::abs(x[j] - reference[j])));
-      }
-    } else if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
-      const Tensor reference = conv->forward(x, false);
-      x = run_conv_photonic(x, *conv);
-      for (std::size_t j = 0; j < x.numel(); ++j) {
-        stats_.max_abs_layer_error = std::max(
-            stats_.max_abs_layer_error, static_cast<double>(std::abs(x[j] - reference[j])));
-      }
-    } else {
-      // Electronic-domain layer (pooling, activation, flatten, dropout).
-      x = layer.forward(x, false);
-    }
-  }
-  return x;
+  return infer_batch(sample);
 }
 
 double PhotonicInferenceEngine::evaluate_accuracy(const dnn::Dataset& data,
@@ -125,14 +161,17 @@ double PhotonicInferenceEngine::evaluate_accuracy(const dnn::Dataset& data,
     throw std::invalid_argument("PhotonicInference: bad sample count");
   }
   std::size_t correct = 0;
-  for (std::size_t n = 0; n < count; ++n) {
-    const Tensor sample = dnn::batch_images(data, n, 1);
-    const Tensor logits = infer(sample);
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < logits.dim(1); ++c) {
-      if (logits.at2(0, c) > logits.at2(0, best)) best = c;
+  for (std::size_t start = 0; start < count; start += eval_batch_) {
+    const std::size_t n = std::min(eval_batch_, count - start);
+    const Tensor batch = dnn::batch_images(data, start, n);
+    const Tensor logits = infer_batch(batch);
+    for (std::size_t b = 0; b < n; ++b) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.dim(1); ++c) {
+        if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+      }
+      if (best == data.labels[start + b]) ++correct;
     }
-    if (best == data.labels[n]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(count);
 }

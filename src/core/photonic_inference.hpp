@@ -1,16 +1,23 @@
-// Whole-model functional photonic inference.
+// Whole-model functional photonic inference on the batched execution engine.
 //
-// Executes a trained dnn::Network sample-by-sample with every CONV and FC
-// dot product routed through the signal-level VdpSimulator (quantizers,
-// Lorentzian MR transmissions, inter-channel crosstalk, balanced
-// photodetection) while pooling/activations run electronically — exactly
-// the hardware/software split of Fig. 3. This is the strongest functional
-// fidelity check the repository offers: trained-model accuracy measured on
-// the simulated analog datapath.
+// Executes a trained dnn::Network with every CONV and FC layer lowered to
+// batched photonic GEMMs on BatchedVdpEngine (quantizers, Lorentzian MR
+// transmissions, inter-channel crosstalk, balanced photodetection) while
+// pooling/activations run electronically — the hardware/software split of
+// Fig. 3. CONV layers go through the shared dnn::im2col lowering, so a whole
+// batch of images becomes one patch-matrix GEMM; FC layers map directly.
+// Layer routing uses the LayerKind taxonomy instead of dynamic_cast chains.
+//
+// infer_batch() accepts any batch size; infer() is the legacy single-sample
+// wrapper. The exact software reference pass per layer (for
+// max_abs_layer_error) is opt-in via set_track_layer_error — accuracy sweeps
+// no longer pay the 2x reference compute.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "core/batched_vdp_engine.hpp"
 #include "core/vdp_simulator.hpp"
 #include "dnn/datasets.hpp"
 #include "dnn/network.hpp"
@@ -25,35 +32,60 @@ namespace xl::core {
 struct PhotonicInferenceStats {
   std::size_t photonic_dot_products = 0;
   std::size_t photonic_macs = 0;
-  double max_abs_layer_error = 0.0;  ///< vs float reference, pre-activation.
+  std::size_t photonic_matmuls = 0;    ///< One per accelerated layer per batch.
+  std::size_t samples_inferred = 0;
+  std::size_t batches_inferred = 0;
+  /// vs float reference, pre-activation; only accumulated when
+  /// track_layer_error is enabled (opt-in: it costs a full software forward
+  /// pass per accelerated layer).
+  double max_abs_layer_error = 0.0;
 };
 
 /// Runs a network photonically. The network is inspected layer by layer;
-/// Conv2d and Dense layers are lowered to VDP dot products.
+/// Conv2d and Dense layers are lowered to batched VDP GEMMs.
 class PhotonicInferenceEngine {
  public:
-  /// `network` must outlive the engine. Throws when the network contains a
-  /// layer kind the engine cannot map (none in this repository's zoo).
+  /// `network` must outlive the engine. Layers outside the accelerated set
+  /// (kConv/kDense) run electronically via their own forward().
   PhotonicInferenceEngine(dnn::Network& network, const VdpSimOptions& options = {});
 
-  /// Photonic logits for one sample (batch dimension must be 1).
+  /// Photonic logits for one sample (legacy API; batch dimension must be 1).
   [[nodiscard]] dnn::Tensor infer(const dnn::Tensor& sample);
 
-  /// Classification accuracy over a dataset subset [0, count).
+  /// Photonic logits for a whole batch (batch dimension N >= 1). Every
+  /// accelerated layer issues one photonic GEMM over the batch.
+  [[nodiscard]] dnn::Tensor infer_batch(const dnn::Tensor& batch);
+
+  /// Classification accuracy over a dataset subset [0, count), evaluated in
+  /// batches of eval_batch_size().
   [[nodiscard]] double evaluate_accuracy(const dnn::Dataset& data, std::size_t count);
+
+  /// Enable/disable the exact per-layer software reference pass feeding
+  /// stats().max_abs_layer_error. Off by default.
+  void set_track_layer_error(bool enabled) noexcept { track_layer_error_ = enabled; }
+  [[nodiscard]] bool track_layer_error() const noexcept { return track_layer_error_; }
+
+  /// Batch size used by evaluate_accuracy (default 16).
+  void set_eval_batch_size(std::size_t n);
+  [[nodiscard]] std::size_t eval_batch_size() const noexcept { return eval_batch_; }
 
   [[nodiscard]] const PhotonicInferenceStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = PhotonicInferenceStats{}; }
+
+  [[nodiscard]] const BatchedVdpEngine& engine() const noexcept { return engine_; }
 
  private:
   [[nodiscard]] dnn::Tensor run_dense_photonic(const dnn::Tensor& input,
                                                dnn::Dense& layer);
   [[nodiscard]] dnn::Tensor run_conv_photonic(const dnn::Tensor& input,
                                               dnn::Conv2d& layer);
+  void accumulate_layer_error(const dnn::Tensor& photonic, const dnn::Tensor& reference);
 
   dnn::Network& network_;
-  VdpSimulator simulator_;
+  BatchedVdpEngine engine_;
   PhotonicInferenceStats stats_;
+  bool track_layer_error_ = false;
+  std::size_t eval_batch_ = 16;
 };
 
 }  // namespace xl::core

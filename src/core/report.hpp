@@ -8,6 +8,7 @@
 //   kFPS/W        = (FPS / 1000) / total power [W].
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -36,8 +37,9 @@ struct PowerBreakdown {
 /// Latency/throughput summary for one model on one accelerator.
 struct PerformanceReport {
   double cycle_ns = 0.0;          ///< Pipelined VDP issue interval.
-  double frame_latency_us = 0.0;  ///< End-to-end single-inference latency.
-  double fps = 0.0;               ///< 1 / frame latency.
+  std::size_t batch = 1;          ///< Samples per scheduled batch.
+  double frame_latency_us = 0.0;  ///< End-to-end latency of one batch.
+  double fps = 0.0;               ///< Samples per second (batch / latency).
 };
 
 /// Full evaluation of one (accelerator, model) pair.

@@ -13,12 +13,16 @@ EventScheduler::EventScheduler(const ArchitectureConfig& config,
     : config_(config),
       layer_barriers_(options.layer_barriers),
       cycle_ns_(options.cycle_ns.value_or(0.0)),
-      fill_ns_(options.fill_ns.value_or(0.0)) {
+      fill_ns_(options.fill_ns.value_or(0.0)),
+      batch_(options.batch) {
   config_.validate();
   if (!options.cycle_ns) cycle_ns_ = vdp_cycle_ns(config_);
   if (!options.fill_ns) fill_ns_ = pipeline_fill_ns(config_);
   if (cycle_ns_ <= 0.0 || fill_ns_ < 0.0) {
     throw std::invalid_argument("EventScheduler: non-positive cycle or negative fill");
+  }
+  if (batch_ == 0) {
+    throw std::invalid_argument("EventScheduler: batch must be >= 1");
   }
 }
 
@@ -37,6 +41,7 @@ ScheduleResult EventScheduler::run(const ModelMapping& mapping) const {
   auto conv_pool = make_pool(config_.conv_units);
   auto fc_pool = make_pool(config_.fc_units);
 
+  result.batch = batch_;
   double layer_ready_ns = 0.0;  // When the current layer may start.
   double makespan = 0.0;
   for (const LayerMapping& layer : mapping.layers) {
@@ -44,8 +49,11 @@ ScheduleResult EventScheduler::run(const ModelMapping& mapping) const {
     auto& stats = layer.is_conv ? result.conv_units : result.fc_units;
     const double start_floor = layer_barriers_ ? layer_ready_ns : 0.0;
 
+    // Weights are imprinted once per layer per batch: pass counts scale with
+    // the batch, the per-layer fill below does not.
+    const std::size_t layer_passes = layer.total_passes * batch_;
     double layer_finish = start_floor;
-    for (std::size_t pass = 0; pass < layer.total_passes; ++pass) {
+    for (std::size_t pass = 0; pass < layer_passes; ++pass) {
       auto [free_at, unit] = pool.top();
       pool.pop();
       const double start = std::max(free_at, start_floor);
@@ -59,7 +67,7 @@ ScheduleResult EventScheduler::run(const ModelMapping& mapping) const {
     layer_finish += fill_ns_;
     layer_ready_ns = layer_finish;
     makespan = std::max(makespan, layer_finish);
-    result.total_passes += layer.total_passes;
+    result.total_passes += layer_passes;
   }
   result.makespan_ns = makespan;
 

@@ -27,6 +27,11 @@ struct ScheduleOptions {
   /// (sequential dependency); when false, layers overlap freely (an
   /// optimistic bound used for ablation).
   bool layer_barriers = true;
+  /// Samples executed back-to-back per schedule. Weights are imprinted once
+  /// per layer per batch, so the per-layer pipeline fill amortizes over the
+  /// batch while pass counts scale with it — the same amortization the
+  /// batched functional engine models. Must be >= 1.
+  std::size_t batch = 1;
 };
 
 struct UnitStats {
@@ -35,16 +40,18 @@ struct UnitStats {
 };
 
 struct ScheduleResult {
-  double makespan_ns = 0.0;            ///< Total simulated frame latency.
+  double makespan_ns = 0.0;            ///< Total simulated batch latency.
   double conv_pool_utilization = 0.0;  ///< busy time / (units * makespan).
   double fc_pool_utilization = 0.0;
   std::vector<UnitStats> conv_units;
   std::vector<UnitStats> fc_units;
   std::size_t total_passes = 0;
+  std::size_t batch = 1;               ///< Samples covered by the makespan.
 
   [[nodiscard]] double makespan_us() const noexcept { return makespan_ns * 1e-3; }
+  /// Throughput in samples per second (frames/s for batch == 1).
   [[nodiscard]] double fps() const noexcept {
-    return makespan_ns > 0.0 ? 1e9 / makespan_ns : 0.0;
+    return makespan_ns > 0.0 ? static_cast<double>(batch) * 1e9 / makespan_ns : 0.0;
   }
 };
 
@@ -61,6 +68,7 @@ class EventScheduler {
   bool layer_barriers_;
   double cycle_ns_;
   double fill_ns_;
+  std::size_t batch_;
 };
 
 }  // namespace xl::core

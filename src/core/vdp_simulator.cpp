@@ -4,17 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "photonics/devices.hpp"
-
 namespace xl::core {
 
-using xl::photonics::Microring;
-using xl::photonics::MicroringDesign;
-using xl::photonics::UniformQuantizer;
+namespace {
 
-VdpSimulator::VdpSimulator(const VdpSimOptions& opts)
-    : opts_(opts),
-      grid_(opts.mrs_per_bank, opts.fsr_nm, opts.center_wavelength_nm) {
+xl::photonics::MrBankTransferLut make_lut(const VdpSimOptions& opts,
+                                          const xl::photonics::WavelengthGrid& grid) {
   if (opts.mrs_per_bank == 0) {
     throw std::invalid_argument("VdpSimulator: empty bank");
   }
@@ -24,7 +19,17 @@ VdpSimulator::VdpSimulator(const VdpSimOptions& opts)
   if (opts.q_factor <= 0.0 || opts.fsr_nm <= 0.0) {
     throw std::invalid_argument("VdpSimulator: non-physical MR parameters");
   }
+  xl::photonics::MicroringDesign defaults;  // For the default extinction ratio.
+  return {grid, opts.q_factor, defaults.extinction_ratio_db, opts.resolution_bits};
 }
+
+}  // namespace
+
+VdpSimulator::VdpSimulator(const VdpSimOptions& opts)
+    : opts_(opts),
+      grid_(opts.mrs_per_bank == 0 ? 1 : opts.mrs_per_bank,
+            opts.fsr_nm > 0.0 ? opts.fsr_nm : 1.0, opts.center_wavelength_nm),
+      lut_(make_lut(opts, grid_)) {}
 
 double VdpSimulator::exact_dot(std::span<const double> x, std::span<const double> w) {
   if (x.size() != w.size()) throw std::invalid_argument("exact_dot: size mismatch");
@@ -33,82 +38,37 @@ double VdpSimulator::exact_dot(std::span<const double> x, std::span<const double
   return acc;
 }
 
-double VdpSimulator::arm_dot(std::span<const double> x_norm,
-                             std::span<const double> w_norm) const {
-  // Build one weight bank: ring i sits on channel i and imprints w_norm[i].
-  const std::size_t n = x_norm.size();
-  std::vector<Microring> bank;
-  bank.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    MicroringDesign design;
-    design.resonance_nm = grid_.wavelength_nm(i);
-    design.q_factor = opts_.q_factor;
-    design.fsr_nm = opts_.fsr_nm;
-    Microring mr(design);
-    mr.imprint_weight(w_norm[i], grid_.wavelength_nm(i));
-    bank.push_back(mr);
-  }
-
-  // Channel i carries x_norm[i] of optical power; it passes *every* ring in
-  // the bank, so off-channel rings contribute parasitic attenuation — the
-  // physical origin of Eq. 8's inter-channel crosstalk.
-  double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double power = x_norm[i];
-    if (opts_.model_crosstalk) {
-      for (const Microring& mr : bank) power *= mr.transmission(grid_.wavelength_nm(i));
-    } else {
-      power *= bank[i].transmission(grid_.wavelength_nm(i));
-    }
-    sum += power;
-  }
-  return sum;
-}
-
 double VdpSimulator::dot(std::span<const double> x, std::span<const double> w) const {
   if (x.size() != w.size()) throw std::invalid_argument("VdpSimulator::dot: size mismatch");
   if (x.empty()) return 0.0;
 
-  // DAC pre-scaling: normalize both operands to [0, 1] magnitude.
+  // DAC pre-scaling: normalize both operands to [0, 1] magnitude. This is
+  // the only per-call analog setup; everything else is served by the LUT.
   double sx = 0.0;
   double sw = 0.0;
   for (double v : x) sx = std::max(sx, std::abs(v));
   for (double v : w) sw = std::max(sw, std::abs(v));
   if (sx == 0.0 || sw == 0.0) return 0.0;
 
-  const UniformQuantizer quant(opts_.resolution_bits);
-  const std::size_t bank = opts_.mrs_per_bank;
+  const std::size_t len = x.size();
+  const std::size_t bank = lut_.bank_size();
+  const auto& quant = lut_.quantizer();
 
-  double acc = 0.0;
-  for (std::size_t start = 0; start < x.size(); start += bank) {
-    const std::size_t len = std::min(bank, x.size() - start);
+  std::vector<double> a(len);
+  std::vector<double> detune(len);
+  std::vector<unsigned char> neg(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double xv = x[i];
     // Fold the activation sign into the weight, then split the signed weight
     // across the positive and negative arms of the balanced detector.
-    std::vector<double> a(len);
-    std::vector<double> w_pos(len, 0.0);
-    std::vector<double> w_neg(len, 0.0);
-    for (std::size_t i = 0; i < len; ++i) {
-      const double xv = x[start + i];
-      const double wv = w[start + i] * (xv < 0.0 ? -1.0 : 1.0);
-      a[i] = quant.quantize(std::abs(xv) / sx);
-      const double w_mag = quant.quantize(std::abs(wv) / sw);
-      if (wv >= 0.0) {
-        w_pos[i] = w_mag;
-      } else {
-        w_neg[i] = w_mag;
-      }
-    }
-    const double pos = arm_dot(a, w_pos);
-    const double neg = arm_dot(a, w_neg);
-    // Partial-sum ADC: the balanced-PD output re-enters the digital domain
-    // (via the VCSEL accumulation path) at the datapath resolution.
-    const double partial = pos - neg;  // In units of sx*sw-normalized product.
-    const double norm = static_cast<double>(len);
-    const double quantized_partial =
-        (quant.quantize(std::abs(partial) / norm) * norm) * (partial < 0.0 ? -1.0 : 1.0);
-    acc += quantized_partial;
+    const double wv = w[i] * (xv < 0.0 ? -1.0 : 1.0);
+    a[i] = lut_.quantize_magnitude(std::abs(xv) / sx);
+    detune[i] = lut_.detune_for_code(i % bank, quant.encode(std::abs(wv) / sw));
+    neg[i] = wv < 0.0 ? 1 : 0;
   }
-  return acc * sx * sw;
+
+  xl::photonics::VdpScratch scratch;
+  return lut_.vdp_dot(a, detune, neg, opts_.model_crosstalk, scratch) * sx * sw;
 }
 
 double VdpSimulator::absolute_error(std::span<const double> x,

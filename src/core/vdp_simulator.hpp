@@ -1,11 +1,18 @@
-// Functional (signal-level) simulation of one VDP arm.
+// Functional (signal-level) simulation of one VDP arm — legacy scalar path.
 //
 // Where the performance/power models answer "how fast / how much energy",
 // this simulator answers "what value does the analog datapath actually
 // compute": activations and weights pass through quantizers, Lorentzian MR
 // transmissions, inter-channel crosstalk, and balanced photodetection.
-// Integration tests compare accelerator inference against exact software
-// inference to bound the analog error (Section V-B's resolution claim).
+//
+// Since the batched-engine refactor, all Lorentzian constants, the
+// weight->detuning imprint inversion, and the Eq. 8 crosstalk row sums are
+// precomputed once at construction in a shared photonics::MrBankTransferLut;
+// dot() only normalizes its operands (a per-call property of the data, as in
+// the DAC scaling hardware) and drives the shared chunk kernel. The batched
+// GEMM path (core/batched_vdp_engine.hpp) runs the *same* kernel, so scalar
+// and batched results are bit-identical. Prefer BatchedVdpEngine for whole
+// layers; this class remains the per-dot-product reference.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "photonics/bank_lut.hpp"
 #include "photonics/crosstalk.hpp"
 #include "photonics/microring.hpp"
 #include "photonics/wdm.hpp"
@@ -49,14 +57,16 @@ class VdpSimulator {
 
   [[nodiscard]] const VdpSimOptions& options() const noexcept { return opts_; }
 
- private:
-  /// One nonnegative chunk product-accumulate on a single arm.
-  [[nodiscard]] double arm_dot(std::span<const double> x_norm,
-                               std::span<const double> w_norm) const;
+  /// The precomputed bank transfer tables (shared kernel with the batched
+  /// engine); exposes the Eq. 8 crosstalk row sums.
+  [[nodiscard]] const xl::photonics::MrBankTransferLut& lut() const noexcept {
+    return lut_;
+  }
 
+ private:
   VdpSimOptions opts_;
   xl::photonics::WavelengthGrid grid_;
-  std::vector<double> crosstalk_weight_;  ///< phi(i,j) row sums per channel.
+  xl::photonics::MrBankTransferLut lut_;
 };
 
 }  // namespace xl::core

@@ -13,6 +13,7 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "relu"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kActivation; }
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override {
     return input_shape;
   }
@@ -27,6 +28,7 @@ class Sigmoid : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "sigmoid"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kActivation; }
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override {
     return input_shape;
   }
@@ -41,6 +43,7 @@ class Tanh : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "tanh"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kActivation; }
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override {
     return input_shape;
   }

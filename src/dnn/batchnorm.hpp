@@ -18,6 +18,7 @@ class BatchNorm : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string kind() const override { return "batchnorm"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kOther; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
 

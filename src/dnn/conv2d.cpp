@@ -1,6 +1,8 @@
 #include "dnn/conv2d.hpp"
 
 #include <cmath>
+
+#include "dnn/im2col.hpp"
 #include <sstream>
 #include <stdexcept>
 
@@ -52,43 +54,28 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
     w = &effective_w_;
   }
 
-  const std::size_t batch = input.dim(0);
-  const std::size_t c_in = config_.in_channels;
+  // im2col lowering shared with the batched photonic engine: output pixel
+  // (n, co, oy, ox) = patches(row(n, oy, ox)) . filter(co) + bias. Padding
+  // taps contribute exact zeros, so this matches direct convolution
+  // bit-for-bit.
+  const Tensor patches = im2col(input, config_);
+  const std::size_t rows = patches.dim(0);
+  const std::size_t patch_len = patches.dim(1);
   const std::size_t c_out = config_.out_channels;
-  const std::size_t h_in = input.dim(2);
-  const std::size_t w_in = input.dim(3);
-  const std::size_t h_out = out_shape[2];
-  const std::size_t w_out = out_shape[3];
-  const std::size_t k = config_.kernel;
-  const std::size_t stride = config_.stride;
-  const auto pad = static_cast<std::ptrdiff_t>(config_.padding);
+  const std::size_t pixels_per_sample = out_shape[2] * out_shape[3];
 
   Tensor out(out_shape);
-  for (std::size_t n = 0; n < batch; ++n) {
+  float* out_ptr = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* patch = patches.data() + r * patch_len;
+    const std::size_t n = r / pixels_per_sample;
+    const std::size_t pixel = r % pixels_per_sample;
     for (std::size_t co = 0; co < c_out; ++co) {
-      for (std::size_t oy = 0; oy < h_out; ++oy) {
-        for (std::size_t ox = 0; ox < w_out; ++ox) {
-          float acc = b_[co];
-          const std::ptrdiff_t iy0 =
-              static_cast<std::ptrdiff_t>(oy * stride) - pad;
-          const std::ptrdiff_t ix0 =
-              static_cast<std::ptrdiff_t>(ox * stride) - pad;
-          for (std::size_t ci = 0; ci < c_in; ++ci) {
-            for (std::size_t ky = 0; ky < k; ++ky) {
-              const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h_in)) continue;
-              for (std::size_t kx = 0; kx < k; ++kx) {
-                const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w_in)) continue;
-                acc += w->at4(co, ci, ky, kx) *
-                       input.at4(n, ci, static_cast<std::size_t>(iy),
-                                 static_cast<std::size_t>(ix));
-              }
-            }
-          }
-          out.at4(n, co, oy, ox) = acc;
-        }
-      }
+      const float* filter = w->data() + co * patch_len;
+      float acc = b_[co];
+      for (std::size_t i = 0; i < patch_len; ++i) acc += filter[i] * patch[i];
+      // NCHW: (n, co, oy, ox) with (oy, ox) linearized as `pixel`.
+      out_ptr[(n * c_out + co) * pixels_per_sample + pixel] = acc;
     }
   }
   return out;

@@ -25,6 +25,7 @@ class Conv2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string kind() const override { return "conv2d"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kConv; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
 

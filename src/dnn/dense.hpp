@@ -17,6 +17,7 @@ class Dense : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string kind() const override { return "dense"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kDense; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
 

@@ -1,0 +1,59 @@
+#include "dnn/im2col.hpp"
+
+#include <stdexcept>
+
+namespace xl::dnn {
+
+Im2colShape im2col_shape(const Shape& input_shape, const Conv2dConfig& cfg) {
+  if (input_shape.size() != 4 || input_shape[1] != cfg.in_channels) {
+    throw std::invalid_argument("im2col: incompatible input shape");
+  }
+  const auto out_extent = [&](std::size_t in_extent) {
+    const std::size_t padded = in_extent + 2 * cfg.padding;
+    if (padded < cfg.kernel) {
+      throw std::invalid_argument("im2col: input smaller than kernel");
+    }
+    return (padded - cfg.kernel) / cfg.stride + 1;
+  };
+  Im2colShape s;
+  s.batch = input_shape[0];
+  s.h_out = out_extent(input_shape[2]);
+  s.w_out = out_extent(input_shape[3]);
+  s.rows = s.batch * s.h_out * s.w_out;
+  s.cols = cfg.in_channels * cfg.kernel * cfg.kernel;
+  return s;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
+  const Im2colShape s = im2col_shape(input.shape(), cfg);
+  const std::size_t h_in = input.dim(2);
+  const std::size_t w_in = input.dim(3);
+  const auto pad = static_cast<std::ptrdiff_t>(cfg.padding);
+
+  Tensor patches({s.rows, s.cols});
+  float* out = patches.data();
+  for (std::size_t n = 0; n < s.batch; ++n) {
+    for (std::size_t oy = 0; oy < s.h_out; ++oy) {
+      const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy * cfg.stride) - pad;
+      for (std::size_t ox = 0; ox < s.w_out; ++ox) {
+        const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * cfg.stride) - pad;
+        for (std::size_t ci = 0; ci < cfg.in_channels; ++ci) {
+          for (std::size_t ky = 0; ky < cfg.kernel; ++ky) {
+            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+            const bool row_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(h_in);
+            for (std::size_t kx = 0; kx < cfg.kernel; ++kx, ++out) {
+              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+              const bool ok = row_ok && ix >= 0 && ix < static_cast<std::ptrdiff_t>(w_in);
+              *out = ok ? input.at4(n, ci, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix))
+                        : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+}  // namespace xl::dnn

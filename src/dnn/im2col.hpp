@@ -1,0 +1,35 @@
+// im2col lowering shared by Conv2d::forward and the batched photonic engine.
+//
+// A convolution over an NCHW input is a GEMM over patches: output pixel
+// (n, oy, ox) is the dot product of patch row (n, oy, ox) with filter row
+// co. Row order is (n, oy, ox) major-to-minor and column order (ci, ky, kx),
+// matching the (C_out, C_in, k, k) weight layout — so conv forward becomes
+// patches * W^T plus bias, and the photonic engine can hand whole batches to
+// one photonic_matmul instead of issuing per-pixel scalar dot products
+// (Section IV-C.1's lowering, batched).
+#pragma once
+
+#include "dnn/conv2d.hpp"
+
+namespace xl::dnn {
+
+/// Shape accounting for an im2col lowering.
+struct Im2colShape {
+  std::size_t batch = 0;
+  std::size_t h_out = 0;
+  std::size_t w_out = 0;
+  std::size_t rows = 0;  ///< batch * h_out * w_out.
+  std::size_t cols = 0;  ///< in_channels * kernel * kernel.
+};
+
+/// Shape of the patch matrix for `input_shape` under `cfg`.
+/// Throws std::invalid_argument on rank/channel mismatch or an input
+/// smaller than the kernel.
+[[nodiscard]] Im2colShape im2col_shape(const Shape& input_shape,
+                                       const Conv2dConfig& cfg);
+
+/// Lower an NCHW input tensor to its (rows x cols) patch matrix (rank-2
+/// Tensor). Out-of-bounds taps (zero padding) contribute exact zeros.
+[[nodiscard]] Tensor im2col(const Tensor& input, const Conv2dConfig& cfg);
+
+}  // namespace xl::dnn

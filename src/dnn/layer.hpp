@@ -5,10 +5,12 @@
 // parameter gradients into the grad tensors exposed via parameters().
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dnn/layer_spec.hpp"
 #include "dnn/quantize.hpp"
 #include "dnn/tensor.hpp"
 
@@ -36,6 +38,13 @@ class Layer {
 
   /// Short kind tag, e.g. "conv2d", "dense", "relu".
   [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Structural kind for switch-based dispatch, reusing the hardware-facing
+  /// LayerSpec taxonomy: kConv/kDense layers are the ones the photonic
+  /// engine accelerates (a kConv layer IS-A Conv2d, kDense IS-A Dense);
+  /// everything else runs in the electronic domain. This replaces the
+  /// dynamic_cast chains previously scattered across consumers.
+  [[nodiscard]] virtual LayerKind kind_id() const noexcept { return LayerKind::kOther; }
 
   /// Human-readable one-line description.
   [[nodiscard]] virtual std::string describe() const { return kind(); }

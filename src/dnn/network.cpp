@@ -72,24 +72,37 @@ std::vector<LayerSpec> Network::export_specs(const Shape& input_shape) const {
   int dense_idx = 0;
   for (const LayerPtr& l : layers_) {
     const Shape out = l->output_shape(s);
-    if (const auto* conv = dynamic_cast<const Conv2d*>(l.get())) {
-      specs.push_back(conv_spec("conv" + std::to_string(++conv_idx),
-                                conv->config().in_channels, conv->config().out_channels,
-                                conv->config().kernel, out[2], out[3],
-                                conv->config().stride));
-    } else if (const auto* dense = dynamic_cast<const Dense*>(l.get())) {
-      specs.push_back(dense_spec("fc" + std::to_string(++dense_idx),
-                                 dense->in_features(), dense->out_features()));
-    } else if (l->kind() == "maxpool2d" || l->kind() == "avgpool2d") {
-      LayerSpec p;
-      p.kind = LayerKind::kPool;
-      p.name = l->kind();
-      specs.push_back(p);
-    } else if (l->is_activation()) {
-      LayerSpec a;
-      a.kind = LayerKind::kActivation;
-      a.name = l->kind();
-      specs.push_back(a);
+    switch (l->kind_id()) {
+      case LayerKind::kConv: {
+        const auto& conv = static_cast<const Conv2d&>(*l);
+        specs.push_back(conv_spec("conv" + std::to_string(++conv_idx),
+                                  conv.config().in_channels, conv.config().out_channels,
+                                  conv.config().kernel, out[2], out[3],
+                                  conv.config().stride));
+        break;
+      }
+      case LayerKind::kDense: {
+        const auto& dense = static_cast<const Dense&>(*l);
+        specs.push_back(dense_spec("fc" + std::to_string(++dense_idx),
+                                   dense.in_features(), dense.out_features()));
+        break;
+      }
+      case LayerKind::kPool: {
+        LayerSpec p;
+        p.kind = LayerKind::kPool;
+        p.name = l->kind();
+        specs.push_back(p);
+        break;
+      }
+      case LayerKind::kActivation: {
+        LayerSpec a;
+        a.kind = LayerKind::kActivation;
+        a.name = l->kind();
+        specs.push_back(a);
+        break;
+      }
+      case LayerKind::kOther:
+        break;  // Flatten, dropout, batchnorm: no compute mapped.
     }
     s = out;
   }

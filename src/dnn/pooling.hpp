@@ -16,6 +16,7 @@ class MaxPool2d : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "maxpool2d"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kPool; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] bool is_activation() const override { return true; }
@@ -37,6 +38,7 @@ class AvgPool2d : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "avgpool2d"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kPool; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] bool is_activation() const override { return true; }

@@ -10,6 +10,7 @@ class Flatten : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string kind() const override { return "flatten"; }
+  [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kOther; }
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
 
  private:

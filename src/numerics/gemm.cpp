@@ -1,0 +1,53 @@
+#include "numerics/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+Vector row_abs_max(const Matrix& m) {
+  Vector out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double best = 0.0;
+    for (const double v : m.row(r)) best = std::max(best, std::abs(v));
+    out[r] = best;
+  }
+  return out;
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b, std::size_t tile) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_transposed: inner dimension mismatch");
+  }
+  if (tile == 0) tile = 64;
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k = a.cols();
+  Matrix c(m, n);
+
+  const auto row_tiles = static_cast<std::int64_t>((m + tile - 1) / tile);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
+    const std::size_t r0 = static_cast<std::size_t>(rt) * tile;
+    const std::size_t r1 = std::min(m, r0 + tile);
+    for (std::size_t c0 = 0; c0 < n; c0 += tile) {
+      const std::size_t c1 = std::min(n, c0 + tile);
+      for (std::size_t r = r0; r < r1; ++r) {
+        const std::span<const double> arow = a.row(r);
+        for (std::size_t col = c0; col < c1; ++col) {
+          const std::span<const double> brow = b.row(col);
+          double acc = 0.0;
+          for (std::size_t i = 0; i < k; ++i) acc += arow[i] * brow[i];
+          c(r, col) = acc;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace xl::numerics

@@ -1,0 +1,142 @@
+#include "photonics/bank_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/crosstalk.hpp"
+#include "photonics/units.hpp"
+
+namespace xl::photonics {
+
+MrBankTransferLut::MrBankTransferLut(const WavelengthGrid& grid, double q_factor,
+                                     double extinction_ratio_db, int resolution_bits)
+    : n_(grid.channels()), quant_(resolution_bits) {
+  if (n_ == 0) {
+    throw std::invalid_argument("MrBankTransferLut: empty bank");
+  }
+  if (q_factor <= 1.0) {
+    throw std::invalid_argument("MrBankTransferLut: Q factor must exceed 1");
+  }
+  if (extinction_ratio_db <= 0.0) {
+    throw std::invalid_argument("MrBankTransferLut: extinction ratio must be positive");
+  }
+
+  t_min_ = db_to_ratio(-extinction_ratio_db);
+  full_ = 1.0 - t_min_;
+
+  lambda_ = grid.wavelengths();
+  delta_.resize(n_);
+  delta_sq_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    delta_[j] = lambda_[j] / (2.0 * q_factor);
+    delta_sq_[j] = delta_[j] * delta_[j];
+  }
+
+  sep_.resize(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      sep_[i * n_ + j] = lambda_[i] - lambda_[j];
+    }
+  }
+
+  // Weight-imprint inversion per representable DAC code. A quantized weight
+  // magnitude w is realized as a through-port transmission of w, clamped to
+  // the achievable range [t_min, 1): drop = 1 - w and the Lorentzian inverse
+  // gives detuning^2 = delta^2 * (full/drop - 1). The ring-independent ratio
+  // is tabulated; detune_for_code applies the per-ring delta.
+  const std::size_t levels = quant_.levels();
+  ratio_lut_.resize(levels);
+  for (std::size_t code = 0; code < levels; ++code) {
+    const double w = quant_.decode(static_cast<std::uint32_t>(code));
+    const double target = std::clamp(w, t_min_, 1.0 - 1e-9);
+    const double drop = 1.0 - target;
+    ratio_lut_[code] = std::max(0.0, full_ / drop - 1.0);
+  }
+
+  // Eq. (8) row sums: parasitic coupling into channel i from all other rings
+  // sitting on their own resonances, under unit input power.
+  phi_row_sum_.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      phi_row_sum_[i] += crosstalk_coupling(sep_[i * n_ + j], delta_[j]);
+    }
+    max_phi_row_sum_ = std::max(max_phi_row_sum_, phi_row_sum_[i]);
+  }
+}
+
+double MrBankTransferLut::detune_for_code(std::size_t ring, std::uint32_t code) const {
+  return std::sqrt(delta_sq_.at(ring) * ratio_lut_.at(code));
+}
+
+double MrBankTransferLut::arm_sum(std::span<const double> a,
+                                  std::span<const double> detune,
+                                  bool crosstalk) const noexcept {
+  const std::size_t len = a.size();
+  double sum = 0.0;
+  if (crosstalk) {
+    for (std::size_t i = 0; i < len; ++i) {
+      double power = a[i];
+      if (power == 0.0) continue;  // 0 * T == 0 for every finite T.
+      const double* sep_row = sep_.data() + i * n_;
+      for (std::size_t j = 0; j < len; ++j) {
+        const double d = sep_row[j] + detune[j];  // lambda_i - (lambda_j - detune_j)
+        power *= 1.0 - full_ * delta_sq_[j] / (d * d + delta_sq_[j]);
+      }
+      sum += power;
+    }
+  } else {
+    for (std::size_t i = 0; i < len; ++i) {
+      const double d = detune[i];
+      sum += a[i] * (1.0 - full_ * delta_sq_[i] / (d * d + delta_sq_[i]));
+    }
+  }
+  return sum;
+}
+
+double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
+                                  std::span<const double> detune,
+                                  std::span<const unsigned char> neg,
+                                  bool crosstalk, VdpScratch& scratch) const {
+  const std::size_t total = a_mag.size();
+  if (detune.size() != total || neg.size() != total) {
+    throw std::invalid_argument("MrBankTransferLut::vdp_dot: size mismatch");
+  }
+  if (scratch.detune_pos.size() < n_) {
+    scratch.detune_pos.resize(n_);
+    scratch.detune_neg.resize(n_);
+  }
+  double* dp = scratch.detune_pos.data();
+  double* dn = scratch.detune_neg.data();
+
+  double acc = 0.0;
+  for (std::size_t start = 0; start < total; start += n_) {
+    const std::size_t len = std::min(n_, total - start);
+    // Split the signed weight across the balanced-PD arms: the arm not
+    // carrying the weight holds a zero-weight (on-resonance) ring.
+    for (std::size_t j = 0; j < len; ++j) {
+      const double d = detune[start + j];
+      if (neg[start + j]) {
+        dp[j] = 0.0;
+        dn[j] = d;
+      } else {
+        dp[j] = d;
+        dn[j] = 0.0;
+      }
+    }
+    const double pos =
+        arm_sum(a_mag.subspan(start, len), {dp, len}, crosstalk);
+    const double negative =
+        arm_sum(a_mag.subspan(start, len), {dn, len}, crosstalk);
+    // Partial-sum ADC: the balanced-PD output re-enters the digital domain
+    // (via the VCSEL accumulation path) at the datapath resolution.
+    const double partial = pos - negative;
+    const double norm = static_cast<double>(len);
+    acc += (quant_.quantize(std::abs(partial) / norm) * norm) *
+           (partial < 0.0 ? -1.0 : 1.0);
+  }
+  return acc;
+}
+
+}  // namespace xl::photonics

@@ -1,0 +1,107 @@
+// Precomputed Lorentzian transfer tables for one MR weight bank.
+//
+// The functional VDP datapath evaluates the same ring transfer function for
+// every dot product: ring j (designed at grid wavelength lambda_j, loaded Q,
+// fixed extinction ratio) imprints a quantized weight magnitude and every
+// channel i sees the product of all ring transmissions. Re-deriving the
+// Lorentzian constants per call (half bandwidths, pairwise channel
+// separations, the dB->ratio floor, the weight->detuning inversion) dominated
+// the scalar simulator's runtime. This class hoists all of it to
+// construction time:
+//   * per-ring half bandwidths delta_j and delta_j^2,
+//   * the pairwise separation table lambda_i - lambda_j,
+//   * a per-DAC-code weight->detuning-ratio LUT (the imprint inverse problem
+//     solved once per representable weight instead of once per element), and
+//   * Eq. (8) crosstalk row sums phi_i = sum_{j != i} phi(i, j).
+// Both the legacy scalar VdpSimulator and the BatchedVdpEngine run their
+// inner loops through vdp_dot()/arm_sum() here, so the two paths are
+// bit-identical by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/devices.hpp"
+#include "photonics/wdm.hpp"
+
+namespace xl::photonics {
+
+/// Reusable buffers for vdp_dot (keep one per thread; avoids per-call
+/// allocation in the batched engine's hot loop).
+struct VdpScratch {
+  std::vector<double> detune_pos;
+  std::vector<double> detune_neg;
+};
+
+class MrBankTransferLut {
+ public:
+  /// Tables for a bank whose ring i is designed at `grid.wavelength_nm(i)`.
+  /// `resolution_bits` fixes the DAC code space of the weight LUT.
+  /// Throws std::invalid_argument on non-physical parameters.
+  MrBankTransferLut(const WavelengthGrid& grid, double q_factor,
+                    double extinction_ratio_db, int resolution_bits);
+
+  [[nodiscard]] std::size_t bank_size() const noexcept { return n_; }
+  [[nodiscard]] const UniformQuantizer& quantizer() const noexcept { return quant_; }
+  /// Through-port transmission floor at exact resonance (from the ER).
+  [[nodiscard]] double min_transmission() const noexcept { return t_min_; }
+  [[nodiscard]] double half_bandwidth_nm(std::size_t ring) const {
+    return delta_.at(ring);
+  }
+
+  /// DAC model: quantized magnitude in [0, 1].
+  [[nodiscard]] double quantize_magnitude(double value) const noexcept {
+    return quant_.quantize(value);
+  }
+
+  /// Detuning (nm, >= 0) that imprints the weight magnitude encoded by DAC
+  /// `code` on `ring`: the Microring::imprint_weight inverse problem, served
+  /// from the per-code LUT. Ring indices are positions within one chunk.
+  [[nodiscard]] double detune_for_code(std::size_t ring, std::uint32_t code) const;
+
+  /// Transmission-weighted channel sum of one arm:
+  ///   sum_i a[i] * prod_j T_j(lambda_i),
+  /// where ring j sits at lambda_j - detune[j]. When `crosstalk` is false
+  /// only the on-channel ring attenuates (no parasitic neighbours).
+  /// a and detune must have equal length <= bank_size().
+  [[nodiscard]] double arm_sum(std::span<const double> a,
+                               std::span<const double> detune,
+                               bool crosstalk) const noexcept;
+
+  /// Full signed dot product of pre-normalized operands. `a_mag` holds the
+  /// quantized activation magnitudes, `detune` the per-element imprint
+  /// detunings, and `neg[k]` selects the negative arm of the balanced PD
+  /// (sign of activation folded into the weight). Inputs are processed in
+  /// bank_size() chunks with per-chunk partial-sum requantization, exactly
+  /// mirroring the hardware's VCSEL accumulation path.
+  [[nodiscard]] double vdp_dot(std::span<const double> a_mag,
+                               std::span<const double> detune,
+                               std::span<const unsigned char> neg,
+                               bool crosstalk, VdpScratch& scratch) const;
+
+  /// Eq. (8) row sums phi_i = sum_{j != i} phi(i, j) under unit input power,
+  /// precomputed once per bank (the Section V-B noise floor).
+  [[nodiscard]] const std::vector<double>& crosstalk_row_sums() const noexcept {
+    return phi_row_sum_;
+  }
+  [[nodiscard]] double max_crosstalk_row_sum() const noexcept {
+    return max_phi_row_sum_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  UniformQuantizer quant_;
+  double t_min_ = 0.0;   ///< Transmission at exact resonance.
+  double full_ = 0.0;    ///< 1 - t_min: drop at exact resonance.
+  std::vector<double> lambda_;    ///< Grid wavelengths (nm).
+  std::vector<double> delta_;     ///< Per-ring half bandwidth (nm).
+  std::vector<double> delta_sq_;
+  std::vector<double> sep_;       ///< lambda_i - lambda_j, n x n row-major.
+  std::vector<double> ratio_lut_; ///< Per weight code: max(0, full/drop - 1).
+  std::vector<double> phi_row_sum_;
+  double max_phi_row_sum_ = 0.0;
+};
+
+}  // namespace xl::photonics

@@ -1,0 +1,84 @@
+// im2col lowering tests: shape accounting, padding zeros, and round-trip
+// equivalence with Conv2d::forward (patches * W^T + bias == direct conv).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/conv2d.hpp"
+#include "dnn/im2col.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace xl;
+
+dnn::Tensor random_input(const dnn::Shape& shape, numerics::Rng& rng) {
+  dnn::Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Im2col, ShapeAccounting) {
+  dnn::Conv2dConfig cfg{3, 8, 3, 1, 1};
+  const auto s = dnn::im2col_shape({2, 3, 10, 10}, cfg);
+  EXPECT_EQ(s.batch, 2u);
+  EXPECT_EQ(s.h_out, 10u);
+  EXPECT_EQ(s.w_out, 10u);
+  EXPECT_EQ(s.rows, 200u);
+  EXPECT_EQ(s.cols, 27u);
+
+  dnn::Conv2dConfig strided{1, 1, 2, 2, 0};
+  const auto t = dnn::im2col_shape({1, 1, 6, 6}, strided);
+  EXPECT_EQ(t.h_out, 3u);
+  EXPECT_EQ(t.rows, 9u);
+
+  EXPECT_THROW((void)dnn::im2col_shape({1, 2, 6, 6}, cfg), std::invalid_argument);
+  EXPECT_THROW((void)dnn::im2col_shape({1, 1, 1, 1}, strided), std::invalid_argument);
+}
+
+TEST(Im2col, PaddingTapsAreZero) {
+  dnn::Conv2dConfig cfg{1, 1, 3, 1, 1};
+  dnn::Tensor input({1, 1, 2, 2}, 1.0F);
+  const dnn::Tensor patches = dnn::im2col(input, cfg);
+  ASSERT_EQ(patches.dim(0), 4u);
+  ASSERT_EQ(patches.dim(1), 9u);
+  // Top-left output pixel: only the bottom-right 2x2 of the kernel overlaps.
+  EXPECT_EQ(patches.at2(0, 0), 0.0F);  // (ky=0, kx=0) off-image.
+  EXPECT_EQ(patches.at2(0, 4), 1.0F);  // Center tap on (0, 0).
+  EXPECT_EQ(patches.at2(0, 8), 1.0F);  // (ky=2, kx=2) on (1, 1).
+}
+
+TEST(Im2col, RoundTripMatchesConvForward) {
+  numerics::Rng rng(31);
+  for (const auto& cfg : {dnn::Conv2dConfig{2, 5, 3, 1, 1}, dnn::Conv2dConfig{3, 4, 3, 2, 0},
+                          dnn::Conv2dConfig{1, 2, 5, 1, 2}}) {
+    dnn::Conv2d conv(cfg, rng);
+    const dnn::Tensor input = random_input({3, cfg.in_channels, 9, 9}, rng);
+    const dnn::Tensor direct = conv.forward(input, false);
+
+    const dnn::Tensor patches = dnn::im2col(input, cfg);
+    const auto s = dnn::im2col_shape(input.shape(), cfg);
+    const std::size_t patch_len = s.cols;
+    ASSERT_EQ(patches.dim(1), patch_len);
+
+    // Reconstruct the conv output from patch rows x filter rows.
+    for (std::size_t r = 0; r < s.rows; ++r) {
+      const std::size_t n = r / (s.h_out * s.w_out);
+      const std::size_t oy = (r / s.w_out) % s.h_out;
+      const std::size_t ox = r % s.w_out;
+      for (std::size_t co = 0; co < cfg.out_channels; ++co) {
+        float acc = conv.bias()[co];
+        const float* filter = conv.weights().data() + co * patch_len;
+        for (std::size_t i = 0; i < patch_len; ++i) {
+          acc += filter[i] * patches.at2(r, i);
+        }
+        EXPECT_EQ(acc, direct.at4(n, co, oy, ox))
+            << "cfg k=" << cfg.kernel << " r=" << r << " co=" << co;
+      }
+    }
+  }
+}
+
+}  // namespace

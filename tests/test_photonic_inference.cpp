@@ -66,6 +66,7 @@ TEST(PhotonicInference, PerLayerErrorBounded) {
   numerics::Rng rng(22);
   dnn::Network net = tiny_cnn(rng);
   core::PhotonicInferenceEngine engine(net);
+  engine.set_track_layer_error(true);  // Reference pass is opt-in.
   const dnn::Dataset data = dnn::generate_classification(tiny_task(), 4, 2);
   (void)engine.infer(dnn::batch_images(data, 0, 1));
   // Pre-activation analog error stays small relative to unit-scale values.
@@ -76,10 +77,46 @@ TEST(PhotonicInference, PerLayerErrorBounded) {
 }
 
 TEST(PhotonicInference, RequiresSingleSampleBatch) {
+  // The legacy per-sample API stays batch-1; infer_batch handles N > 1.
   numerics::Rng rng(23);
   dnn::Network net = tiny_cnn(rng);
   core::PhotonicInferenceEngine engine(net);
   EXPECT_THROW((void)engine.infer(dnn::Tensor({2, 1, 10, 10})), std::invalid_argument);
+}
+
+TEST(PhotonicInference, BatchedMatchesPerSample) {
+  numerics::Rng rng(26);
+  dnn::Network net = tiny_cnn(rng);
+  const dnn::Dataset data = dnn::generate_classification(tiny_task(), 6, 3);
+
+  core::PhotonicInferenceEngine batched(net);
+  core::PhotonicInferenceEngine scalar(net);
+  const dnn::Tensor batch = dnn::batch_images(data, 0, 6);
+  const dnn::Tensor batched_logits = batched.infer_batch(batch);
+  ASSERT_EQ(batched_logits.dim(0), 6u);
+
+  for (std::size_t n = 0; n < 6; ++n) {
+    const dnn::Tensor one = scalar.infer(dnn::batch_images(data, n, 1));
+    for (std::size_t c = 0; c < one.dim(1); ++c) {
+      // Per-row DAC normalization makes each sample independent of the rest
+      // of the batch: batched and per-sample execution agree exactly.
+      EXPECT_EQ(batched_logits.at2(n, c), one.at2(0, c)) << "sample " << n;
+    }
+  }
+  EXPECT_EQ(batched.stats().batches_inferred, 1u);
+  EXPECT_EQ(batched.stats().samples_inferred, 6u);
+  EXPECT_EQ(batched.stats().photonic_dot_products,
+            scalar.stats().photonic_dot_products);
+}
+
+TEST(PhotonicInference, LayerErrorTrackingIsOptIn) {
+  numerics::Rng rng(27);
+  dnn::Network net = tiny_cnn(rng);
+  const dnn::Dataset data = dnn::generate_classification(tiny_task(), 2, 4);
+  core::PhotonicInferenceEngine engine(net);
+  (void)engine.infer(dnn::batch_images(data, 0, 1));
+  // Without the opt-in reference pass, no layer error is accumulated.
+  EXPECT_EQ(engine.stats().max_abs_layer_error, 0.0);
 }
 
 TEST(PhotonicInference, EvaluateValidatesCount) {

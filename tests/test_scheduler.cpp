@@ -97,5 +97,43 @@ TEST(Scheduler, RejectsNegativeTiming) {
   EXPECT_THROW(EventScheduler(best_config(), opts), std::invalid_argument);
 }
 
+TEST(Scheduler, RejectsZeroBatch) {
+  ScheduleOptions opts;
+  opts.batch = 0;
+  EXPECT_THROW(EventScheduler(best_config(), opts), std::invalid_argument);
+}
+
+TEST(Scheduler, BatchedScheduleMatchesBatchedAnalyticModel) {
+  const ArchitectureConfig cfg = best_config();
+  const ModelMapping mapping = map_model(xl::dnn::lenet5_spec(), cfg);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    ScheduleOptions opts;
+    opts.batch = batch;
+    const ScheduleResult simulated = EventScheduler(cfg, opts).run(mapping);
+    const PerformanceReport analytic = evaluate_performance(mapping, cfg, batch);
+    EXPECT_EQ(simulated.batch, batch);
+    EXPECT_EQ(analytic.batch, batch);
+    // Analytic and event-driven per-batch latency stay consistent.
+    EXPECT_NEAR(simulated.makespan_us(), analytic.frame_latency_us,
+                0.05 * analytic.frame_latency_us)
+        << "batch " << batch;
+    EXPECT_NEAR(simulated.fps(), analytic.fps, 0.06 * analytic.fps) << "batch " << batch;
+  }
+}
+
+TEST(Scheduler, BatchingAmortizesFillAndRaisesUtilization) {
+  const ArchitectureConfig cfg = best_config();
+  const ModelMapping mapping = map_model(xl::dnn::lenet5_spec(), cfg);
+  const ScheduleResult single = EventScheduler(cfg).run(mapping);
+  ScheduleOptions opts;
+  opts.batch = 16;
+  const ScheduleResult batched = EventScheduler(cfg, opts).run(mapping);
+  // Per-layer pipeline fill amortizes over the batch: throughput and pool
+  // utilization both improve, and pass counts scale exactly with the batch.
+  EXPECT_GT(batched.fps(), single.fps());
+  EXPECT_GE(batched.conv_pool_utilization, single.conv_pool_utilization);
+  EXPECT_EQ(batched.total_passes, 16u * single.total_passes);
+}
+
 }  // namespace
 }  // namespace xl::core
