@@ -1,0 +1,152 @@
+// Cross-backend evaluation matrix: every registry backend x every Table I
+// model through one api::Session, timed end to end. Emits the perf
+// trajectory as machine-readable JSON (BENCH_backend_matrix.json) so
+// numbers are tracked across PRs instead of stdout-only text.
+//
+// The functional backend is probed too (untrained tiny CNN on a synthetic
+// task): its row reports datapath work counters and wall time, demonstrating
+// that accuracy evaluation flows through the same facade.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "dnn/activations.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/models.hpp"
+#include "dnn/network.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xl;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_backend_matrix.json";
+  const auto models = dnn::table1_models();
+  api::Session session;
+  api::JsonWriter writer;
+
+  writer.field("bench", "backend_matrix");
+  writer.field("models", models.size());
+  writer.field("backends", session.backends().size());
+
+  std::printf("=== Cross-backend matrix: %zu backends x %zu models ===\n\n",
+              session.backends().size(), models.size());
+  std::printf("%-22s %-14s %-12s %-12s %s\n", "backend", "avg EPB pJ/b", "kFPS/W",
+              "power W", "eval ms");
+
+  writer.begin_array("rows");
+  for (const std::string& name : session.backends()) {
+    const auto caps = session.backend(name).capabilities();
+    if (caps.needs_network) continue;  // Probed separately below.
+
+    // One evaluation pass per backend: eval_ms times exactly the work whose
+    // results are reported (summary derived from the same reports).
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<api::EvalResult> results;
+    core::AcceleratorSummary summary;
+    if (caps.reference_only) {
+      summary = session.summarize(name, models);
+    } else {
+      results = session.evaluate_all(name, models);
+      std::vector<core::AcceleratorReport> reports;
+      reports.reserve(results.size());
+      for (const auto& r : results) reports.push_back(r.report);
+      summary = core::summarize(reports);
+    }
+    const double elapsed_ms = ms_since(start);
+
+    writer.begin_object();
+    writer.field("backend", name);
+    writer.field("accelerator", summary.accelerator);
+    writer.field("reference_only", caps.reference_only);
+    writer.field("avg_epb_pj", summary.avg_epb_pj);
+    writer.field("avg_kfps_per_watt", summary.avg_kfps_per_watt);
+    writer.field("avg_power_w", summary.avg_power_w);
+    writer.field("eval_ms", elapsed_ms);
+    if (!results.empty()) {
+      writer.begin_array("per_model");
+      for (const auto& result : results) {
+        writer.begin_object();
+        writer.field("model", result.report.model);
+        writer.field("fps", result.report.perf.fps);
+        writer.field("frame_latency_us", result.report.perf.frame_latency_us);
+        writer.field("power_w", result.report.power.total_w());
+        writer.field("epb_pj", result.epb_pj());
+        writer.end_object();
+      }
+      writer.end_array();
+    }
+    writer.end_object();
+
+    std::printf("%-22s %-14.3f %-12.3f %-12.2f %.2f\n", name.c_str(),
+                summary.avg_epb_pj, summary.avg_kfps_per_watt, summary.avg_power_w,
+                elapsed_ms);
+  }
+  writer.end_array();
+
+  // Functional probe: a tiny untrained CNN on a synthetic task — measures the
+  // batched photonic datapath throughput through the facade.
+  {
+    dnn::SyntheticSpec spec;
+    spec.classes = 4;
+    spec.height = 10;
+    spec.width = 10;
+    spec.channels = 1;
+    spec.seed = 33;
+    const dnn::Dataset data = dnn::generate_classification(spec, 32, 1);
+    numerics::Rng rng(21);
+    dnn::Network net;
+    net.emplace<dnn::Conv2d>(dnn::Conv2dConfig{1, 4, 3, 1, 1}, rng);
+    net.emplace<dnn::ReLU>();
+    net.emplace<dnn::MaxPool2d>(2);
+    net.emplace<dnn::Flatten>();
+    net.emplace<dnn::Dense>(4 * 5 * 5, 4, rng);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = session.evaluate_functional("functional", {}, net, data);
+    const double elapsed_ms = ms_since(start);
+    const auto& st = result.functional.stats;
+
+    writer.begin_object("functional_probe");
+    writer.field("backend", "functional");
+    writer.field("samples", result.functional.samples);
+    writer.field("photonic_matmuls", st.photonic_matmuls);
+    writer.field("photonic_dot_products", st.photonic_dot_products);
+    writer.field("photonic_macs", st.photonic_macs);
+    writer.field("eval_ms", elapsed_ms);
+    writer.field("macs_per_second",
+                 elapsed_ms > 0.0 ? static_cast<double>(st.photonic_macs) /
+                                        (elapsed_ms * 1e-3)
+                                  : 0.0);
+    writer.end_object();
+
+    std::printf("%-22s %zu samples, %zu GEMMs, %.2f MMACs in %.1f ms (%.2f MMAC/s)\n",
+                "functional", result.functional.samples, st.photonic_matmuls,
+                static_cast<double>(st.photonic_macs) * 1e-6, elapsed_ms,
+                static_cast<double>(st.photonic_macs) / (elapsed_ms * 1e-3) * 1e-6);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << writer.finish();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,40 +1,43 @@
 // Fig. 7 reproduction: power consumption of the four CrossLight variants vs
 // the photonic baselines (DEAP-CNN, Holylight) and electronic platforms.
+// All rows come from iterating the api backend registry.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "baselines/deap_cnn.hpp"
-#include "baselines/electronic.hpp"
-#include "baselines/holylight.hpp"
-#include "core/accelerator.hpp"
+#include "api/api.hpp"
 #include "dnn/models.hpp"
 
 int main() {
   using namespace xl;
   const auto models = dnn::table1_models();
+  api::Session session;
 
   std::printf("=== Fig. 7: power consumption comparison (4-model average) ===\n\n");
   std::printf("%-16s %-12s %s\n", "Platform", "Power [W]", "Breakdown / source");
 
-  // Photonic baselines (simulated).
-  for (const auto& params :
-       {baselines::deap_cnn_params(), baselines::holylight_params()}) {
-    std::vector<core::AcceleratorReport> reports;
-    for (const auto& m : models) {
-      reports.push_back(baselines::evaluate_baseline(params, m));
+  // Simulated photonic rows: baselines first, then the CrossLight variants
+  // (registration order matches the paper's Fig. 7 grouping).
+  std::vector<std::string> baselines_first;
+  std::vector<std::string> crosslight;
+  for (const std::string& name : session.backends()) {
+    const auto caps = session.backend(name).capabilities();
+    if (!caps.analytical || caps.needs_network) continue;
+    if (name.rfind("crosslight:", 0) == 0) {
+      crosslight.push_back(name);
+    } else {
+      baselines_first.push_back(name);
     }
-    const auto s = core::summarize(reports);
+  }
+
+  for (const std::string& name : baselines_first) {
+    const auto s = session.summarize(name, models);
     std::printf("%-16s %-12.1f simulated photonic baseline\n", s.accelerator.c_str(),
                 s.avg_power_w);
   }
-
-  // CrossLight variants (simulated).
-  for (auto v : {core::Variant::kBase, core::Variant::kBaseTed, core::Variant::kOpt,
-                 core::Variant::kOptTed}) {
-    const core::CrossLightAccelerator accel(core::variant_config(v));
-    const auto reports = accel.evaluate_all(models);
-    const auto s = core::summarize(reports);
-    const auto& p = reports.front().power;
+  for (const std::string& name : crosslight) {
+    const auto s = session.summarize(name, models);
+    const auto& p = session.evaluate(name, models.front()).report.power;
     std::printf("%-16s %-12.1f laser %.1f | TO %.1f | ADC/DAC %.1f | PD+TIA %.1f "
                 "| other %.1f (W)\n",
                 s.accelerator.c_str(), s.avg_power_w, p.laser_mw * 1e-3,
@@ -44,21 +47,23 @@ int main() {
   }
 
   // Electronic platforms (literature constants, [36]).
-  for (const auto& e : baselines::electronic_platforms()) {
-    std::printf("%-16s %-12.1f literature constant [36]\n", e.name.c_str(), e.power_w);
+  for (const std::string& name : session.backends()) {
+    if (!session.backend(name).capabilities().reference_only) continue;
+    const auto s = session.summarize(name, models);
+    std::printf("%-16s %-12.1f literature constant [36]\n", s.accelerator.c_str(),
+                s.avg_power_w);
   }
 
   // Shape checks mirroring the paper's narrative.
-  const auto power_of = [&](core::Variant v) {
-    const core::CrossLightAccelerator accel(core::variant_config(v));
-    return core::summarize(accel.evaluate_all(models)).avg_power_w;
+  const auto power_of = [&](const std::string& name) {
+    return session.summarize(name, models).avg_power_w;
   };
-  const double base = power_of(core::Variant::kBase);
-  const double opt_ted = power_of(core::Variant::kOptTed);
+  const double base = power_of("crosslight:base");
+  const double opt_ted = power_of("crosslight:opt_ted");
   std::printf("\nVariant ordering: Cross_base %.0f W > Cross_base_TED %.0f W > "
               "Cross_opt %.0f W > Cross_opt_TED %.0f W "
               "(paper ratio base/opt_TED ~4.9x; ours %.1fx)\n",
-              base, power_of(core::Variant::kBaseTed), power_of(core::Variant::kOpt),
+              base, power_of("crosslight:base_ted"), power_of("crosslight:opt"),
               opt_ted, base / opt_ted);
   std::printf("Cross_opt_TED sits below CPU/GPU power but above edge accelerators,\n"
               "as in the paper's Fig. 7.\n");

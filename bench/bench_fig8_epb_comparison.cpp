@@ -1,17 +1,17 @@
 // Fig. 8 reproduction: per-model energy-per-bit of the photonic DNN
-// accelerators (DEAP-CNN, Holylight, four CrossLight variants).
+// accelerators (DEAP-CNN, Holylight, four CrossLight variants), iterating
+// the api backend registry instead of hand-wiring each engine.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "baselines/deap_cnn.hpp"
-#include "baselines/holylight.hpp"
-#include "core/accelerator.hpp"
+#include "api/api.hpp"
 #include "dnn/models.hpp"
 
 int main() {
   using namespace xl;
   const auto models = dnn::table1_models();
+  api::Session session;
 
   struct Row {
     std::string name;
@@ -20,26 +20,27 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (const auto& params :
-       {baselines::deap_cnn_params(), baselines::holylight_params()}) {
+  // Baselines first, then CrossLight variants — registration order already
+  // matches the paper's row order.
+  std::vector<std::string> ordered;
+  for (const std::string& name : session.backends()) {
+    const auto caps = session.backend(name).capabilities();
+    if (!caps.analytical || caps.needs_network) continue;
+    if (name.rfind("crosslight:", 0) != 0) ordered.push_back(name);
+  }
+  for (const std::string& name : session.backends()) {
+    if (name.rfind("crosslight:", 0) == 0) ordered.push_back(name);
+  }
+
+  for (const std::string& name : ordered) {
     Row row;
-    row.name = params.name;
-    for (const auto& m : models) {
-      row.epb.push_back(baselines::evaluate_baseline(params, m).epb_pj());
+    for (const auto& result : session.evaluate_all(name, models)) {
+      row.name = result.report.accelerator;
+      row.epb.push_back(result.epb_pj());
+      row.avg += result.epb_pj();
     }
-    rows.push_back(row);
-  }
-  for (auto v : {core::Variant::kBase, core::Variant::kBaseTed, core::Variant::kOpt,
-                 core::Variant::kOptTed}) {
-    const core::CrossLightAccelerator accel(core::variant_config(v));
-    Row row;
-    row.name = core::variant_name(v);
-    for (const auto& m : models) row.epb.push_back(accel.evaluate(m).epb_pj());
-    rows.push_back(row);
-  }
-  for (Row& row : rows) {
-    for (double e : row.epb) row.avg += e;
     row.avg /= static_cast<double>(row.epb.size());
+    rows.push_back(row);
   }
 
   std::printf("=== Fig. 8: energy-per-bit of photonic DNN accelerators [pJ/bit] ===\n\n");

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -301,4 +302,29 @@ BENCHMARK(BM_MapModel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default to machine-readable JSON alongside the console
+// reporter (BENCH_micro_kernels.json) so the perf trajectory is tracked
+// across PRs. Any explicit --benchmark_out= flag overrides the default.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_out = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string default_fmt = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (std::string(argv[i]).rfind("--benchmark_out_format", 0) == 0) has_fmt = true;
+  }
+  // Only default when the user manages neither flag: pairing the default
+  // .json file with an explicit non-json format would corrupt it.
+  if (!has_out && !has_fmt) {
+    args.push_back(default_out.data());
+    args.push_back(default_fmt.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

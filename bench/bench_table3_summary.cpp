@@ -1,21 +1,23 @@
 // Table III reproduction: average EPB (pJ/bit) and performance-per-watt
-// (kFPS/W) across all platforms — electronic constants from the paper,
-// photonic rows simulated by this repository, with the paper's reported
+// (kFPS/W) across all platforms — every row produced by iterating the api
+// backend registry (electronic constants and simulated photonic engines
+// through the same Session::summarize call), with the paper's reported
 // values printed side by side.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "baselines/deap_cnn.hpp"
+#include "api/api.hpp"
 #include "baselines/electronic.hpp"
-#include "baselines/holylight.hpp"
-#include "core/accelerator.hpp"
 #include "dnn/models.hpp"
 
 int main() {
   using namespace xl;
   const auto models = dnn::table1_models();
   const auto paper_rows = baselines::paper_photonic_rows();
+  api::Session session;
 
   const auto paper_of = [&](const std::string& name) {
     for (const auto& r : paper_rows) {
@@ -28,44 +30,55 @@ int main() {
   std::printf("%-16s %-14s %-14s %-16s %-16s\n", "Accelerator", "EPB ours",
               "EPB paper", "kFPS/W ours", "kFPS/W paper");
 
-  for (const auto& e : baselines::electronic_platforms()) {
-    std::printf("%-16s %-14s %-14.2f %-16s %-16.2f\n", e.name.c_str(), "-", e.avg_epb_pj,
-                "-", e.avg_kfps_per_watt);
+  for (const std::string& name : session.backends()) {
+    if (!session.backend(name).capabilities().reference_only) continue;
+    const auto s = session.summarize(name, models);
+    std::printf("%-16s %-14s %-14.2f %-16s %-16.2f\n", s.accelerator.c_str(), "-",
+                s.avg_epb_pj, "-", s.avg_kfps_per_watt);
   }
 
+  // Simulated photonic rows in the paper's order: baselines, then variants
+  // (that is the registry's registration order).
   std::vector<std::pair<std::string, core::AcceleratorSummary>> photonic;
-  for (const auto& params :
-       {baselines::deap_cnn_params(), baselines::holylight_params()}) {
-    std::vector<core::AcceleratorReport> reports;
-    for (const auto& m : models) {
-      reports.push_back(baselines::evaluate_baseline(params, m));
+  for (const std::string& name : session.backends()) {
+    const auto caps = session.backend(name).capabilities();
+    if (!caps.analytical || caps.needs_network || name.rfind("crosslight:", 0) == 0) {
+      continue;
     }
-    photonic.emplace_back(params.name, core::summarize(reports));
+    photonic.emplace_back(name, session.summarize(name, models));
   }
-  for (auto v : {core::Variant::kBase, core::Variant::kBaseTed, core::Variant::kOpt,
-                 core::Variant::kOptTed}) {
-    const core::CrossLightAccelerator accel(core::variant_config(v));
-    photonic.emplace_back(core::variant_name(v),
-                          core::summarize(accel.evaluate_all(models)));
+  for (const std::string& name : session.backends()) {
+    if (name.rfind("crosslight:", 0) != 0) continue;
+    photonic.emplace_back(name, session.summarize(name, models));
   }
 
   for (const auto& [name, s] : photonic) {
-    const auto paper = paper_of(name);
-    std::printf("%-16s %-14.3f %-14.2f %-16.3f %-16.2f\n", name.c_str(), s.avg_epb_pj,
-                paper.avg_epb_pj, s.avg_kfps_per_watt, paper.avg_kfps_per_watt);
+    const auto paper = paper_of(s.accelerator);
+    std::printf("%-16s %-14.3f %-14.2f %-16.3f %-16.2f\n", s.accelerator.c_str(),
+                s.avg_epb_pj, paper.avg_epb_pj, s.avg_kfps_per_watt,
+                paper.avg_kfps_per_watt);
   }
 
-  const auto& holy = photonic[1].second;
-  const auto& flagship = photonic.back().second;
+  // Rows are looked up by accelerator name, not position: the registry is
+  // open for extension and new baselines must not shift these claims.
+  const auto row_of = [&](const std::string& accelerator) -> const core::AcceleratorSummary& {
+    for (const auto& [name, s] : photonic) {
+      if (s.accelerator == accelerator) return s;
+    }
+    std::fprintf(stderr, "missing registry row: %s\n", accelerator.c_str());
+    std::exit(1);
+  };
+  const auto& holy = row_of("Holylight");
+  const auto& flagship = row_of("Cross_opt_TED");
   std::printf("\nHeadline claims (paper -> ours):\n");
   std::printf("  EPB vs Holylight : 9.5x  -> %.1fx lower\n",
               holy.avg_epb_pj / flagship.avg_epb_pj);
   std::printf("  kFPS/W vs Holylight: 15.9x -> %.1fx higher\n",
               flagship.avg_kfps_per_watt / holy.avg_kfps_per_watt);
   std::printf("  Variant ordering (EPB): base > base_TED > opt > opt_TED : %s\n",
-              (photonic[2].second.avg_epb_pj > photonic[3].second.avg_epb_pj &&
-               photonic[3].second.avg_epb_pj > photonic[4].second.avg_epb_pj &&
-               photonic[4].second.avg_epb_pj > photonic[5].second.avg_epb_pj)
+              (row_of("Cross_base").avg_epb_pj > row_of("Cross_base_TED").avg_epb_pj &&
+               row_of("Cross_base_TED").avg_epb_pj > row_of("Cross_opt").avg_epb_pj &&
+               row_of("Cross_opt").avg_epb_pj > flagship.avg_epb_pj)
                   ? "reproduced"
                   : "NOT reproduced");
   return 0;

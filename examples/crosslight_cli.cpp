@@ -1,21 +1,26 @@
-// Command-line evaluation tool: evaluate any Table I model on any
-// architecture configuration and variant, with machine-readable output.
+// Command-line evaluation tool over the xl::api facade: evaluate any Table I
+// model on any registered backend, with machine-readable output.
 //
 // Usage:
-//   crosslight_cli [--model 1..4] [--variant base|base_ted|opt|opt_ted]
+//   crosslight_cli [--list-backends]
+//                  [--model 1..4] [--backend <name>]
+//                  [--variant base|base_ted|opt|opt_ted]   (legacy alias for
+//                                                           --backend crosslight:<v>)
 //                  [--N <conv unit size>] [--K <fc unit size>]
 //                  [--n <conv units>] [--m <fc units>]
 //                  [--resolution <bits>] [--schedule] [--json]
 //
 // Examples:
-//   crosslight_cli --model 3 --variant opt_ted
+//   crosslight_cli --list-backends
+//   crosslight_cli --model 3 --backend crosslight:opt_ted
+//   crosslight_cli --model 1 --backend deap_cnn --json
 //   crosslight_cli --model 4 --N 30 --K 200 --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "core/accelerator.hpp"
+#include "api/api.hpp"
 #include "core/scheduler.hpp"
 #include "dnn/models.hpp"
 
@@ -23,18 +28,46 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: crosslight_cli [--model 1..4] [--variant "
+               "usage: crosslight_cli [--list-backends] [--model 1..4]\n"
+               "                      [--backend name] [--variant "
                "base|base_ted|opt|opt_ted]\n"
                "                      [--N size] [--K size] [--n count] [--m count]\n"
                "                      [--resolution bits] [--schedule] [--json]\n");
 }
 
-xl::core::Variant parse_variant(const std::string& s) {
-  if (s == "base") return xl::core::Variant::kBase;
-  if (s == "base_ted") return xl::core::Variant::kBaseTed;
-  if (s == "opt") return xl::core::Variant::kOpt;
-  if (s == "opt_ted") return xl::core::Variant::kOptTed;
-  throw std::invalid_argument("unknown variant: " + s);
+std::string backend_for_variant(const std::string& s) {
+  if (s != "base" && s != "base_ted" && s != "opt" && s != "opt_ted") {
+    throw std::invalid_argument("unknown variant: " + s);
+  }
+  return "crosslight:" + s;
+}
+
+int list_backends(xl::api::Session& session, bool json) {
+  xl::api::JsonWriter writer;
+  if (json) writer.begin_array("backends");
+  for (const std::string& name : session.backends()) {
+    const auto caps = session.backend(name).capabilities();
+    if (json) {
+      writer.begin_object();
+      writer.field("name", name);
+      writer.field("analytical", caps.analytical);
+      writer.field("functional", caps.functional);
+      writer.field("reference_only", caps.reference_only);
+      writer.field("needs_network", caps.needs_network);
+      writer.end_object();
+    } else {
+      std::printf("%-24s %s%s%s%s\n", name.c_str(),
+                  caps.analytical ? "analytical " : "",
+                  caps.functional ? "functional " : "",
+                  caps.reference_only ? "reference-constants " : "",
+                  caps.needs_network ? "(needs network+dataset)" : "");
+    }
+  }
+  if (json) {
+    writer.end_array();
+    std::fputs(writer.finish().c_str(), stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -42,9 +75,11 @@ xl::core::Variant parse_variant(const std::string& s) {
 int main(int argc, char** argv) {
   using namespace xl;
   int model_no = 2;
-  core::ArchitectureConfig cfg = core::best_config();
+  std::string backend_name = "crosslight:opt_ted";
+  api::SimConfig config;
   bool json = false;
   bool run_schedule = false;
+  bool list_only = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,22 +93,26 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--model") {
         model_no = std::atoi(next());
+      } else if (arg == "--backend") {
+        backend_name = next();
       } else if (arg == "--variant") {
-        cfg.variant = parse_variant(next());
+        backend_name = backend_for_variant(next());
       } else if (arg == "--N") {
-        cfg.conv_unit_size = static_cast<std::size_t>(std::atoi(next()));
+        config.architecture.conv_unit_size = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--K") {
-        cfg.fc_unit_size = static_cast<std::size_t>(std::atoi(next()));
+        config.architecture.fc_unit_size = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--n") {
-        cfg.conv_units = static_cast<std::size_t>(std::atoi(next()));
+        config.architecture.conv_units = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--m") {
-        cfg.fc_units = static_cast<std::size_t>(std::atoi(next()));
+        config.architecture.fc_units = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--resolution") {
-        cfg.resolution_bits = std::atoi(next());
+        config.architecture.resolution_bits = std::atoi(next());
       } else if (arg == "--schedule") {
         run_schedule = true;
       } else if (arg == "--json") {
         json = true;
+      } else if (arg == "--list-backends") {
+        list_only = true;
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -92,51 +131,104 @@ int main(int argc, char** argv) {
   }
 
   try {
-    cfg.validate();
+    api::Session session(config);
+    if (list_only) return list_backends(session, json);
+
     const auto models = dnn::table1_models();
     const auto& model = models[static_cast<std::size_t>(model_no - 1)];
-    const core::CrossLightAccelerator accel(cfg);
-    const auto report = accel.evaluate(model);
+
+    // Pool utilization comes from the event-driven scheduler, which models
+    // the CrossLight organization only — reject the combination before any
+    // evaluation work.
+    const bool is_crosslight = backend_name.rfind("crosslight:", 0) == 0;
+    if (run_schedule && !is_crosslight) {
+      std::fprintf(stderr, "error: --schedule requires a crosslight:* backend\n");
+      return 2;
+    }
+    const api::EvalResult result = session.evaluate(backend_name, model);
 
     double utilization_conv = 0.0;
     double utilization_fc = 0.0;
     if (run_schedule) {
+      core::ArchitectureConfig cfg = config.architecture;
+      cfg.variant = static_cast<api::AnalyticalBackend&>(session.backend(backend_name))
+                        .variant();
+      const core::CrossLightAccelerator accel(cfg);
       const auto schedule = core::EventScheduler(cfg).run(accel.map(model));
       utilization_conv = schedule.conv_pool_utilization;
       utilization_fc = schedule.fc_pool_utilization;
     }
 
-    if (json) {
-      std::printf("{\n");
-      std::printf("  \"model\": \"%s\",\n", model.name.c_str());
-      std::printf("  \"variant\": \"%s\",\n", report.accelerator.c_str());
-      std::printf("  \"config\": {\"N\": %zu, \"K\": %zu, \"n\": %zu, \"m\": %zu, "
-                  "\"resolution_bits\": %d},\n",
-                  cfg.conv_unit_size, cfg.fc_unit_size, cfg.conv_units, cfg.fc_units,
-                  cfg.resolution_bits);
-      std::printf("  \"fps\": %.3f,\n", report.perf.fps);
-      std::printf("  \"frame_latency_us\": %.6f,\n", report.perf.frame_latency_us);
-      std::printf("  \"power_w\": %.4f,\n", report.power.total_w());
-      std::printf("  \"power_breakdown_mw\": {\"laser\": %.2f, \"to_tuning\": %.2f, "
-                  "\"eo_tuning\": %.4f, \"pd\": %.2f, \"tia\": %.2f, \"vcsel\": %.2f, "
-                  "\"adc_dac\": %.2f, \"control\": %.2f},\n",
-                  report.power.laser_mw, report.power.to_tuning_mw,
-                  report.power.eo_tuning_mw, report.power.pd_mw, report.power.tia_mw,
-                  report.power.vcsel_mw, report.power.adc_dac_mw, report.power.control_mw);
-      std::printf("  \"area_mm2\": %.3f,\n", report.area_mm2);
-      std::printf("  \"epb_pj_per_bit\": %.6f,\n", report.epb_pj());
-      std::printf("  \"kfps_per_watt\": %.4f", report.kfps_per_watt());
-      if (run_schedule) {
-        std::printf(",\n  \"conv_pool_utilization\": %.4f,\n", utilization_conv);
-        std::printf("  \"fc_pool_utilization\": %.4f\n", utilization_fc);
+    if (!result.has_report) {
+      // Reference-only backend: literature constants, no per-model report.
+      if (json) {
+        api::JsonWriter writer;
+        writer.field("backend", backend_name);
+        writer.field("platform", result.summary.accelerator);
+        writer.field("avg_epb_pj_per_bit", result.summary.avg_epb_pj);
+        writer.field("avg_kfps_per_watt", result.summary.avg_kfps_per_watt);
+        writer.field("power_w", result.summary.avg_power_w);
+        std::fputs(writer.finish().c_str(), stdout);
       } else {
-        std::printf("\n");
+        std::printf("%s (%s): literature constants\n", backend_name.c_str(),
+                    result.summary.accelerator.c_str());
+        std::printf("  power      : %.2f W\n", result.summary.avg_power_w);
+        std::printf("  EPB        : %.4f pJ/bit\n", result.summary.avg_epb_pj);
+        std::printf("  kFPS/W     : %.3f\n", result.summary.avg_kfps_per_watt);
       }
-      std::printf("}\n");
+      return 0;
+    }
+
+    const auto& report = result.report;
+    const auto& cfg = config.architecture;
+    if (json) {
+      api::JsonWriter writer;
+      writer.field("model", model.name);
+      writer.field("backend", backend_name);
+      writer.field("accelerator", report.accelerator);
+      if (is_crosslight) {
+        // Baselines carry their own organization (BaselineParams); the
+        // session's (N, K, n, m) only describes crosslight:* backends.
+        writer.begin_object("config");
+        writer.field("N", cfg.conv_unit_size);
+        writer.field("K", cfg.fc_unit_size);
+        writer.field("n", cfg.conv_units);
+        writer.field("m", cfg.fc_units);
+        writer.field("resolution_bits", report.resolution_bits);
+        writer.end_object();
+      } else {
+        writer.field("resolution_bits", report.resolution_bits);
+      }
+      writer.field("fps", report.perf.fps);
+      writer.field("frame_latency_us", report.perf.frame_latency_us);
+      writer.field("power_w", report.power.total_w());
+      writer.begin_object("power_breakdown_mw");
+      writer.field("laser", report.power.laser_mw);
+      writer.field("to_tuning", report.power.to_tuning_mw);
+      writer.field("eo_tuning", report.power.eo_tuning_mw);
+      writer.field("pd", report.power.pd_mw);
+      writer.field("tia", report.power.tia_mw);
+      writer.field("vcsel", report.power.vcsel_mw);
+      writer.field("adc_dac", report.power.adc_dac_mw);
+      writer.field("control", report.power.control_mw);
+      writer.end_object();
+      writer.field("area_mm2", report.area_mm2);
+      writer.field("epb_pj_per_bit", report.epb_pj());
+      writer.field("kfps_per_watt", report.kfps_per_watt());
+      if (run_schedule) {
+        writer.field("conv_pool_utilization", utilization_conv);
+        writer.field("fc_pool_utilization", utilization_fc);
+      }
+      std::fputs(writer.finish().c_str(), stdout);
     } else {
-      std::printf("%s on %s (N=%zu K=%zu n=%zu m=%zu, %d-bit)\n", model.name.c_str(),
-                  report.accelerator.c_str(), cfg.conv_unit_size, cfg.fc_unit_size,
-                  cfg.conv_units, cfg.fc_units, cfg.resolution_bits);
+      if (is_crosslight) {
+        std::printf("%s on %s (N=%zu K=%zu n=%zu m=%zu, %d-bit)\n", model.name.c_str(),
+                    report.accelerator.c_str(), cfg.conv_unit_size, cfg.fc_unit_size,
+                    cfg.conv_units, cfg.fc_units, report.resolution_bits);
+      } else {
+        std::printf("%s on %s (%d-bit)\n", model.name.c_str(),
+                    report.accelerator.c_str(), report.resolution_bits);
+      }
       std::printf("  FPS        : %.0f\n", report.perf.fps);
       std::printf("  latency    : %.3f us\n", report.perf.frame_latency_us);
       std::printf("  power      : %.2f W\n", report.power.total_w());

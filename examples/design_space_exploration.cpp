@@ -3,9 +3,11 @@
 //
 // Sweeps (N, K, n, m), filters by the area budget, and recommends the best
 // FPS/EPB configuration plus runner-ups for latency- or power-optimized
-// deployments.
+// deployments. Candidates are evaluated through the api::Session registry
+// path (the analytical backend matching the sweep's variant).
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "core/dse.hpp"
 #include "dnn/models.hpp"
 
@@ -22,7 +24,8 @@ int main() {
   std::printf("Design-space exploration for a 2-model edge workload "
               "(area budget %.0f mm2)...\n\n",
               sweep.max_area_mm2);
-  const auto points = core::run_dse(sweep, workload);
+  api::Session session;
+  const auto points = session.run_dse(sweep, workload);
   if (points.empty()) {
     std::printf("No configuration fits the area budget.\n");
     return 1;

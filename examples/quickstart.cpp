@@ -1,49 +1,40 @@
-// Quickstart: evaluate a DNN model on the CrossLight accelerator in ~30
-// lines — configuration, mapping, and the headline metrics.
+// Quickstart: the evaluation API in ~30 lines. One Session evaluates any
+// registered backend — CrossLight variants, prior-work baselines, the
+// functional datapath — and returns one unified EvalResult.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "api/api.hpp"
 #include "dnn/models.hpp"
 
 int main() {
   using namespace xl;
 
-  // 1. The paper's flagship configuration: (N, K, n, m) = (20, 150, 100, 60),
-  //    optimized MRs + hybrid TED tuning at 5 um pitch, 16-bit datapath.
-  const core::ArchitectureConfig config = core::best_config();
-  const core::CrossLightAccelerator accelerator(config);
+  // 1. A Session owns the unified SimConfig; defaults are the paper's
+  //    flagship: (N, K, n, m) = (20, 150, 100, 60), 16-bit datapath.
+  api::Session session;
 
-  // 2. Pick a workload from the Table I model zoo.
+  // 2. Pick a workload from the Table I model zoo and a backend by name.
   const dnn::ModelSpec model = dnn::cnn_cifar10_spec();
-
-  // 3. Evaluate: decomposition onto VDP units, latency, power, energy.
-  const core::AcceleratorReport report = accelerator.evaluate(model);
+  const api::EvalResult result = session.evaluate("crosslight:opt_ted", model);
 
   std::printf("CrossLight quickstart — %s on %s\n", model.name.c_str(),
-              report.accelerator.c_str());
-  std::printf("  MACs per inference : %zu\n", report.macs_per_frame);
-  std::printf("  frame latency      : %.2f us\n", report.perf.frame_latency_us);
-  std::printf("  throughput         : %.0f FPS\n", report.perf.fps);
-  std::printf("  total power        : %.1f W\n", report.power.total_w());
-  std::printf("    laser            : %.2f W\n", report.power.laser_mw * 1e-3);
-  std::printf("    TO tuning        : %.2f W\n", report.power.to_tuning_mw * 1e-3);
-  std::printf("    ADC/DAC          : %.2f W\n", report.power.adc_dac_mw * 1e-3);
-  std::printf("  chip area          : %.1f mm2\n", report.area_mm2);
-  std::printf("  energy per bit     : %.3f pJ/bit\n", report.epb_pj());
-  std::printf("  performance/watt   : %.2f kFPS/W\n", report.kfps_per_watt());
+              result.report.accelerator.c_str());
+  std::printf("  MACs per inference : %zu\n", result.report.macs_per_frame);
+  std::printf("  frame latency      : %.2f us\n", result.report.perf.frame_latency_us);
+  std::printf("  throughput         : %.0f FPS\n", result.report.perf.fps);
+  std::printf("  total power        : %.1f W\n", result.power_w());
+  std::printf("  chip area          : %.1f mm2\n", result.report.area_mm2);
+  std::printf("  energy per bit     : %.3f pJ/bit\n", result.epb_pj());
+  std::printf("  performance/watt   : %.2f kFPS/W\n", result.kfps_per_watt());
 
-  // 4. How the model decomposes onto the unit pools (Section IV-C.1).
-  const core::ModelMapping mapping = accelerator.map(model);
-  std::printf("\nLayer decomposition (first layers):\n");
-  std::size_t shown = 0;
-  for (const auto& layer : mapping.layers) {
-    std::printf("  %-6s %s: %zu dot products x len %zu -> %zu passes on %zu %s units\n",
-                layer.layer_name.c_str(), layer.is_conv ? "(conv)" : "(fc)",
-                layer.dot_products, layer.dot_length, layer.total_passes,
-                layer.unit_pool, layer.is_conv ? "CONV" : "FC");
-    if (++shown == 6) break;
+  // 3. The same call works for every backend in the registry.
+  std::printf("\n%-22s %-12s %s\n", "backend", "EPB pJ/bit", "kFPS/W");
+  for (const std::string& name : session.backends()) {
+    if (session.backend(name).capabilities().needs_network) continue;
+    const api::EvalResult r = session.evaluate(name, model);
+    std::printf("%-22s %-12.3f %.3f\n", name.c_str(), r.epb_pj(), r.kfps_per_watt());
   }
   return 0;
 }

@@ -1,0 +1,38 @@
+#include "api/analytical_backend.hpp"
+
+#include <stdexcept>
+
+#include "core/accelerator.hpp"
+
+namespace xl::api {
+
+std::string AnalyticalBackend::registry_key(core::Variant v) {
+  switch (v) {
+    case core::Variant::kBase: return "crosslight:base";
+    case core::Variant::kBaseTed: return "crosslight:base_ted";
+    case core::Variant::kOpt: return "crosslight:opt";
+    case core::Variant::kOptTed: return "crosslight:opt_ted";
+  }
+  throw std::invalid_argument("AnalyticalBackend: unknown variant");
+}
+
+BackendCapabilities AnalyticalBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.analytical = true;
+  return caps;
+}
+
+EvalResult AnalyticalBackend::evaluate(const EvalRequest& request) {
+  request.config.validate();
+  core::ArchitectureConfig cfg = request.config.architecture;
+  cfg.variant = variant_;  // The backend identity wins over the shared config.
+  const core::CrossLightAccelerator accelerator(cfg);
+
+  EvalResult result;
+  result.backend = name();
+  result.report = accelerator.evaluate(request.model);
+  result.has_report = true;
+  return result;
+}
+
+}  // namespace xl::api

@@ -1,0 +1,32 @@
+// Backend adapter over the analytical CrossLightAccelerator, one instance
+// per architecture Variant. Results are bit-identical to calling
+// core::CrossLightAccelerator::evaluate directly with the same
+// ArchitectureConfig (verified by tests/test_api_parity.cpp).
+#pragma once
+
+#include <string>
+
+#include "api/backend.hpp"
+#include "core/config.hpp"
+
+namespace xl::api {
+
+class AnalyticalBackend final : public Backend {
+ public:
+  explicit AnalyticalBackend(core::Variant variant) : variant_(variant) {}
+
+  [[nodiscard]] std::string name() const override { return registry_key(variant_); }
+  [[nodiscard]] BackendCapabilities capabilities() const override;
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request) override;
+
+  [[nodiscard]] core::Variant variant() const noexcept { return variant_; }
+
+  /// "crosslight:base", "crosslight:base_ted", "crosslight:opt",
+  /// "crosslight:opt_ted".
+  [[nodiscard]] static std::string registry_key(core::Variant v);
+
+ private:
+  core::Variant variant_;
+};
+
+}  // namespace xl::api

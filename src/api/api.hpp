@@ -1,0 +1,19 @@
+// Umbrella header of the xl::api evaluation facade.
+//
+//   Session    — owns a SimConfig, resolves backends by name, caches them.
+//   Registry   — string-keyed factories ("crosslight:opt_ted", "deap_cnn",
+//                "functional", "electronic:p100", ...).
+//   Backend    — one interface over the analytical CrossLight model, the
+//                prior-work baselines, and the functional batched datapath.
+//   EvalResult — AcceleratorReport + AcceleratorSummary + functional
+//                accuracy/stats merged into one report type.
+#pragma once
+
+#include "api/analytical_backend.hpp"
+#include "api/backend.hpp"
+#include "api/baseline_backend.hpp"
+#include "api/eval_types.hpp"
+#include "api/functional_backend.hpp"
+#include "api/json_writer.hpp"
+#include "api/registry.hpp"
+#include "api/session.hpp"

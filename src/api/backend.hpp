@@ -1,0 +1,37 @@
+// The backend-polymorphic evaluation interface.
+//
+// Every engine in the repository — the analytical CrossLight model, the
+// DEAP-CNN/Holylight/electronic baselines, and the functional batched VDP
+// datapath — is exposed as one Backend. Sweeps, benches, and the CLI iterate
+// a BackendRegistry (api/registry.hpp) instead of hand-wiring each engine.
+#pragma once
+
+#include <string>
+
+#include "api/eval_types.hpp"
+
+namespace xl::api {
+
+/// What a backend can produce; drives request construction and row filtering
+/// in cross-backend tables.
+struct BackendCapabilities {
+  bool analytical = false;      ///< Latency/power/area from ModelSpec shapes.
+  bool functional = false;      ///< Executes real tensors (accuracy, error).
+  bool reference_only = false;  ///< Literature constants; fills summary only.
+  bool needs_network = false;   ///< evaluate() requires network + dataset.
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// The registry key ("crosslight:opt_ted", "deap_cnn", "functional", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual BackendCapabilities capabilities() const = 0;
+
+  /// Evaluate one request. Throws std::invalid_argument on invalid configs
+  /// or when a needs_network backend is called without network/dataset.
+  [[nodiscard]] virtual EvalResult evaluate(const EvalRequest& request) = 0;
+};
+
+}  // namespace xl::api

@@ -1,0 +1,65 @@
+#include "api/baseline_backend.hpp"
+
+#include <cctype>
+#include <utility>
+
+namespace xl::api {
+
+BaselineBackend::BaselineBackend(baselines::BaselineParams params, std::string key)
+    : params_(std::move(params)), key_(std::move(key)) {
+  params_.validate();
+}
+
+BackendCapabilities BaselineBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.analytical = true;
+  return caps;
+}
+
+EvalResult BaselineBackend::evaluate(const EvalRequest& request) {
+  request.config.validate();
+  EvalResult result;
+  result.backend = name();
+  result.report = baselines::evaluate_baseline(params_, request.model);
+  result.has_report = true;
+  return result;
+}
+
+ElectronicReferenceBackend::ElectronicReferenceBackend(
+    baselines::ElectronicPlatform platform)
+    : platform_(std::move(platform)), key_(registry_key(platform_.name)) {}
+
+std::string ElectronicReferenceBackend::registry_key(const std::string& platform_name) {
+  std::string key = "electronic:";
+  bool last_sep = false;
+  for (char c : platform_name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_sep = false;
+    } else if (!last_sep) {
+      key.push_back('_');
+      last_sep = true;
+    }
+  }
+  return key;
+}
+
+BackendCapabilities ElectronicReferenceBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.reference_only = true;
+  return caps;
+}
+
+EvalResult ElectronicReferenceBackend::evaluate(const EvalRequest& request) {
+  request.config.validate();
+  EvalResult result;
+  result.backend = name();
+  result.summary.accelerator = platform_.name;
+  result.summary.avg_epb_pj = platform_.avg_epb_pj;
+  result.summary.avg_kfps_per_watt = platform_.avg_kfps_per_watt;
+  result.summary.avg_power_w = platform_.power_w;
+  result.has_summary = true;
+  return result;
+}
+
+}  // namespace xl::api

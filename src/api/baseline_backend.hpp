@@ -1,0 +1,55 @@
+// Backend adapters over the prior-work comparison models.
+//
+// BaselineBackend wraps one baselines::BaselineParams parameterization
+// (DEAP-CNN, Holylight) and reproduces baselines::evaluate_baseline
+// bit-for-bit. ElectronicReferenceBackend wraps one Table III electronic
+// platform row — literature constants, not simulated — so cross-backend
+// tables can still iterate them through the same interface.
+#pragma once
+
+#include <string>
+
+#include "api/backend.hpp"
+#include "baselines/electronic.hpp"
+#include "baselines/photonic_baseline.hpp"
+
+namespace xl::api {
+
+class BaselineBackend final : public Backend {
+ public:
+  /// `key` is the registry name ("deap_cnn", "holylight"). Throws
+  /// std::invalid_argument if `params` fails BaselineParams::validate().
+  BaselineBackend(baselines::BaselineParams params, std::string key);
+
+  [[nodiscard]] std::string name() const override { return key_; }
+  [[nodiscard]] BackendCapabilities capabilities() const override;
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request) override;
+
+  [[nodiscard]] const baselines::BaselineParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  baselines::BaselineParams params_;
+  std::string key_;
+};
+
+class ElectronicReferenceBackend final : public Backend {
+ public:
+  explicit ElectronicReferenceBackend(baselines::ElectronicPlatform platform);
+
+  [[nodiscard]] std::string name() const override { return key_; }
+  [[nodiscard]] BackendCapabilities capabilities() const override;
+  /// Fills EvalResult::summary from the platform constants; the request's
+  /// model is ignored (the survey numbers are model-averaged already).
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request) override;
+
+  /// "electronic:p100" from "P100", "electronic:edge_tpu" from "Edge TPU".
+  [[nodiscard]] static std::string registry_key(const std::string& platform_name);
+
+ private:
+  baselines::ElectronicPlatform platform_;
+  std::string key_;
+};
+
+}  // namespace xl::api

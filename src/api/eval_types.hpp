@@ -1,0 +1,87 @@
+// Unified request/result types of the xl::api evaluation facade.
+//
+// SimConfig is the superset configuration every backend draws from: the
+// analytical ArchitectureConfig (mapper/performance/power/area models), the
+// functional VdpSimOptions (signal-level datapath), and the batch/eval knobs
+// of accuracy evaluation. EvalResult is the single report type merging
+// core::AcceleratorReport (analytical metrics) with the functional engine's
+// accuracy + PhotonicInferenceStats, so cross-backend sweeps (Figs. 7-8,
+// Table III) iterate one structure regardless of which engine produced it.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/photonic_inference.hpp"
+#include "core/report.hpp"
+#include "core/vdp_simulator.hpp"
+#include "dnn/layer_spec.hpp"
+
+namespace xl::dnn {
+class Network;
+struct Dataset;
+}  // namespace xl::dnn
+
+namespace xl::api {
+
+/// One configuration for every engine. Analytical backends read
+/// `architecture`, the functional backend reads `vdp` plus the eval knobs;
+/// baseline backends carry their own BaselineParams and only consult the
+/// shared config for validation.
+struct SimConfig {
+  core::ArchitectureConfig architecture;  ///< (N, K, n, m), variant, devices.
+  core::VdpSimOptions vdp;                ///< Signal-level datapath options.
+
+  // Batch/eval knobs (functional backend).
+  std::size_t eval_batch_size = 16;    ///< Samples per photonic GEMM batch.
+  std::size_t functional_samples = 32; ///< Dataset samples for accuracy eval.
+  bool track_layer_error = false;      ///< Opt-in exact reference pass.
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+/// One evaluation job. `model` drives the analytical models; `network` and
+/// `dataset` are only required by backends whose capabilities() report
+/// needs_network (the functional engine executes real tensors).
+struct EvalRequest {
+  dnn::ModelSpec model;
+  SimConfig config;
+  dnn::Network* network = nullptr;        ///< Must outlive the call.
+  const dnn::Dataset* dataset = nullptr;  ///< Must outlive the call.
+};
+
+/// Accuracy + datapath work counters from the functional engine.
+struct FunctionalMetrics {
+  bool populated = false;
+  double accuracy = 0.0;
+  std::size_t samples = 0;
+  core::PhotonicInferenceStats stats;
+};
+
+/// The unified report. Simulated backends fill `report` (and derived
+/// metrics); literature-constant backends fill `summary` only; the
+/// functional backend additionally fills `functional`.
+struct EvalResult {
+  std::string backend;  ///< Registry key of the producing backend.
+
+  bool has_report = false;
+  core::AcceleratorReport report;
+
+  bool has_summary = false;          ///< Reference-only rows (Table III).
+  core::AcceleratorSummary summary;
+
+  FunctionalMetrics functional;
+
+  [[nodiscard]] double epb_pj() const noexcept {
+    return has_report ? report.epb_pj() : summary.avg_epb_pj;
+  }
+  [[nodiscard]] double kfps_per_watt() const noexcept {
+    return has_report ? report.kfps_per_watt() : summary.avg_kfps_per_watt;
+  }
+  [[nodiscard]] double power_w() const noexcept {
+    return has_report ? report.power.total_w() : summary.avg_power_w;
+  }
+};
+
+}  // namespace xl::api

@@ -1,0 +1,32 @@
+// Backend adapter over the functional batched photonic datapath.
+//
+// Wraps core::PhotonicInferenceEngine (itself on BatchedVdpEngine): the
+// request's network runs with every CONV/FC layer lowered to photonic GEMMs,
+// producing accuracy + work counters + (opt-in) max layer error. When the
+// request also carries a ModelSpec with layers, the analytical CrossLight
+// metrics for that workload are reported alongside, so one EvalResult holds
+// both the "how fast/how much energy" and the "what does the analog datapath
+// actually compute" views.
+#pragma once
+
+#include <string>
+
+#include "api/backend.hpp"
+
+namespace xl::api {
+
+class FunctionalBackend final : public Backend {
+ public:
+  FunctionalBackend() = default;
+
+  [[nodiscard]] std::string name() const override { return "functional"; }
+  [[nodiscard]] BackendCapabilities capabilities() const override;
+
+  /// Requires request.network and request.dataset (throws
+  /// std::invalid_argument otherwise). Evaluates classification accuracy on
+  /// min(config.functional_samples, dataset size) samples in batches of
+  /// config.eval_batch_size.
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request) override;
+};
+
+}  // namespace xl::api

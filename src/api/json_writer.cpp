@@ -1,0 +1,156 @@
+#include "api/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xl::api {
+
+JsonWriter::JsonWriter() {
+  out_.push_back('{');
+  first_in_scope_.push_back(true);
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_indent() {
+  if (!first_in_scope_.back()) out_ += ",";
+  first_in_scope_.back() = false;
+  out_ += "\n";
+  out_.append(2 * first_in_scope_.size(), ' ');
+}
+
+namespace {
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+}  // namespace
+
+void JsonWriter::field(const std::string& key, const std::string& value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": \"";
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonWriter::field(const std::string& key, double value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": ";
+  out_ += number(value);
+}
+
+void JsonWriter::field(const std::string& key, std::size_t value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": ";
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(const std::string& key, int value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": ";
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(const std::string& key, bool value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += value ? "\": true" : "\": false";
+}
+
+void JsonWriter::element(const std::string& value) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::element(double value) {
+  comma_and_indent();
+  out_ += number(value);
+}
+
+void JsonWriter::begin_object(const std::string& key) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": {";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::begin_object() {
+  comma_and_indent();
+  out_ += "{";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  const bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!empty) {
+    out_ += "\n";
+    out_.append(2 * first_in_scope_.size(), ' ');
+  }
+  out_ += "}";
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\": [";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  const bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!empty) {
+    out_ += "\n";
+    out_.append(2 * first_in_scope_.size(), ' ');
+  }
+  out_ += "]";
+}
+
+std::string JsonWriter::finish() {
+  end_object();
+  out_ += "\n";
+  return std::move(out_);
+}
+
+}  // namespace xl::api

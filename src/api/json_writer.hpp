@@ -1,0 +1,51 @@
+// Minimal ordered JSON emitter for machine-readable tool output
+// (crosslight_cli --json, the BENCH_*.json perf-trajectory files).
+//
+// Supports exactly what those producers need: nested objects/arrays with
+// insertion-ordered keys, correctly escaped strings, and non-finite doubles
+// serialized as null. Two-space indented for human diffing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xl::api {
+
+class JsonWriter {
+ public:
+  /// Root object is opened on construction.
+  JsonWriter();
+
+  // Values inside an object.
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::size_t value);
+  void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);
+
+  // Values inside an array.
+  void element(const std::string& value);
+  void element(double value);
+
+  void begin_object(const std::string& key);  ///< Named, inside an object.
+  void begin_object();                        ///< Anonymous, inside an array.
+  void end_object();
+  void begin_array(const std::string& key);
+  void end_array();
+
+  /// Close the root object and return the document. The writer is spent
+  /// afterwards.
+  [[nodiscard]] std::string finish();
+
+  [[nodiscard]] static std::string escape(const std::string& raw);
+
+ private:
+  void comma_and_indent();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;  ///< One flag per open scope.
+};
+
+}  // namespace xl::api

@@ -1,0 +1,87 @@
+#include "api/registry.hpp"
+
+#include <stdexcept>
+
+#include "api/analytical_backend.hpp"
+#include "api/baseline_backend.hpp"
+#include "api/functional_backend.hpp"
+#include "baselines/deap_cnn.hpp"
+#include "baselines/holylight.hpp"
+
+namespace xl::api {
+
+void BackendRegistry::register_backend(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("BackendRegistry: empty backend name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("BackendRegistry: null factory for " + name);
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("BackendRegistry: duplicate backend " + name);
+  }
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool BackendRegistry::contains(const std::string& name) const noexcept {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return factory();
+  }
+  std::string known;
+  for (const auto& [key, factory] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw std::out_of_range("BackendRegistry: unknown backend '" + name +
+                          "' (known: " + known + ")");
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, factory] : entries_) out.push_back(key);
+  return out;
+}
+
+BackendRegistry make_default_registry() {
+  BackendRegistry registry;
+
+  for (core::Variant v : {core::Variant::kBase, core::Variant::kBaseTed,
+                          core::Variant::kOpt, core::Variant::kOptTed}) {
+    registry.register_backend(AnalyticalBackend::registry_key(v), [v]() {
+      return std::make_unique<AnalyticalBackend>(v);
+    });
+  }
+
+  registry.register_backend("deap_cnn", []() {
+    return std::make_unique<BaselineBackend>(baselines::deap_cnn_params(), "deap_cnn");
+  });
+  registry.register_backend("holylight", []() {
+    return std::make_unique<BaselineBackend>(baselines::holylight_params(), "holylight");
+  });
+
+  registry.register_backend("functional",
+                            []() { return std::make_unique<FunctionalBackend>(); });
+
+  for (const auto& platform : baselines::electronic_platforms()) {
+    registry.register_backend(
+        ElectronicReferenceBackend::registry_key(platform.name), [platform]() {
+          return std::make_unique<ElectronicReferenceBackend>(platform);
+        });
+  }
+  return registry;
+}
+
+const BackendRegistry& default_registry() {
+  static const BackendRegistry registry = make_default_registry();
+  return registry;
+}
+
+}  // namespace xl::api

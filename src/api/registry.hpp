@@ -1,0 +1,51 @@
+// String-keyed backend factory registry.
+//
+// Backends are selectable by name ("crosslight:opt_ted", "deap_cnn",
+// "functional", ...) so sweeps, benches, and the CLI enumerate engines
+// instead of hand-wiring them. Registration order is preserved: names()
+// lists the default backends in the paper's comparison order (the four
+// CrossLight variants, then the photonic baselines, then the functional
+// engine, then the Table III electronic reference rows).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/backend.hpp"
+
+namespace xl::api {
+
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Backend>()>;
+
+  /// Throws std::invalid_argument on empty names, null factories, or
+  /// duplicate registration.
+  void register_backend(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  /// Instantiate the named backend. Throws std::out_of_range (message lists
+  /// the known names) when the name is not registered.
+  [[nodiscard]] std::unique_ptr<Backend> create(const std::string& name) const;
+
+  /// All registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+/// A fresh registry holding every built-in backend: the four CrossLight
+/// variants, DEAP-CNN, Holylight, the functional engine, and the six
+/// electronic reference platforms.
+[[nodiscard]] BackendRegistry make_default_registry();
+
+/// Shared immutable instance of make_default_registry().
+[[nodiscard]] const BackendRegistry& default_registry();
+
+}  // namespace xl::api

@@ -1,0 +1,91 @@
+#include "api/session.hpp"
+
+#include <utility>
+
+#include "api/analytical_backend.hpp"
+
+namespace xl::api {
+
+Session::Session(SimConfig config, const BackendRegistry* registry)
+    : config_(std::move(config)),
+      registry_(registry != nullptr ? registry : &default_registry()) {
+  config_.validate();
+}
+
+void Session::set_config(SimConfig config) {
+  config.validate();
+  config_ = std::move(config);
+}
+
+Backend& Session::backend(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    it = cache_.emplace(name, registry_->create(name)).first;
+  }
+  return *it->second;
+}
+
+EvalResult Session::evaluate(const std::string& backend_name,
+                             const dnn::ModelSpec& model) {
+  EvalRequest request;
+  request.model = model;
+  request.config = config_;
+  return backend(backend_name).evaluate(request);
+}
+
+std::vector<EvalResult> Session::evaluate_all(
+    const std::string& backend_name, const std::vector<dnn::ModelSpec>& models) {
+  std::vector<EvalResult> results;
+  results.reserve(models.size());
+  for (const auto& model : models) results.push_back(evaluate(backend_name, model));
+  return results;
+}
+
+core::AcceleratorSummary Session::summarize(const std::string& backend_name,
+                                            const std::vector<dnn::ModelSpec>& models) {
+  Backend& b = backend(backend_name);
+  if (b.capabilities().reference_only) {
+    // Literature constants are model-averaged already; one evaluation holds
+    // the whole row.
+    EvalRequest request;
+    request.config = config_;
+    return b.evaluate(request).summary;
+  }
+  std::vector<core::AcceleratorReport> reports;
+  reports.reserve(models.size());
+  for (const auto& model : models) {
+    EvalRequest request;
+    request.model = model;
+    request.config = config_;
+    reports.push_back(b.evaluate(request).report);
+  }
+  return core::summarize(reports);
+}
+
+EvalResult Session::evaluate_functional(const std::string& backend_name,
+                                        const dnn::ModelSpec& model,
+                                        dnn::Network& network,
+                                        const dnn::Dataset& dataset) {
+  EvalRequest request;
+  request.model = model;
+  request.config = config_;
+  request.network = &network;
+  request.dataset = &dataset;
+  return backend(backend_name).evaluate(request);
+}
+
+std::vector<core::DsePoint> Session::run_dse(const core::DseSweep& sweep,
+                                             const std::vector<dnn::ModelSpec>& models) {
+  Backend& b = backend(AnalyticalBackend::registry_key(sweep.variant));
+  return core::run_dse(sweep, models,
+                       [this, &b](const core::ArchitectureConfig& cfg,
+                                  const dnn::ModelSpec& model) {
+                         EvalRequest request;
+                         request.model = model;
+                         request.config = config_;
+                         request.config.architecture = cfg;
+                         return b.evaluate(request).report;
+                       });
+}
+
+}  // namespace xl::api

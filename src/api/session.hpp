@@ -1,0 +1,82 @@
+// Session — the single entry point of the evaluation API.
+//
+// A Session owns one SimConfig and resolves backends by name from a
+// BackendRegistry (the default registry unless one is injected). Backend
+// instances are cached per session, so repeated evaluations of the same
+// backend reuse its precomputed state.
+//
+//   api::Session session;
+//   auto result = session.evaluate("crosslight:opt_ted", dnn::lenet5_spec());
+//   auto table  = session.summarize("deap_cnn", dnn::table1_models());
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "api/registry.hpp"
+#include "core/dse.hpp"
+#include "core/report.hpp"
+#include "dnn/layer_spec.hpp"
+
+namespace xl::dnn {
+class Network;
+struct Dataset;
+}  // namespace xl::dnn
+
+namespace xl::api {
+
+class Session {
+ public:
+  /// Validates the config up front (throws std::invalid_argument). A null
+  /// registry selects default_registry(); an injected registry must outlive
+  /// the session.
+  explicit Session(SimConfig config = {}, const BackendRegistry* registry = nullptr);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  /// Replace the session config (validated).
+  void set_config(SimConfig config);
+
+  [[nodiscard]] const BackendRegistry& registry() const noexcept { return *registry_; }
+  /// Registered backend names, in registration order.
+  [[nodiscard]] std::vector<std::string> backends() const { return registry_->names(); }
+
+  /// The cached instance of a backend (created on first use).
+  [[nodiscard]] Backend& backend(const std::string& name);
+
+  /// Evaluate one model on one backend with the session config.
+  [[nodiscard]] EvalResult evaluate(const std::string& backend_name,
+                                    const dnn::ModelSpec& model);
+
+  /// Evaluate a model zoo (e.g. the Table I models).
+  [[nodiscard]] std::vector<EvalResult> evaluate_all(
+      const std::string& backend_name, const std::vector<dnn::ModelSpec>& models);
+
+  /// Model-averaged Table III row for one backend. Reference-only backends
+  /// return their literature constants directly.
+  [[nodiscard]] core::AcceleratorSummary summarize(
+      const std::string& backend_name, const std::vector<dnn::ModelSpec>& models);
+
+  /// Functional evaluation: run `network` on the named backend's datapath
+  /// over `dataset`, with `model` providing the analytical workload shape
+  /// (pass {} to skip the analytical metrics).
+  [[nodiscard]] EvalResult evaluate_functional(const std::string& backend_name,
+                                               const dnn::ModelSpec& model,
+                                               dnn::Network& network,
+                                               const dnn::Dataset& dataset);
+
+  /// Fig. 6 design-space exploration routed through the registry: every
+  /// candidate (N, K, n, m) is evaluated by the analytical backend matching
+  /// sweep.variant, with the session config supplying the remaining knobs.
+  [[nodiscard]] std::vector<core::DsePoint> run_dse(
+      const core::DseSweep& sweep, const std::vector<dnn::ModelSpec>& models);
+
+ private:
+  SimConfig config_;
+  const BackendRegistry* registry_;
+  std::map<std::string, std::unique_ptr<Backend>> cache_;
+};
+
+}  // namespace xl::api

@@ -10,13 +10,29 @@ using xl::dnn::LayerKind;
 using xl::dnn::LayerSpec;
 using xl::dnn::ModelSpec;
 
+void BaselineParams::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(!name.empty(), "BaselineParams: name must be set");
+  check(unit_size > 0, "BaselineParams: unit_size must be > 0");
+  check(units > 0, "BaselineParams: units must be > 0");
+  check(cycle_ns > 0.0, "BaselineParams: cycle_ns must be > 0");
+  check(pipeline_fill_ns >= 0.0, "BaselineParams: pipeline_fill_ns must be >= 0");
+  check(fc_weight_reload_ns >= 0.0, "BaselineParams: fc_weight_reload_ns must be >= 0");
+  check(conv_weight_reload_ns >= 0.0,
+        "BaselineParams: conv_weight_reload_ns must be >= 0");
+  check(resolution_bits >= 1, "BaselineParams: resolution_bits must be >= 1");
+  check(devices_per_element > 0.0, "BaselineParams: devices_per_element must be > 0");
+  check(static_tuning_mw_per_device >= 0.0 && laser_mw_per_unit >= 0.0 &&
+            pd_tia_vcsel_mw_per_unit >= 0.0 && adc_dac_mw_per_unit >= 0.0 &&
+            control_mw_per_unit >= 0.0,
+        "BaselineParams: power terms must be >= 0");
+  check(area_mm2 > 0.0, "BaselineParams: area_mm2 must be > 0");
+}
+
 AcceleratorReport evaluate_baseline(const BaselineParams& params, const ModelSpec& model) {
-  if (params.unit_size == 0 || params.units == 0) {
-    throw std::invalid_argument("evaluate_baseline: degenerate organization");
-  }
-  if (params.cycle_ns <= 0.0) {
-    throw std::invalid_argument("evaluate_baseline: cycle must be positive");
-  }
+  params.validate();
 
   double latency_ns = 0.0;
   std::size_t total_macs = 0;

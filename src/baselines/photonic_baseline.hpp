@@ -41,6 +41,11 @@ struct BaselineParams {
   double control_mw_per_unit = 5.0;
 
   double area_mm2 = 20.0;
+
+  /// Throws std::invalid_argument on degenerate parameters (zero unit
+  /// size/count, non-positive cycle time, ...) — the same constructor
+  /// contract CrossLightAccelerator enforces for its ArchitectureConfig.
+  void validate() const;
 };
 
 /// Evaluate one model on a baseline accelerator.

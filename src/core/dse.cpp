@@ -7,7 +7,17 @@ namespace xl::core {
 
 std::vector<DsePoint> run_dse(const DseSweep& sweep,
                               const std::vector<xl::dnn::ModelSpec>& models) {
+  return run_dse(sweep, models,
+                 [](const ArchitectureConfig& cfg, const xl::dnn::ModelSpec& model) {
+                   return CrossLightAccelerator(cfg).evaluate(model);
+                 });
+}
+
+std::vector<DsePoint> run_dse(const DseSweep& sweep,
+                              const std::vector<xl::dnn::ModelSpec>& models,
+                              const DseEvaluator& evaluate) {
   if (models.empty()) throw std::invalid_argument("run_dse: no models");
+  if (!evaluate) throw std::invalid_argument("run_dse: null evaluator");
   std::vector<DsePoint> points;
   for (std::size_t n_size : sweep.conv_unit_sizes) {
     for (std::size_t k_size : sweep.fc_unit_sizes) {
@@ -20,17 +30,19 @@ std::vector<DsePoint> run_dse(const DseSweep& sweep,
           cfg.fc_units = m_count;
           cfg.variant = sweep.variant;
 
-          const CrossLightAccelerator accel(cfg);
-          if (accel.area().total_mm2() > sweep.max_area_mm2) continue;
+          // The sweep enumerates CrossLight organizations, so the area
+          // budget is decided by the CrossLight area model up front —
+          // over-budget candidates never pay a model evaluation.
+          if (evaluate_area(cfg).total_mm2() > sweep.max_area_mm2) continue;
 
           DsePoint p;
           p.conv_unit_size = n_size;
           p.fc_unit_size = k_size;
           p.conv_units = n_count;
           p.fc_units = m_count;
-          p.area_mm2 = accel.area().total_mm2();
           for (const auto& model : models) {
-            const AcceleratorReport r = accel.evaluate(model);
+            const AcceleratorReport r = evaluate(cfg, model);
+            p.area_mm2 = r.area_mm2;
             p.avg_fps += r.perf.fps;
             p.avg_epb_pj += r.epb_pj();
             p.avg_power_w += r.power.total_w();

@@ -2,9 +2,12 @@
 //
 // For every candidate configuration the four Table I models are evaluated;
 // the selected design maximizes FPS/EPB (the paper's criterion), which for
-// the paper lands on (20, 150, 100, 60).
+// the paper lands on (20, 150, 100, 60). The sweep is parameterized over an
+// evaluator callback so higher layers (api::Session) can route every
+// candidate through a registry backend instead of a hand-wired accelerator.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -40,10 +43,20 @@ struct DseSweep {
   double max_area_mm2 = 60.0;
 };
 
+/// Produces the report of one (configuration, model) evaluation. The sweep
+/// only reads perf.fps, epb_pj(), power, and area_mm2 from it.
+using DseEvaluator =
+    std::function<AcceleratorReport(const ArchitectureConfig&, const xl::dnn::ModelSpec&)>;
+
 /// Run the sweep over the given model zoo; results sorted by descending
-/// FPS/EPB.
+/// FPS/EPB. Evaluates with CrossLightAccelerator directly.
 [[nodiscard]] std::vector<DsePoint> run_dse(const DseSweep& sweep,
                                             const std::vector<xl::dnn::ModelSpec>& models);
+
+/// Same sweep with a custom evaluator (e.g. an api registry backend).
+[[nodiscard]] std::vector<DsePoint> run_dse(const DseSweep& sweep,
+                                            const std::vector<xl::dnn::ModelSpec>& models,
+                                            const DseEvaluator& evaluate);
 
 /// Highest-FPS/EPB point (throws on empty results).
 [[nodiscard]] const DsePoint& best_point(const std::vector<DsePoint>& points);

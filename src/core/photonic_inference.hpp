@@ -8,8 +8,8 @@
 // batch of images becomes one patch-matrix GEMM; FC layers map directly.
 // Layer routing uses the LayerKind taxonomy instead of dynamic_cast chains.
 //
-// infer_batch() accepts any batch size; infer() is the legacy single-sample
-// wrapper. The exact software reference pass per layer (for
+// infer_batch() accepts any batch size; infer() is the deprecated
+// single-sample wrapper. The exact software reference pass per layer (for
 // max_abs_layer_error) is opt-in via set_track_layer_error — accuracy sweeps
 // no longer pay the 2x reference compute.
 #pragma once
@@ -50,6 +50,7 @@ class PhotonicInferenceEngine {
   PhotonicInferenceEngine(dnn::Network& network, const VdpSimOptions& options = {});
 
   /// Photonic logits for one sample (legacy API; batch dimension must be 1).
+  [[deprecated("single-sample wrapper; use infer_batch (handles any N >= 1)")]]
   [[nodiscard]] dnn::Tensor infer(const dnn::Tensor& sample);
 
   /// Photonic logits for a whole batch (batch dimension N >= 1). Every

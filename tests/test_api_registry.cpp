@@ -1,0 +1,203 @@
+// Registry + Session mechanics: every registered backend constructs and
+// evaluates, names resolve, errors are typed, and the unified SimConfig
+// validates.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/api.hpp"
+#include "dnn/activations.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/models.hpp"
+#include "dnn/network.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace xl;
+
+dnn::Network tiny_cnn(numerics::Rng& rng) {
+  dnn::Network net;
+  net.emplace<dnn::Conv2d>(dnn::Conv2dConfig{1, 4, 3, 1, 1}, rng);
+  net.emplace<dnn::ReLU>();
+  net.emplace<dnn::MaxPool2d>(2);
+  net.emplace<dnn::Flatten>();
+  net.emplace<dnn::Dense>(4 * 5 * 5, 4, rng);
+  return net;
+}
+
+dnn::Dataset tiny_dataset() {
+  dnn::SyntheticSpec spec;
+  spec.classes = 4;
+  spec.height = 10;
+  spec.width = 10;
+  spec.channels = 1;
+  spec.seed = 33;
+  return dnn::generate_classification(spec, 8, 1);
+}
+
+TEST(BackendRegistry, DefaultRegistryEnumeratesExpectedBackends) {
+  const api::BackendRegistry& registry = api::default_registry();
+  // Acceptance floor: 4 CrossLight variants + 2 photonic baselines +
+  // functional; the 6 electronic reference rows ride along.
+  EXPECT_GE(registry.size(), 7u);
+  for (const char* name :
+       {"crosslight:base", "crosslight:base_ted", "crosslight:opt",
+        "crosslight:opt_ted", "deap_cnn", "holylight", "functional",
+        "electronic:p100", "electronic:edge_tpu"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  // Registration order: the paper's comparison order, variants first.
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 7u);
+  EXPECT_EQ(names[0], "crosslight:base");
+  EXPECT_EQ(names[3], "crosslight:opt_ted");
+  EXPECT_EQ(names[4], "deap_cnn");
+  EXPECT_EQ(names[5], "holylight");
+  EXPECT_EQ(names[6], "functional");
+}
+
+TEST(BackendRegistry, EveryRegisteredBackendConstructsAndEvaluates) {
+  numerics::Rng rng(21);
+  dnn::Network net = tiny_cnn(rng);
+  const dnn::Dataset data = tiny_dataset();
+
+  for (const std::string& name : api::default_registry().names()) {
+    auto backend = api::default_registry().create(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+
+    api::EvalRequest request;
+    request.model = dnn::lenet5_spec();
+    if (backend->capabilities().needs_network) {
+      request.network = &net;
+      request.dataset = &data;
+      request.model = {};  // Functional probe: no analytical workload shape.
+      request.config.functional_samples = 4;
+      request.config.eval_batch_size = 4;
+    }
+    const api::EvalResult result = backend->evaluate(request);
+    EXPECT_EQ(result.backend, name);
+    EXPECT_TRUE(result.has_report || result.has_summary || result.functional.populated)
+        << name;
+    if (result.has_report) {
+      EXPECT_GT(result.report.perf.fps, 0.0) << name;
+      EXPECT_GT(result.epb_pj(), 0.0) << name;
+    }
+    if (result.has_summary) {
+      EXPECT_GT(result.summary.avg_epb_pj, 0.0) << name;
+    }
+  }
+}
+
+TEST(BackendRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    (void)api::default_registry().create("no_such_backend");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_backend"), std::string::npos);
+    EXPECT_NE(what.find("crosslight:opt_ted"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, RejectsDuplicatesAndBadRegistrations) {
+  api::BackendRegistry registry;
+  registry.register_backend("one", []() {
+    return std::make_unique<api::AnalyticalBackend>(core::Variant::kOptTed);
+  });
+  EXPECT_THROW(registry.register_backend("one",
+                                         []() {
+                                           return std::make_unique<api::AnalyticalBackend>(
+                                               core::Variant::kBase);
+                                         }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.register_backend("", nullptr), std::invalid_argument);
+  EXPECT_THROW(registry.register_backend("two", nullptr), std::invalid_argument);
+}
+
+TEST(Session, CachesBackendInstances) {
+  api::Session session;
+  api::Backend& first = session.backend("crosslight:opt_ted");
+  api::Backend& second = session.backend("crosslight:opt_ted");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(Session, InjectedRegistryWins) {
+  api::BackendRegistry registry;
+  registry.register_backend("only", []() {
+    return std::make_unique<api::AnalyticalBackend>(core::Variant::kOpt);
+  });
+  api::Session session({}, &registry);
+  EXPECT_EQ(session.backends().size(), 1u);
+  EXPECT_THROW((void)session.evaluate("crosslight:opt_ted", dnn::lenet5_spec()),
+               std::out_of_range);
+  const auto result = session.evaluate("only", dnn::lenet5_spec());
+  EXPECT_EQ(result.report.accelerator, "Cross_opt");
+}
+
+TEST(SimConfig, ValidatesAllKnobs) {
+  api::SimConfig good;
+  EXPECT_NO_THROW(good.validate());
+
+  api::SimConfig bad = good;
+  bad.eval_batch_size = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = good;
+  bad.functional_samples = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = good;
+  bad.vdp.q_factor = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = good;
+  bad.vdp.mrs_per_bank = 16;  // Section IV-C.2 bank limit.
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = good;
+  bad.architecture.conv_units = 0;  // Architecture checks are included.
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  // Session and backends validate up front.
+  EXPECT_THROW(api::Session{bad}, std::invalid_argument);
+  api::Session session;
+  api::EvalRequest request;
+  request.model = dnn::lenet5_spec();
+  request.config.vdp.fsr_nm = -1.0;
+  EXPECT_THROW((void)session.backend("crosslight:opt_ted").evaluate(request),
+               std::invalid_argument);
+}
+
+TEST(Session, FunctionalBackendNeedsNetworkAndDataset) {
+  api::Session session;
+  EXPECT_THROW((void)session.evaluate("functional", dnn::lenet5_spec()),
+               std::invalid_argument);
+}
+
+TEST(JsonWriter, EscapesAndNests) {
+  api::JsonWriter writer;
+  writer.field("name", "say \"hi\"\n");
+  writer.begin_object("inner");
+  writer.field("x", 1.5);
+  writer.field("n", std::size_t{7});
+  writer.field("flag", true);
+  writer.end_object();
+  writer.begin_array("items");
+  writer.element("a");
+  writer.element(2.0);
+  writer.end_array();
+  const std::string doc = writer.finish();
+  EXPECT_NE(doc.find("\"say \\\"hi\\\"\\n\""), std::string::npos);
+  EXPECT_NE(doc.find("\"inner\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"flag\": true"), std::string::npos);
+  EXPECT_NE(doc.find("\"items\": ["), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+}  // namespace

@@ -43,6 +43,38 @@ TEST(Baselines, HolylightParamsReflectItsDesign) {
   EXPECT_EQ(holy.fc_weight_reload_ns, 0.0);  // Fast PIN modulation.
 }
 
+TEST(Baselines, ParamsValidateRejectsDegenerateOrganizations) {
+  // The constructor contract CrossLightAccelerator enforces, now first-class
+  // on BaselineParams: invalid params must throw, never divide by zero.
+  EXPECT_NO_THROW(deap_cnn_params().validate());
+  EXPECT_NO_THROW(holylight_params().validate());
+
+  BaselineParams bad = deap_cnn_params();
+  bad.unit_size = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.units = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.cycle_ns = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.cycle_ns = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.resolution_bits = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.devices_per_element = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.laser_mw_per_unit = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = deap_cnn_params();
+  bad.area_mm2 = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
 TEST(Baselines, EvaluationValidatesInputs) {
   BaselineParams bad = deap_cnn_params();
   bad.units = 0;

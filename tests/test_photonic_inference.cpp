@@ -68,7 +68,7 @@ TEST(PhotonicInference, PerLayerErrorBounded) {
   core::PhotonicInferenceEngine engine(net);
   engine.set_track_layer_error(true);  // Reference pass is opt-in.
   const dnn::Dataset data = dnn::generate_classification(tiny_task(), 4, 2);
-  (void)engine.infer(dnn::batch_images(data, 0, 1));
+  (void)engine.infer_batch(dnn::batch_images(data, 0, 1));
   // Pre-activation analog error stays small relative to unit-scale values.
   EXPECT_LT(engine.stats().max_abs_layer_error, 0.5);
   EXPECT_GT(engine.stats().max_abs_layer_error, 0.0);
@@ -76,12 +76,24 @@ TEST(PhotonicInference, PerLayerErrorBounded) {
   EXPECT_EQ(engine.stats().photonic_dot_products, 0u);
 }
 
-TEST(PhotonicInference, RequiresSingleSampleBatch) {
-  // The legacy per-sample API stays batch-1; infer_batch handles N > 1.
+TEST(PhotonicInference, DeprecatedInferRequiresSingleSampleBatch) {
+  // The deprecated per-sample wrapper stays batch-1; infer_batch handles
+  // N >= 1. Calling it here on purpose to pin the legacy contract.
   numerics::Rng rng(23);
   dnn::Network net = tiny_cnn(rng);
   core::PhotonicInferenceEngine engine(net);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW((void)engine.infer(dnn::Tensor({2, 1, 10, 10})), std::invalid_argument);
+  const dnn::Dataset data = dnn::generate_classification(tiny_task(), 1, 5);
+  const dnn::Tensor legacy = engine.infer(dnn::batch_images(data, 0, 1));
+#pragma GCC diagnostic pop
+  // The wrapper and infer_batch agree on a singleton batch.
+  core::PhotonicInferenceEngine fresh(net);
+  const dnn::Tensor batched = fresh.infer_batch(dnn::batch_images(data, 0, 1));
+  for (std::size_t c = 0; c < legacy.dim(1); ++c) {
+    EXPECT_EQ(legacy.at2(0, c), batched.at2(0, c));
+  }
 }
 
 TEST(PhotonicInference, BatchedMatchesPerSample) {
@@ -96,7 +108,7 @@ TEST(PhotonicInference, BatchedMatchesPerSample) {
   ASSERT_EQ(batched_logits.dim(0), 6u);
 
   for (std::size_t n = 0; n < 6; ++n) {
-    const dnn::Tensor one = scalar.infer(dnn::batch_images(data, n, 1));
+    const dnn::Tensor one = scalar.infer_batch(dnn::batch_images(data, n, 1));
     for (std::size_t c = 0; c < one.dim(1); ++c) {
       // Per-row DAC normalization makes each sample independent of the rest
       // of the batch: batched and per-sample execution agree exactly.
@@ -114,7 +126,7 @@ TEST(PhotonicInference, LayerErrorTrackingIsOptIn) {
   dnn::Network net = tiny_cnn(rng);
   const dnn::Dataset data = dnn::generate_classification(tiny_task(), 2, 4);
   core::PhotonicInferenceEngine engine(net);
-  (void)engine.infer(dnn::batch_images(data, 0, 1));
+  (void)engine.infer_batch(dnn::batch_images(data, 0, 1));
   // Without the opt-in reference pass, no layer error is accumulated.
   EXPECT_EQ(engine.stats().max_abs_layer_error, 0.0);
 }
