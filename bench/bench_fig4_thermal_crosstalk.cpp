@@ -1,5 +1,8 @@
 // Fig. 4 reproduction: phase-crosstalk ratio and TO tuning power for a block
-// of 10 MRs as a function of the distance between adjacent MRs.
+// of 10 MRs as a function of the distance between adjacent MRs — now driven
+// end to end by the EffectPipeline's thermal stage instead of hand-wired
+// model plumbing, with the cross-layer accuracy consequence evaluated
+// through the xl::api facade.
 //
 // Series (matching the paper's panel):
 //   * phase crosstalk ratio    — exponential decay with pitch (orange line);
@@ -8,60 +11,111 @@
 //                                distance causes an increase in power");
 //   * no-TED per-heater power  — notably higher, diverging at dense pitch
 //                                (dotted blue line).
+// Plus the cross-layer rows Fig. 4 motivates: functional accuracy of a
+// trained MLP on the photonic datapath with the thermal stage at each pitch,
+// with and without TED.
 //
-// The FD heat solver stands in for Lumerical HEAT; the analytic exponential
-// kernel used below is calibrated against it (see thermal/crosstalk_matrix).
-#include <cmath>
+// Emits BENCH_fig4_thermal_crosstalk.json (like bench_backend_matrix) so the
+// trajectory is tracked across PRs.
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
-#include "photonics/fpv.hpp"
+#include "api/api.hpp"
+#include "core/effect_pipeline.hpp"
+#include "dnn/models.hpp"
+#include "dnn/network.hpp"
 #include "thermal/crosstalk_matrix.hpp"
 #include "thermal/heat_solver.hpp"
-#include "thermal/ted.hpp"
 
-int main() {
-  using namespace xl;
-  constexpr std::size_t kBank = 10;  // "a block of 10 fabricated MRs".
-  constexpr int kSites = 16;
-  const double phase_per_nm = 2.0 * M_PI / 18.0;
+namespace {
 
-  const photonics::FpvModel fpv;
+using namespace xl;
+
+core::VdpSimOptions thermal_options(double pitch_um, bool use_ted) {
+  core::VdpSimOptions opts;
+  opts.mrs_per_bank = 10;  // "a block of 10 fabricated MRs".
+  opts.effects.thermal = true;
+  opts.effects.thermal_stage.pitch_um = pitch_um;
+  opts.effects.thermal_stage.use_ted = use_ted;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_fig4_thermal_crosstalk.json";
+  const std::vector<double> pitches{1.0, 2.0, 3.0, 4.0,  5.0,  6.0,
+                                    8.0, 10.0, 12.0, 16.0, 20.0};
   const thermal::CouplingModelConfig kernel;  // Calibrated decay 2.4 um.
 
   std::printf("=== Fig. 4: phase crosstalk & TO tuning power vs MR pitch ===\n");
-  std::printf("(bank of %zu MRs, FPV-drawn phase targets, %d chip sites)\n\n", kBank,
-              kSites);
-  std::printf("%-10s %-16s %-18s %-18s\n", "pitch_um", "xtalk_ratio",
-              "TED mW/heater", "no-TED mW/heater");
+  std::printf("(EffectPipeline thermal stage, bank of 10 MRs, FPV-drawn targets)\n\n");
+
+  // The cross-layer consequence: the shared Table I proxy MLP evaluated on
+  // the functional datapath with the thermal stage at each pitch (through
+  // the facade) — same model and training recipe as
+  // crosslight_cli --backend functional.
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp();
+  const double float_acc = proxy.float_accuracy;
+
+  api::JsonWriter writer;
+  writer.field("bench", "fig4_thermal_crosstalk");
+  writer.field("bank", std::size_t{10});
+  writer.field("float_test_accuracy", float_acc);
+
+  std::printf("%-9s %-12s %-14s %-16s %-10s %-10s\n", "pitch_um", "xtalk_ratio",
+              "TED mW/heater", "no-TED mW/heater", "acc(TED)", "acc(naive)");
 
   double best_pitch = 0.0;
   double best_power = 1e300;
-  for (double pitch : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0}) {
-    const auto coupling = thermal::coupling_matrix_exponential(kBank, pitch, kernel);
-    const thermal::TedTuner tuner(coupling);
-    double ted_mean = 0.0;
-    double naive_mean = 0.0;
-    for (int site = 0; site < kSites; ++site) {
-      const auto drifts = fpv.row_drifts_nm(photonics::MrDesignKind::kOptimized, kBank,
-                                            pitch, 500.0 * site, 37.0 * site);
-      numerics::Vector targets(kBank);
-      for (std::size_t i = 0; i < kBank; ++i) {
-        targets[i] = std::abs(drifts[i]) * phase_per_nm;
-      }
-      ted_mean += tuner.solve(targets).mean_power_mw;
-      naive_mean += thermal::naive_tuning_powers(coupling, targets).mean_power_mw;
+  writer.begin_array("rows");
+  for (double pitch : pitches) {
+    // One thermal stage per pitch: the boot solve's telemetry carries the
+    // Fig. 4 quantities for both drive modes.
+    const core::EffectPipeline pipeline(thermal_options(pitch, true));
+    const core::ThermalTelemetry& t = *pipeline.thermal_telemetry();
+
+    double acc[2] = {0.0, 0.0};
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool use_ted = mode == 0;
+      api::SimConfig cfg;
+      cfg.vdp = thermal_options(pitch, use_ted);
+      cfg.functional_samples = 64;
+      api::Session session(cfg);
+      acc[mode] =
+          session.evaluate_functional("functional", {}, proxy.net, proxy.test)
+              .functional.accuracy;
     }
-    ted_mean /= kSites;
-    naive_mean /= kSites;
-    if (ted_mean < best_power) {
-      best_power = ted_mean;
+
+    if (t.ted_mean_power_mw < best_power) {
+      best_power = t.ted_mean_power_mw;
       best_pitch = pitch;
     }
-    std::printf("%-10.1f %-16.4f %-18.3f %-18.3f\n", pitch,
-                thermal::exponential_crosstalk_ratio(pitch, kernel), ted_mean, naive_mean);
+    const double ratio = thermal::exponential_crosstalk_ratio(pitch, kernel);
+    std::printf("%-9.1f %-12.4f %-14.3f %-16.3f %-10.3f %-10.3f\n", pitch, ratio,
+                t.ted_mean_power_mw, t.naive_mean_power_mw, acc[0], acc[1]);
+
+    writer.begin_object();
+    writer.field("pitch_um", pitch);
+    writer.field("crosstalk_ratio", ratio);
+    writer.field("ted_mean_power_mw", t.ted_mean_power_mw);
+    writer.field("naive_mean_power_mw", t.naive_mean_power_mw);
+    writer.field("naive_feasible", t.naive_feasible);
+    writer.field("condition_number", t.condition_number);
+    writer.field("ted_residual_rms_nm", t.ted_residual_rms_nm);
+    writer.field("naive_residual_rms_nm", t.naive_residual_rms_nm);
+    writer.field("accuracy_ted", acc[0]);
+    writer.field("accuracy_naive", acc[1]);
+    writer.end_object();
   }
-  std::printf("\nTED power minimum at pitch ~%.0f um (paper: 5 um optimal).\n", best_pitch);
+  writer.end_array();
+
+  std::printf("\nTED power minimum at pitch ~%.0f um (paper: 5 um optimal).\n",
+              best_pitch);
+  writer.field("ted_power_minimum_pitch_um", best_pitch);
 
   // Cross-check the analytic kernel against the FD heat solver.
   thermal::HeatGridConfig grid;
@@ -69,11 +123,21 @@ int main() {
   grid.ny = 64;
   const thermal::HeatSolver solver(grid);
   const auto fitted = thermal::calibrate_kernel(solver);
+  writer.field("fd_fitted_decay_um", fitted.decay_length_um);
+  writer.field("kernel_decay_um", kernel.decay_length_um);
   std::printf("\nFD heat-solver cross-check: monotone near-exponential decay "
               "(fitted decay %.1f um).\n"
               "The 2-D slab kernel decays slower than 3-D devices; the analytic\n"
               "kernel uses the device-calibrated %.1f um decay, which places the\n"
               "TED optimum at the paper's ~5 um (Fig. 4).\n",
               fitted.decay_length_um, kernel.decay_length_um);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << writer.finish();
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

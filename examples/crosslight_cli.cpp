@@ -9,12 +9,19 @@
 //                  [--N <conv unit size>] [--K <fc unit size>]
 //                  [--n <conv units>] [--m <fc units>]
 //                  [--resolution <bits>] [--schedule] [--json]
+//                  [--effects <csv>] [--samples <n>] [--train-epochs <n>]
+//
+// The functional backend executes a quickly trained Table I proxy MLP on the
+// simulated analog datapath, with the non-ideality pipeline selected by
+// --effects (a comma-separated subset of thermal,fpv,noise,crosstalk, plus
+// the shorthands all | none | ideal | nocrosstalk).
 //
 // Examples:
 //   crosslight_cli --list-backends
 //   crosslight_cli --model 3 --backend crosslight:opt_ted
 //   crosslight_cli --model 1 --backend deap_cnn --json
 //   crosslight_cli --model 4 --N 30 --K 200 --json
+//   crosslight_cli --backend functional --effects thermal,fpv,noise --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +29,11 @@
 
 #include "api/api.hpp"
 #include "core/scheduler.hpp"
+#include "dnn/datasets.hpp"
 #include "dnn/models.hpp"
+#include "dnn/network.hpp"
+#include "dnn/trainer.hpp"
+#include "numerics/rng.hpp"
 
 namespace {
 
@@ -32,7 +43,9 @@ void usage() {
                "                      [--backend name] [--variant "
                "base|base_ted|opt|opt_ted]\n"
                "                      [--N size] [--K size] [--n count] [--m count]\n"
-               "                      [--resolution bits] [--schedule] [--json]\n");
+               "                      [--resolution bits] [--schedule] [--json]\n"
+               "                      [--effects thermal,fpv,noise|all|none|ideal]\n"
+               "                      [--samples n] [--train-epochs n]\n");
 }
 
 std::string backend_for_variant(const std::string& s) {
@@ -70,6 +83,61 @@ int list_backends(xl::api::Session& session, bool json) {
   return 0;
 }
 
+// Functional evaluation: train the shared Table I proxy MLP and run it on
+// the simulated analog datapath through the facade, with the configured
+// effect pipeline. The functional accuracy is always the proxy MLP's; the
+// --model choice only selects which Table I workload the analytical
+// reference metrics ride along for.
+int run_functional(xl::api::Session& session, const std::string& backend_name,
+                   int model_no, bool json, std::size_t train_epochs) {
+  using namespace xl;
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
+
+  const auto models = dnn::table1_models();
+  const auto& model = models[static_cast<std::size_t>(model_no - 1)];
+  const api::EvalResult result =
+      session.evaluate_functional(backend_name, model, proxy.net, proxy.test);
+  const auto& fn = result.functional;
+  const core::EffectConfig effects = session.config().vdp.effective_effects();
+
+  if (json) {
+    api::JsonWriter writer;
+    writer.field("backend", backend_name);
+    writer.field("functional_model", "table1-proxy-mlp");
+    api::write_effect_config(writer, effects);
+    writer.field("float_test_accuracy", proxy.float_accuracy);
+    writer.begin_object("functional");
+    writer.field("accuracy", fn.accuracy);
+    writer.field("samples", fn.samples);
+    writer.field("photonic_matmuls", fn.stats.photonic_matmuls);
+    writer.field("photonic_dot_products", fn.stats.photonic_dot_products);
+    writer.field("photonic_macs", fn.stats.photonic_macs);
+    writer.end_object();
+    if (result.has_report) {
+      writer.begin_object("analytical_reference");
+      writer.field("model", model.name);
+      writer.field("fps", result.report.perf.fps);
+      writer.field("power_w", result.report.power.total_w());
+      writer.field("epb_pj_per_bit", result.epb_pj());
+      writer.end_object();
+    }
+    std::fputs(writer.finish().c_str(), stdout);
+  } else {
+    std::printf("Table I proxy MLP on %s (effects: %s)\n", backend_name.c_str(),
+                fn.effects.c_str());
+    std::printf("  float acc  : %.3f\n", proxy.float_accuracy);
+    std::printf("  photonic   : %.3f (%zu samples)\n", fn.accuracy, fn.samples);
+    std::printf("  GEMMs      : %zu (%zu dots, %zu MACs)\n", fn.stats.photonic_matmuls,
+                fn.stats.photonic_dot_products, fn.stats.photonic_macs);
+    if (result.has_report) {
+      std::printf("  analytical : %s @ %.0f FPS, %.2f W, %.4f pJ/bit\n",
+                  model.name.c_str(), result.report.perf.fps,
+                  result.report.power.total_w(), result.epb_pj());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +148,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool run_schedule = false;
   bool list_only = false;
+  std::size_t train_epochs = 20;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,7 +175,16 @@ int main(int argc, char** argv) {
       } else if (arg == "--m") {
         config.architecture.fc_units = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--resolution") {
+        // Drives both views: the analytical DAC cap and the functional
+        // datapath quantizers.
         config.architecture.resolution_bits = std::atoi(next());
+        config.vdp.resolution_bits = config.architecture.resolution_bits;
+      } else if (arg == "--effects") {
+        config.vdp.effects = core::EffectConfig::parse(next());
+      } else if (arg == "--samples") {
+        config.functional_samples = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--train-epochs") {
+        train_epochs = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--schedule") {
         run_schedule = true;
       } else if (arg == "--json") {
@@ -134,17 +212,23 @@ int main(int argc, char** argv) {
     api::Session session(config);
     if (list_only) return list_backends(session, json);
 
-    const auto models = dnn::table1_models();
-    const auto& model = models[static_cast<std::size_t>(model_no - 1)];
-
     // Pool utilization comes from the event-driven scheduler, which models
     // the CrossLight organization only — reject the combination before any
-    // evaluation work.
+    // evaluation work (including the functional path below).
     const bool is_crosslight = backend_name.rfind("crosslight:", 0) == 0;
     if (run_schedule && !is_crosslight) {
       std::fprintf(stderr, "error: --schedule requires a crosslight:* backend\n");
       return 2;
     }
+
+    // Backends that execute real tensors take the functional path: trained
+    // proxy network + dataset + the configured effect pipeline.
+    if (session.backend(backend_name).capabilities().needs_network) {
+      return run_functional(session, backend_name, model_no, json, train_epochs);
+    }
+
+    const auto models = dnn::table1_models();
+    const auto& model = models[static_cast<std::size_t>(model_no - 1)];
     const api::EvalResult result = session.evaluate(backend_name, model);
 
     double utilization_conv = 0.0;

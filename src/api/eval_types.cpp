@@ -7,17 +7,15 @@ namespace xl::api {
 void SimConfig::validate() const {
   architecture.validate();
 
+  // Datapath + effect-stage validation is shared with the engine
+  // constructors (VdpSimOptions::validate, mirroring BaselineParams).
+  vdp.validate();
+
   auto check = [](bool ok, const char* what) {
     if (!ok) throw std::invalid_argument(what);
   };
-  check(vdp.mrs_per_bank >= 1 && vdp.mrs_per_bank <= 15,
+  check(vdp.mrs_per_bank <= 15,
         "SimConfig: vdp.mrs_per_bank in [1, 15] (Section IV-C.2)");
-  check(vdp.resolution_bits >= 1 && vdp.resolution_bits <= 16,
-        "SimConfig: vdp.resolution_bits in [1, 16]");
-  check(vdp.q_factor > 0.0, "SimConfig: vdp.q_factor must be > 0");
-  check(vdp.fsr_nm > 0.0, "SimConfig: vdp.fsr_nm must be > 0");
-  check(vdp.center_wavelength_nm > 0.0,
-        "SimConfig: vdp.center_wavelength_nm must be > 0");
   check(eval_batch_size > 0, "SimConfig: eval_batch_size must be > 0");
   check(functional_samples > 0, "SimConfig: functional_samples must be > 0");
 }

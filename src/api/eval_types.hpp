@@ -56,6 +56,7 @@ struct FunctionalMetrics {
   bool populated = false;
   double accuracy = 0.0;
   std::size_t samples = 0;
+  std::string effects;  ///< Enabled non-ideality stages ("none" when ideal).
   core::PhotonicInferenceStats stats;
 };
 

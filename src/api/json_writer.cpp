@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/effects.hpp"
+
 namespace xl::api {
 
 JsonWriter::JsonWriter() {
@@ -151,6 +153,44 @@ std::string JsonWriter::finish() {
   end_object();
   out_ += "\n";
   return std::move(out_);
+}
+
+void write_effect_config(JsonWriter& writer, const core::EffectConfig& effects) {
+  writer.begin_object("effects");
+  writer.field("summary", effects.summary());
+  writer.field("thermal", effects.thermal);
+  writer.field("fpv", effects.fpv);
+  writer.field("noise", effects.noise);
+  writer.field("crosstalk", effects.crosstalk);
+  writer.field("seed", static_cast<std::size_t>(effects.seed));
+  if (effects.thermal) {
+    writer.begin_object("thermal_stage");
+    writer.field("pitch_um", effects.thermal_stage.pitch_um);
+    writer.field("use_ted", effects.thermal_stage.use_ted);
+    writer.field("ambient_drift_nm", effects.thermal_stage.ambient_drift_nm);
+    writer.field("ambient_period_us", effects.thermal_stage.ambient_period_us);
+    writer.field("dt_us", effects.thermal_stage.dt_us);
+    writer.field("tau_us", effects.thermal_stage.rc.tau_us);
+    writer.end_object();
+  }
+  if (effects.fpv) {
+    writer.begin_object("fpv_stage");
+    writer.field("design",
+                 effects.fpv_stage.design == photonics::MrDesignKind::kOptimized
+                     ? "optimized"
+                     : "conventional");
+    writer.field("pitch_um", effects.fpv_stage.pitch_um);
+    writer.field("trim_residual_fraction", effects.fpv_stage.trim_residual_fraction);
+    writer.end_object();
+  }
+  if (effects.noise) {
+    writer.begin_object("noise_stage");
+    writer.field("optical_power_mw", effects.noise_stage.optical_power_mw);
+    writer.field("rin_db_per_hz", effects.noise_stage.receiver.rin_db_per_hz);
+    writer.field("bandwidth_ghz", effects.noise_stage.receiver.bandwidth_ghz);
+    writer.end_object();
+  }
+  writer.end_object();
 }
 
 }  // namespace xl::api

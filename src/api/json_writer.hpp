@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace xl::core {
+struct EffectConfig;
+}  // namespace xl::core
+
 namespace xl::api {
 
 class JsonWriter {
@@ -47,5 +51,10 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> first_in_scope_;  ///< One flag per open scope.
 };
+
+/// Emit the non-ideality pipeline configuration as a named "effects" object
+/// (stage switches, seed, and the physically meaningful stage knobs), so
+/// every --json/BENCH_*.json consumer records which datapath it measured.
+void write_effect_config(JsonWriter& writer, const core::EffectConfig& effects);
 
 }  // namespace xl::api

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/effect_pipeline.hpp"
 #include "numerics/gemm.hpp"
 #include "photonics/crosstalk.hpp"
 
@@ -19,6 +20,14 @@ constexpr std::size_t kTile = 32;
 
 BatchedVdpEngine::BatchedVdpEngine(const VdpSimOptions& opts)
     : opts_(opts), sim_(opts) {}
+
+const EffectPipeline& BatchedVdpEngine::effects() const noexcept {
+  return sim_.effects();
+}
+
+void BatchedVdpEngine::advance_effects(double dt_us) { sim_.effects().advance(dt_us); }
+
+void BatchedVdpEngine::reset_effects() { sim_.effects().reset(); }
 
 numerics::Matrix BatchedVdpEngine::exact_matmul(const numerics::Matrix& x,
                                                 const numerics::Matrix& w) {
@@ -45,7 +54,10 @@ numerics::Matrix BatchedVdpEngine::photonic_matmul(const numerics::Matrix& x,
   const auto& lut = sim_.lut();
   const auto& quant = lut.quantizer();
   const std::size_t bank = lut.bank_size();
-  const bool crosstalk = opts_.model_crosstalk;
+  // The effect pipeline renders thermal/FPV drifts, PD noise, and the
+  // crosstalk flag once per matmul; every tile reads the same frozen view.
+  const bool crosstalk = sim_.effects().crosstalk();
+  const xl::photonics::VdpEffects* fx = sim_.effects().vdp_effects();
 
   // DAC row normalization, once per row instead of once per output element.
   const numerics::Vector sx = numerics::row_abs_max(x);
@@ -115,7 +127,7 @@ numerics::Matrix BatchedVdpEngine::photonic_matmul(const numerics::Matrix& x,
               neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
             }
             y(b, o) = lut.vdp_dot({a_row, k}, {det_row, k}, {neg.data(), k},
-                                  crosstalk, scratch) *
+                                  crosstalk, scratch, fx) *
                       sx[b] * sw[o];
           }
         }

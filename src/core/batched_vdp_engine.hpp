@@ -37,6 +37,8 @@ struct BatchedVdpStats {
 
 class BatchedVdpEngine {
  public:
+  /// Validates `opts` (VdpSimOptions::validate) and builds the shared LUT
+  /// plus the non-ideality pipeline selected by opts.effects.
   explicit BatchedVdpEngine(const VdpSimOptions& opts = {});
 
   /// Photonic Y = X * W^T: X is (batch x K) activations, W is (outputs x K)
@@ -57,6 +59,16 @@ class BatchedVdpEngine {
   }
   /// Scalar reference simulator over the same bank (for parity checks).
   [[nodiscard]] const VdpSimulator& scalar_simulator() const noexcept { return sim_; }
+
+  /// The non-ideality pipeline driving this engine's operating points
+  /// (shared with the scalar simulator, so parity holds under any effects).
+  [[nodiscard]] const EffectPipeline& effects() const noexcept;
+
+  /// Advance the pipeline's simulated time (thermal evolution); called once
+  /// per accelerated layer by PhotonicInferenceEngine.
+  void advance_effects(double dt_us);
+  /// Return the pipeline to its boot (t = 0) state.
+  void reset_effects();
 
   /// Eq. 8-10 achievable resolution of this engine's WDM comb, from the
   /// precomputed crosstalk row sums (Section V-B).

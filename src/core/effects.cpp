@@ -1,0 +1,72 @@
+#include "core/effects.hpp"
+
+#include <stdexcept>
+
+namespace xl::core {
+
+std::string EffectConfig::summary() const {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (thermal) add("thermal");
+  if (fpv) add("fpv");
+  if (noise) add("noise");
+  if (crosstalk) add("crosstalk");
+  return out.empty() ? "none" : out;
+}
+
+EffectConfig EffectConfig::parse(std::string_view csv) {
+  EffectConfig cfg;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string_view token = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token == "thermal") {
+      cfg.thermal = true;
+    } else if (token == "fpv") {
+      cfg.fpv = true;
+    } else if (token == "noise") {
+      cfg.noise = true;
+    } else if (token == "crosstalk") {
+      cfg.crosstalk = true;
+    } else if (token == "nocrosstalk") {
+      cfg.crosstalk = false;
+    } else if (token == "all") {
+      cfg.thermal = cfg.fpv = cfg.noise = cfg.crosstalk = true;
+    } else if (token == "none") {
+      cfg.thermal = cfg.fpv = cfg.noise = false;
+      cfg.crosstalk = true;  // The legacy ideal datapath keeps Eq. 8 on.
+    } else if (token == "ideal") {
+      cfg.thermal = cfg.fpv = cfg.noise = cfg.crosstalk = false;
+    } else {
+      throw std::invalid_argument("EffectConfig: unknown effect token '" +
+                                  std::string(token) + "'");
+    }
+  }
+  return cfg;
+}
+
+void EffectConfig::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(thermal_stage.pitch_um > 0.0, "EffectConfig: thermal pitch_um must be > 0");
+  check(thermal_stage.dt_us > 0.0, "EffectConfig: thermal dt_us must be > 0");
+  check(thermal_stage.ambient_drift_nm >= 0.0,
+        "EffectConfig: thermal ambient_drift_nm must be >= 0");
+  check(thermal_stage.ambient_period_us > 0.0,
+        "EffectConfig: thermal ambient_period_us must be > 0");
+  check(thermal_stage.rc.tau_us > 0.0, "EffectConfig: thermal rc.tau_us must be > 0");
+  check(fpv_stage.pitch_um > 0.0, "EffectConfig: fpv pitch_um must be > 0");
+  check(fpv_stage.trim_residual_fraction >= 0.0 &&
+            fpv_stage.trim_residual_fraction <= 1.0,
+        "EffectConfig: fpv trim_residual_fraction in [0, 1]");
+  check(noise_stage.optical_power_mw > 0.0,
+        "EffectConfig: noise optical_power_mw must be > 0");
+}
+
+}  // namespace xl::core

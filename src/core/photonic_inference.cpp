@@ -109,9 +109,14 @@ Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
   if (batch.rank() < 2 || batch.dim(0) == 0) {
     throw std::invalid_argument("PhotonicInference: batch must have rank >= 2 and N >= 1");
   }
+  // Simulated time per accelerated layer: thermal drift evolves across the
+  // network's depth (and across batches — the chip does not cool down
+  // between them). advance_effects is a no-op without a thermal stage.
+  const double layer_dt_us = engine_.options().effects.thermal_stage.dt_us;
   Tensor x = batch;
   for (std::size_t i = 0; i < network_.layer_count(); ++i) {
     dnn::Layer& layer = network_.layer(i);
+    bool accelerated = false;
     switch (layer.kind_id()) {
       case LayerKind::kDense: {
         auto& dense = static_cast<Dense&>(layer);
@@ -122,6 +127,7 @@ Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
         } else {
           x = run_dense_photonic(x, dense);
         }
+        accelerated = true;
         break;
       }
       case LayerKind::kConv: {
@@ -133,6 +139,7 @@ Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
         } else {
           x = run_conv_photonic(x, conv);
         }
+        accelerated = true;
         break;
       }
       case LayerKind::kPool:
@@ -142,17 +149,11 @@ Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
         x = layer.forward(x, false);
         break;
     }
+    if (accelerated) engine_.advance_effects(layer_dt_us);
   }
   stats_.samples_inferred += batch.dim(0);
   stats_.batches_inferred += 1;
   return x;
-}
-
-Tensor PhotonicInferenceEngine::infer(const Tensor& sample) {
-  if (sample.rank() < 2 || sample.dim(0) != 1) {
-    throw std::invalid_argument("PhotonicInference: batch dimension must be 1");
-  }
-  return infer_batch(sample);
 }
 
 double PhotonicInferenceEngine::evaluate_accuracy(const dnn::Dataset& data,

@@ -8,10 +8,15 @@
 // batch of images becomes one patch-matrix GEMM; FC layers map directly.
 // Layer routing uses the LayerKind taxonomy instead of dynamic_cast chains.
 //
-// infer_batch() accepts any batch size; infer() is the deprecated
-// single-sample wrapper. The exact software reference pass per layer (for
-// max_abs_layer_error) is opt-in via set_track_layer_error — accuracy sweeps
-// no longer pay the 2x reference compute.
+// infer_batch() accepts any batch size (the legacy single-sample infer()
+// wrapper is gone; pass a batch of one). The exact software reference pass
+// per layer (for max_abs_layer_error) is opt-in via set_track_layer_error —
+// accuracy sweeps no longer pay the 2x reference compute.
+//
+// When the engine's effect pipeline has a thermal stage, simulated time
+// advances by one thermal dt per accelerated layer, so drift evolves across
+// the depth of the network (and across successive batches) exactly as the
+// chip would experience it.
 #pragma once
 
 #include <cstddef>
@@ -49,10 +54,6 @@ class PhotonicInferenceEngine {
   /// (kConv/kDense) run electronically via their own forward().
   PhotonicInferenceEngine(dnn::Network& network, const VdpSimOptions& options = {});
 
-  /// Photonic logits for one sample (legacy API; batch dimension must be 1).
-  [[deprecated("single-sample wrapper; use infer_batch (handles any N >= 1)")]]
-  [[nodiscard]] dnn::Tensor infer(const dnn::Tensor& sample);
-
   /// Photonic logits for a whole batch (batch dimension N >= 1). Every
   /// accelerated layer issues one photonic GEMM over the batch.
   [[nodiscard]] dnn::Tensor infer_batch(const dnn::Tensor& batch);
@@ -74,6 +75,9 @@ class PhotonicInferenceEngine {
   void reset_stats() noexcept { stats_ = PhotonicInferenceStats{}; }
 
   [[nodiscard]] const BatchedVdpEngine& engine() const noexcept { return engine_; }
+  /// Mutable engine access (e.g. BatchedVdpEngine::reset_effects between
+  /// experiment arms).
+  [[nodiscard]] BatchedVdpEngine& engine() noexcept { return engine_; }
 
  private:
   [[nodiscard]] dnn::Tensor run_dense_photonic(const dnn::Tensor& input,

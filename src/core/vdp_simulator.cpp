@@ -4,32 +4,48 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/effect_pipeline.hpp"
+
 namespace xl::core {
+
+void VdpSimOptions::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(mrs_per_bank >= 1, "VdpSimOptions: mrs_per_bank must be >= 1");
+  check(resolution_bits >= 1 && resolution_bits <= 16,
+        "VdpSimOptions: resolution_bits in [1, 16]");
+  check(q_factor > 1.0, "VdpSimOptions: q_factor must exceed 1");
+  check(fsr_nm > 0.0, "VdpSimOptions: fsr_nm must be > 0");
+  check(center_wavelength_nm > 0.0,
+        "VdpSimOptions: center_wavelength_nm must be > 0");
+  effects.validate();
+}
 
 namespace {
 
 xl::photonics::MrBankTransferLut make_lut(const VdpSimOptions& opts,
                                           const xl::photonics::WavelengthGrid& grid) {
-  if (opts.mrs_per_bank == 0) {
-    throw std::invalid_argument("VdpSimulator: empty bank");
-  }
-  if (opts.resolution_bits < 1 || opts.resolution_bits > 16) {
-    throw std::invalid_argument("VdpSimulator: resolution in [1, 16]");
-  }
-  if (opts.q_factor <= 0.0 || opts.fsr_nm <= 0.0) {
-    throw std::invalid_argument("VdpSimulator: non-physical MR parameters");
-  }
   xl::photonics::MicroringDesign defaults;  // For the default extinction ratio.
   return {grid, opts.q_factor, defaults.extinction_ratio_db, opts.resolution_bits};
+}
+
+const VdpSimOptions& validated(const VdpSimOptions& opts) {
+  opts.validate();
+  return opts;
 }
 
 }  // namespace
 
 VdpSimulator::VdpSimulator(const VdpSimOptions& opts)
-    : opts_(opts),
-      grid_(opts.mrs_per_bank == 0 ? 1 : opts.mrs_per_bank,
-            opts.fsr_nm > 0.0 ? opts.fsr_nm : 1.0, opts.center_wavelength_nm),
-      lut_(make_lut(opts, grid_)) {}
+    : opts_(validated(opts)),
+      grid_(opts.mrs_per_bank, opts.fsr_nm, opts.center_wavelength_nm),
+      lut_(make_lut(opts, grid_)),
+      effects_(std::make_unique<EffectPipeline>(opts)) {}
+
+VdpSimulator::~VdpSimulator() = default;
+VdpSimulator::VdpSimulator(VdpSimulator&&) noexcept = default;
+VdpSimulator& VdpSimulator::operator=(VdpSimulator&&) noexcept = default;
 
 double VdpSimulator::exact_dot(std::span<const double> x, std::span<const double> w) {
   if (x.size() != w.size()) throw std::invalid_argument("exact_dot: size mismatch");
@@ -68,7 +84,9 @@ double VdpSimulator::dot(std::span<const double> x, std::span<const double> w) c
   }
 
   xl::photonics::VdpScratch scratch;
-  return lut_.vdp_dot(a, detune, neg, opts_.model_crosstalk, scratch) * sx * sw;
+  return lut_.vdp_dot(a, detune, neg, effects_->crosstalk(), scratch,
+                      effects_->vdp_effects()) *
+         sx * sw;
 }
 
 double VdpSimulator::absolute_error(std::span<const double> x,

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/effects.hpp"
 #include "photonics/bank_lut.hpp"
 #include "photonics/crosstalk.hpp"
 #include "photonics/microring.hpp"
@@ -27,19 +29,42 @@
 
 namespace xl::core {
 
+class EffectPipeline;
+
 struct VdpSimOptions {
   std::size_t mrs_per_bank = 15;
   int resolution_bits = 16;
   double q_factor = 8000.0;
   double fsr_nm = 18.0;
   double center_wavelength_nm = 1550.0;
-  bool model_crosstalk = true;  ///< Inject Eq. 8 inter-channel noise.
+  bool model_crosstalk = true;  ///< Inject Eq. 8 inter-channel noise (legacy
+                                ///< alias of effects.crosstalk; both must be
+                                ///< on for the crosstalk stage to run).
+  EffectConfig effects;         ///< Composable non-ideality stages.
+
+  /// Rejects non-physical datapath parameters (empty bank, resolution
+  /// outside [1, 16], q_factor <= 1, non-positive fsr/center wavelength) and
+  /// invalid effect-stage settings. Called from every engine constructor,
+  /// mirroring BaselineParams::validate(). Throws std::invalid_argument.
+  void validate() const;
+
+  /// The effect set as the pipeline actually runs it: the crosstalk stage is
+  /// gated on BOTH the legacy model_crosstalk knob and effects.crosstalk.
+  /// Use this (not `effects`) when reporting which datapath was measured.
+  [[nodiscard]] EffectConfig effective_effects() const {
+    EffectConfig out = effects;
+    out.crosstalk = out.crosstalk && model_crosstalk;
+    return out;
+  }
 };
 
 /// Signal-level simulator for dot products on one VDP unit.
 class VdpSimulator {
  public:
   explicit VdpSimulator(const VdpSimOptions& opts = {});
+  ~VdpSimulator();
+  VdpSimulator(VdpSimulator&&) noexcept;
+  VdpSimulator& operator=(VdpSimulator&&) noexcept;
 
   /// Compute dot(x, w) photonically. Inputs may be any sign/magnitude; the
   /// simulator normalizes per-call (as the DAC scaling hardware does),
@@ -63,10 +88,17 @@ class VdpSimulator {
     return lut_;
   }
 
+  /// The non-ideality pipeline built from opts.effects. dot() reads its
+  /// current operating-point perturbation; callers advance simulated time
+  /// (thermal evolution) through it.
+  [[nodiscard]] EffectPipeline& effects() noexcept { return *effects_; }
+  [[nodiscard]] const EffectPipeline& effects() const noexcept { return *effects_; }
+
  private:
   VdpSimOptions opts_;
   xl::photonics::WavelengthGrid grid_;
   xl::photonics::MrBankTransferLut lut_;
+  std::unique_ptr<EffectPipeline> effects_;
 };
 
 }  // namespace xl::core

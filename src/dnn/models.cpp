@@ -7,6 +7,7 @@
 #include "dnn/dense.hpp"
 #include "dnn/pooling.hpp"
 #include "dnn/reshape.hpp"
+#include "dnn/trainer.hpp"
 
 namespace xl::dnn {
 
@@ -193,6 +194,39 @@ Network build_reduced_siamese_branch(xl::numerics::Rng& rng) {
   net.emplace<Flatten>();
   net.emplace<Dense>(32 * 7 * 7, 64, rng);
   return net;
+}
+
+Network build_table1_proxy_mlp(xl::numerics::Rng& rng) {
+  const SyntheticSpec spec = table1_proxy_task();
+  Network net;
+  net.emplace<Flatten>();
+  net.emplace<Dense>(spec.height * spec.width, 64, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(64, spec.classes, rng);
+  return net;
+}
+
+SyntheticSpec table1_proxy_task() {
+  SyntheticSpec spec = signmnist_like();
+  spec.height = 12;
+  spec.width = 12;
+  return spec;
+}
+
+Table1ProxyMlp train_table1_proxy_mlp(std::size_t epochs) {
+  const SyntheticSpec spec = table1_proxy_task();
+  const Dataset train = generate_classification(spec, 768, 0);
+  Table1ProxyMlp proxy;
+  proxy.test = generate_classification(spec, 128, 1);
+  xl::numerics::Rng rng(21);
+  proxy.net = build_table1_proxy_mlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 5e-3;
+  proxy.float_accuracy =
+      train_classifier(proxy.net, train, proxy.test, cfg).test_accuracy;
+  return proxy;
 }
 
 Shape reduced_input_shape(int model_no) {

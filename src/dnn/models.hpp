@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "dnn/datasets.hpp"
 #include "dnn/layer_spec.hpp"
 #include "dnn/network.hpp"
 #include "numerics/rng.hpp"
@@ -49,5 +50,26 @@ namespace xl::dnn {
 
 /// Input shape (without batch dim) of each reduced trainable model, 1-4.
 [[nodiscard]] Shape reduced_input_shape(int model_no);
+
+/// Table I proxy MLP for functional-datapath studies (the CLI's --effects
+/// path and bench_fig4): Flatten -> Dense(144, 64) -> ReLU -> Dense(64, 24),
+/// trained on the 12x12 SignMNIST-like task of table1_proxy_task(). One
+/// shared definition so CLI and bench accuracies stay comparable.
+[[nodiscard]] Network build_table1_proxy_mlp(xl::numerics::Rng& rng);
+
+/// The reduced SignMNIST-like task the proxy MLP trains on (12x12x1).
+[[nodiscard]] SyntheticSpec table1_proxy_task();
+
+/// A trained proxy MLP with its held-out test set.
+struct Table1ProxyMlp {
+  Network net;
+  Dataset test;
+  double float_accuracy = 0.0;
+};
+
+/// Build and train the proxy MLP with the one shared recipe (768 train /
+/// 128 test samples, seed 21, batch 32, lr 5e-3) so CLI and bench
+/// accuracies stay comparable. Only the epoch count is a knob.
+[[nodiscard]] Table1ProxyMlp train_table1_proxy_mlp(std::size_t epochs = 20);
 
 }  // namespace xl::dnn

@@ -1,6 +1,7 @@
 #include "numerics/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -46,6 +47,32 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::shuffle(idx.begin(), idx.end(), engine_);
   return idx;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return splitmix64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+double hash_unit(std::uint64_t key) noexcept {
+  // Top 53 bits -> [0, 1) with full double-precision granularity.
+  return static_cast<double>(splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+double hash_gaussian(std::uint64_t key) noexcept {
+  // Two decorrelated uniforms from disjoint counter offsets; u1 is kept away
+  // from zero so log() stays finite.
+  const double u1 = hash_unit(hash_combine(key, 1));
+  const double u2 = hash_unit(hash_combine(key, 2));
+  constexpr double kTau = 6.283185307179586476925286766559;
+  const double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+  return r * std::cos(kTau * u2);
 }
 
 }  // namespace xl::numerics

@@ -41,4 +41,24 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// --- Stateless counter-based hashing -----------------------------------------
+// Where a stateful Rng would make results depend on draw *order* (and hence on
+// thread count or tiling), these pure functions derive a draw from a key
+// alone. The effect pipeline keys photodetector noise on the dot product's
+// operands, so scalar, batched, and any-thread-count execution sample the
+// same value.
+
+/// SplitMix64 finalizer: a high-quality 64-bit bijective mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Fold `v` into key `h` (order-sensitive, deterministic).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept;
+
+/// Uniform double in [0, 1) derived from `key` alone.
+[[nodiscard]] double hash_unit(std::uint64_t key) noexcept;
+
+/// Standard normal draw derived from `key` alone (Box-Muller over two
+/// decorrelated hash_unit streams).
+[[nodiscard]] double hash_gaussian(std::uint64_t key) noexcept;
+
 }  // namespace xl::numerics

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "numerics/rng.hpp"
 #include "photonics/crosstalk.hpp"
 #include "photonics/units.hpp"
 
@@ -99,9 +101,29 @@ double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
                                   std::span<const double> detune,
                                   std::span<const unsigned char> neg,
                                   bool crosstalk, VdpScratch& scratch) const {
+  return vdp_dot(a_mag, detune, neg, crosstalk, scratch, nullptr);
+}
+
+double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
+                                  std::span<const double> detune,
+                                  std::span<const unsigned char> neg,
+                                  bool crosstalk, VdpScratch& scratch,
+                                  const VdpEffects* effects) const {
   const std::size_t total = a_mag.size();
   if (detune.size() != total || neg.size() != total) {
     throw std::invalid_argument("MrBankTransferLut::vdp_dot: size mismatch");
+  }
+  const double* drift = nullptr;
+  double noise_std = 0.0;
+  if (effects != nullptr && effects->active()) {
+    if (!effects->ring_drift_nm.empty()) {
+      if (effects->ring_drift_nm.size() < n_) {
+        throw std::invalid_argument(
+            "MrBankTransferLut::vdp_dot: ring drift shorter than bank");
+      }
+      drift = effects->ring_drift_nm.data();
+    }
+    noise_std = effects->noise_std;
   }
   if (scratch.detune_pos.size() < n_) {
     scratch.detune_pos.resize(n_);
@@ -114,24 +136,62 @@ double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
   for (std::size_t start = 0; start < total; start += n_) {
     const std::size_t len = std::min(n_, total - start);
     // Split the signed weight across the balanced-PD arms: the arm not
-    // carrying the weight holds a zero-weight (on-resonance) ring.
-    for (std::size_t j = 0; j < len; ++j) {
-      const double d = detune[start + j];
-      if (neg[start + j]) {
-        dp[j] = 0.0;
-        dn[j] = d;
-      } else {
-        dp[j] = d;
-        dn[j] = 0.0;
+    // carrying the weight holds a zero-weight (on-resonance) ring. A drifted
+    // ring j resonates at lambda_j - detune_j + drift_j, so the drift enters
+    // as a negative detuning contribution on both arms.
+    if (drift == nullptr) {
+      for (std::size_t j = 0; j < len; ++j) {
+        const double d = detune[start + j];
+        if (neg[start + j]) {
+          dp[j] = 0.0;
+          dn[j] = d;
+        } else {
+          dp[j] = d;
+          dn[j] = 0.0;
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < len; ++j) {
+        const double d = detune[start + j];
+        if (neg[start + j]) {
+          dp[j] = -drift[j];
+          dn[j] = d - drift[j];
+        } else {
+          dp[j] = d - drift[j];
+          dn[j] = -drift[j];
+        }
       }
     }
     const double pos =
         arm_sum(a_mag.subspan(start, len), {dp, len}, crosstalk);
     const double negative =
         arm_sum(a_mag.subspan(start, len), {dn, len}, crosstalk);
+    double partial = pos - negative;
+    if (noise_std > 0.0) {
+      // Balanced detection sums 2 * len independent per-channel noise
+      // currents in quadrature. The draw is keyed on the chunk's operands
+      // (activation magnitudes, imprint detunings, arm signs, chunk
+      // position), never on evaluation order, so scalar, batched, and any
+      // OpenMP schedule sample the same perturbation; only genuinely
+      // identical operand chunks share a draw.
+      const auto bits_of = [](double v) {
+        std::uint64_t b;
+        static_assert(sizeof(b) == sizeof(v));
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+      };
+      std::uint64_t key = xl::numerics::hash_combine(
+          effects->noise_seed, static_cast<std::uint64_t>(start));
+      for (std::size_t j = 0; j < len; ++j) {
+        key = xl::numerics::hash_combine(key, bits_of(a_mag[start + j]));
+        key = xl::numerics::hash_combine(
+            key, bits_of(detune[start + j]) ^ (neg[start + j] ? ~0ULL : 0ULL));
+      }
+      partial += noise_std * std::sqrt(2.0 * static_cast<double>(len)) *
+                 xl::numerics::hash_gaussian(key);
+    }
     // Partial-sum ADC: the balanced-PD output re-enters the digital domain
     // (via the VCSEL accumulation path) at the datapath resolution.
-    const double partial = pos - negative;
     const double norm = static_cast<double>(len);
     acc += (quant_.quantize(std::abs(partial) / norm) * norm) *
            (partial < 0.0 ? -1.0 : 1.0);

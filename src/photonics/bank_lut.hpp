@@ -35,6 +35,28 @@ struct VdpScratch {
   std::vector<double> detune_neg;
 };
 
+/// Non-ideality view consumed by vdp_dot — filled by the core effect pipeline
+/// (core/effect_pipeline.hpp), owned outside this class so the LUT stays a
+/// pure precomputed table.
+///   * ring_drift_nm: per-ring resonance drift (thermal + FPV), size >=
+///     bank_size() or empty for none. A drifted ring sits at
+///     lambda_j - detune_j + drift_j, so the drift is subtracted from the
+///     imprint detuning on *both* balanced-PD arms.
+///   * noise_std: relative per-channel photodetector noise (1/sqrt(SNR));
+///     0 disables. The draw is keyed on (noise_seed, chunk position, the
+///     chunk's operand bit patterns), a pure function of the operands —
+///     scalar, batched, and any OpenMP thread count sample identical noise,
+///     and distinct operand chunks get independent draws.
+struct VdpEffects {
+  std::span<const double> ring_drift_nm;
+  double noise_std = 0.0;
+  std::uint64_t noise_seed = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return !ring_drift_nm.empty() || noise_std > 0.0;
+  }
+};
+
 class MrBankTransferLut {
  public:
   /// Tables for a bank whose ring i is designed at `grid.wavelength_nm(i)`.
@@ -80,6 +102,16 @@ class MrBankTransferLut {
                                std::span<const double> detune,
                                std::span<const unsigned char> neg,
                                bool crosstalk, VdpScratch& scratch) const;
+
+  /// vdp_dot under non-idealities: per-ring resonance drifts shift the
+  /// operating point of every chunk and photodetector noise perturbs each
+  /// balanced-PD partial sum before requantization. `effects == nullptr` or
+  /// an inactive view is bit-identical to the plain overload.
+  [[nodiscard]] double vdp_dot(std::span<const double> a_mag,
+                               std::span<const double> detune,
+                               std::span<const unsigned char> neg,
+                               bool crosstalk, VdpScratch& scratch,
+                               const VdpEffects* effects) const;
 
   /// Eq. (8) row sums phi_i = sum_{j != i} phi(i, j) under unit input power,
   /// precomputed once per bank (the Section V-B noise floor).

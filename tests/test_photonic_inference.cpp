@@ -76,23 +76,21 @@ TEST(PhotonicInference, PerLayerErrorBounded) {
   EXPECT_EQ(engine.stats().photonic_dot_products, 0u);
 }
 
-TEST(PhotonicInference, DeprecatedInferRequiresSingleSampleBatch) {
-  // The deprecated per-sample wrapper stays batch-1; infer_batch handles
-  // N >= 1. Calling it here on purpose to pin the legacy contract.
+TEST(PhotonicInference, SingletonBatchIsFirstClass) {
+  // The legacy single-sample infer() wrapper is gone; a batch of one through
+  // infer_batch is the supported path and is reproducible across engines.
   numerics::Rng rng(23);
   dnn::Network net = tiny_cnn(rng);
   core::PhotonicInferenceEngine engine(net);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW((void)engine.infer(dnn::Tensor({2, 1, 10, 10})), std::invalid_argument);
+  EXPECT_THROW((void)engine.infer_batch(dnn::Tensor({0, 1, 10, 10})),
+               std::invalid_argument);
   const dnn::Dataset data = dnn::generate_classification(tiny_task(), 1, 5);
-  const dnn::Tensor legacy = engine.infer(dnn::batch_images(data, 0, 1));
-#pragma GCC diagnostic pop
-  // The wrapper and infer_batch agree on a singleton batch.
+  const dnn::Tensor once = engine.infer_batch(dnn::batch_images(data, 0, 1));
+  ASSERT_EQ(once.dim(0), 1u);
   core::PhotonicInferenceEngine fresh(net);
-  const dnn::Tensor batched = fresh.infer_batch(dnn::batch_images(data, 0, 1));
-  for (std::size_t c = 0; c < legacy.dim(1); ++c) {
-    EXPECT_EQ(legacy.at2(0, c), batched.at2(0, c));
+  const dnn::Tensor again = fresh.infer_batch(dnn::batch_images(data, 0, 1));
+  for (std::size_t c = 0; c < once.dim(1); ++c) {
+    EXPECT_EQ(once.at2(0, c), again.at2(0, c));
   }
 }
 
