@@ -10,6 +10,15 @@
 //                  [--n <conv units>] [--m <fc units>]
 //                  [--resolution <bits>] [--schedule] [--json]
 //                  [--effects <csv>] [--samples <n>] [--train-epochs <n>]
+//                  [--dse] [--top-k <n>] [--budget <mm2>] [--serial]
+//
+// --dse runs the Fig. 6 design-space exploration (parallel DseEngine) over
+// the Table I zoo for the selected crosslight:* backend's variant, printing
+// the ranked points, the (fps, epb, area, power) Pareto front, and engine
+// statistics; --budget tightens the area envelope, --top-k limits the
+// ranking (the text table defaults to 10, --json emits every point unless
+// --top-k is given), --serial disables OpenMP (results are bit-identical
+// either way).
 //
 // The functional backend executes a quickly trained Table I proxy MLP on the
 // simulated analog datapath, with the non-ideality pipeline selected by
@@ -22,6 +31,7 @@
 //   crosslight_cli --model 1 --backend deap_cnn --json
 //   crosslight_cli --model 4 --N 30 --K 200 --json
 //   crosslight_cli --backend functional --effects thermal,fpv,noise --json
+//   crosslight_cli --dse --budget 25 --top-k 5 --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +55,8 @@ void usage() {
                "                      [--N size] [--K size] [--n count] [--m count]\n"
                "                      [--resolution bits] [--schedule] [--json]\n"
                "                      [--effects thermal,fpv,noise|all|none|ideal]\n"
-               "                      [--samples n] [--train-epochs n]\n");
+               "                      [--samples n] [--train-epochs n]\n"
+               "                      [--dse] [--top-k n] [--budget mm2] [--serial]\n");
 }
 
 std::string backend_for_variant(const std::string& s) {
@@ -138,6 +149,79 @@ int run_functional(xl::api::Session& session, const std::string& backend_name,
   return 0;
 }
 
+// Fig. 6 design-space exploration through the facade: the parallel
+// DseEngine walks config.dse over the Table I zoo, streaming the ranked
+// points, Pareto front, and flagged degenerate candidates.
+int run_dse_cli(xl::api::Session& session, bool json, std::size_t top_k, bool serial) {
+  using namespace xl;
+  core::DseEngine::Options options;
+  options.parallel = !serial;
+  const core::DseSweep& sweep = session.config().dse;
+  const core::DseResult result = session.run_dse(sweep, dnn::table1_models(), options);
+  const core::DsePoint& best = result.best();
+
+  if (json) {
+    api::JsonWriter writer;
+    writer.begin_object("sweep");
+    writer.field("variant", core::variant_name(sweep.variant_axis().front()));
+    writer.field("max_area_mm2", sweep.max_area_mm2);
+    writer.field("grid_candidates", result.stats.grid_candidates);
+    writer.end_object();
+    api::write_dse_stats(writer, result.stats);
+    writer.begin_object("best");
+    writer.field("N", best.conv_unit_size);
+    writer.field("K", best.fc_unit_size);
+    writer.field("n", best.conv_units);
+    writer.field("m", best.fc_units);
+    writer.field("fps_per_epb", best.fps_per_epb());
+    writer.field("area_mm2", best.area_mm2);
+    writer.end_object();
+    const std::size_t shown = (top_k > 0 && top_k < result.points.size())
+                                  ? top_k
+                                  : result.points.size();
+    api::write_dse_points(
+        writer, "points",
+        std::vector<core::DsePoint>(result.points.begin(),
+                                    result.points.begin() + static_cast<long>(shown)));
+    api::write_pareto_front(writer, result);
+    if (!result.rejected.empty()) {
+      api::write_dse_points(writer, "rejected", result.rejected);
+    }
+    std::fputs(writer.finish().c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("DSE over %zu candidates (%zu admitted, %zu area-filtered): "
+              "%zu evaluations, %zu cache hits\n\n",
+              result.stats.grid_candidates,
+              result.points.size() + result.rejected.size(),
+              result.stats.area_filtered, result.stats.evaluations,
+              result.stats.cache_hits);
+  std::printf("%-2s %-4s %-4s %-4s %-4s %-12s %-12s %-9s %-9s %-12s\n", "", "N", "K",
+              "n", "m", "avg FPS", "avg EPB pJ", "area mm2", "power W", "FPS/EPB");
+  const std::size_t shown = (top_k > 0 && top_k < result.points.size())
+                                ? top_k
+                                : result.points.size();
+  for (std::size_t i = 0; i < shown; ++i) {
+    const core::DsePoint& p = result.points[i];
+    std::printf("%-2s %-4zu %-4zu %-4zu %-4zu %-12.0f %-12.4f %-9.1f %-9.1f %-12.3e\n",
+                p.on_pareto ? "*" : "", p.conv_unit_size, p.fc_unit_size, p.conv_units,
+                p.fc_units, p.avg_fps, p.avg_epb_pj, p.area_mm2, p.avg_power_w,
+                p.fps_per_epb());
+  }
+  std::printf("\n(*) on the (fps, epb, area, power) Pareto front: %zu of %zu points\n",
+              result.pareto.size(), result.points.size());
+  if (!result.rejected.empty()) {
+    std::printf("!!  %zu candidates rejected as degenerate (non-finite/non-positive "
+                "metrics)\n",
+                result.rejected.size());
+  }
+  std::printf("Best FPS/EPB: (N, K, n, m) = (%zu, %zu, %zu, %zu), area %.1f mm2\n",
+              best.conv_unit_size, best.fc_unit_size, best.conv_units, best.fc_units,
+              best.area_mm2);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +232,12 @@ int main(int argc, char** argv) {
   bool json = false;
   bool run_schedule = false;
   bool list_only = false;
+  bool run_dse = false;
+  bool dse_serial = false;
+  // Default: full ranking in --json (machine consumers get every point),
+  // top 10 in the human-readable table.
+  std::size_t dse_top_k = 0;
+  bool dse_top_k_set = false;
   std::size_t train_epochs = 20;
 
   for (int i = 1; i < argc; ++i) {
@@ -185,6 +275,15 @@ int main(int argc, char** argv) {
         config.functional_samples = static_cast<std::size_t>(std::atoi(next()));
       } else if (arg == "--train-epochs") {
         train_epochs = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--dse") {
+        run_dse = true;
+      } else if (arg == "--top-k") {
+        dse_top_k = static_cast<std::size_t>(std::atoi(next()));
+        dse_top_k_set = true;
+      } else if (arg == "--budget") {
+        config.dse.max_area_mm2 = std::atof(next());
+      } else if (arg == "--serial") {
+        dse_serial = true;
       } else if (arg == "--schedule") {
         run_schedule = true;
       } else if (arg == "--json") {
@@ -209,8 +308,32 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (run_dse) {
+      // The DSE grid enumerates CrossLight organizations; the selected
+      // crosslight:* backend picks the variant the sweep explores.
+      bool matched = false;
+      for (core::Variant v : {core::Variant::kBase, core::Variant::kBaseTed,
+                              core::Variant::kOpt, core::Variant::kOptTed}) {
+        if (api::AnalyticalBackend::registry_key(v) == backend_name) {
+          config.dse.variant = v;
+          matched = true;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "error: --dse requires a crosslight:* backend\n");
+        return 2;
+      }
+      // An explicit --resolution sweeps the analytical and functional views
+      // at that depth, mirroring the single-evaluation path.
+      config.dse.base.resolution_bits = config.architecture.resolution_bits;
+    }
+
     api::Session session(config);
     if (list_only) return list_backends(session, json);
+    if (run_dse) {
+      const std::size_t top_k = (json || dse_top_k_set) ? dse_top_k : 10;
+      return run_dse_cli(session, json, top_k, dse_serial);
+    }
 
     // Pool utilization comes from the event-driven scheduler, which models
     // the CrossLight organization only — reject the combination before any

@@ -11,6 +11,10 @@ void SimConfig::validate() const {
   // constructors (VdpSimOptions::validate, mirroring BaselineParams).
   vdp.validate();
 
+  // The DSE sweep travels with the config so an invalid axis surfaces at
+  // session construction, not as an empty sweep deep inside run_dse.
+  dse.validate();
+
   auto check = [](bool ok, const char* what) {
     if (!ok) throw std::invalid_argument(what);
   };

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "core/dse.hpp"
 #include "core/photonic_inference.hpp"
 #include "core/report.hpp"
 #include "core/vdp_simulator.hpp"
@@ -31,6 +32,7 @@ namespace xl::api {
 struct SimConfig {
   core::ArchitectureConfig architecture;  ///< (N, K, n, m), variant, devices.
   core::VdpSimOptions vdp;                ///< Signal-level datapath options.
+  core::DseSweep dse;                     ///< Sweep run by Session::run_dse / --dse.
 
   // Batch/eval knobs (functional backend).
   std::size_t eval_batch_size = 16;    ///< Samples per photonic GEMM batch.

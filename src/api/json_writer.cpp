@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/dse_engine.hpp"
 #include "core/effects.hpp"
 
 namespace xl::api {
@@ -190,6 +191,51 @@ void write_effect_config(JsonWriter& writer, const core::EffectConfig& effects) 
     writer.field("bandwidth_ghz", effects.noise_stage.receiver.bandwidth_ghz);
     writer.end_object();
   }
+  writer.end_object();
+}
+
+namespace {
+
+void write_dse_point(JsonWriter& writer, const core::DsePoint& p) {
+  writer.begin_object();
+  writer.field("N", p.conv_unit_size);
+  writer.field("K", p.fc_unit_size);
+  writer.field("n", p.conv_units);
+  writer.field("m", p.fc_units);
+  writer.field("variant", core::variant_name(p.variant));
+  writer.field("resolution_bits", p.resolution_bits);
+  writer.field("area_budget_mm2", p.area_budget_mm2);
+  writer.field("avg_fps", p.avg_fps);
+  writer.field("avg_epb_pj_per_bit", p.avg_epb_pj);
+  writer.field("avg_power_w", p.avg_power_w);
+  writer.field("area_mm2", p.area_mm2);
+  writer.field("fps_per_epb", p.fps_per_epb());
+  writer.field("on_pareto", p.on_pareto);
+  writer.field("degenerate", p.degenerate);
+  writer.end_object();
+}
+
+}  // namespace
+
+void write_dse_points(JsonWriter& writer, const std::string& key,
+                      const std::vector<core::DsePoint>& points) {
+  writer.begin_array(key);
+  for (const core::DsePoint& p : points) write_dse_point(writer, p);
+  writer.end_array();
+}
+
+void write_pareto_front(JsonWriter& writer, const core::DseResult& result) {
+  write_dse_points(writer, "pareto_front", result.pareto);
+}
+
+void write_dse_stats(JsonWriter& writer, const core::DseStats& stats) {
+  writer.begin_object("stats");
+  writer.field("grid_candidates", stats.grid_candidates);
+  writer.field("area_filtered", stats.area_filtered);
+  writer.field("evaluations", stats.evaluations);
+  writer.field("cache_hits", stats.cache_hits);
+  writer.field("cache_hit_rate", stats.cache_hit_rate());
+  writer.field("degenerate", stats.degenerate);
   writer.end_object();
 }
 

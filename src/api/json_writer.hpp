@@ -11,6 +11,9 @@
 #include <vector>
 
 namespace xl::core {
+struct DsePoint;
+struct DseResult;
+struct DseStats;
 struct EffectConfig;
 }  // namespace xl::core
 
@@ -56,5 +59,19 @@ class JsonWriter {
 /// (stage switches, seed, and the physically meaningful stage knobs), so
 /// every --json/BENCH_*.json consumer records which datapath it measured.
 void write_effect_config(JsonWriter& writer, const core::EffectConfig& effects);
+
+/// Emit DSE points as a named array of objects, streaming one object per
+/// point: the (N, K, n, m) tuple, scenario axes (variant, resolution,
+/// budget), the averaged metrics, the selection criterion, and the
+/// on_pareto / degenerate flags.
+void write_dse_points(JsonWriter& writer, const std::string& key,
+                      const std::vector<core::DsePoint>& points);
+
+/// Emit a DseResult's Pareto front as the "pareto_front" array.
+void write_pareto_front(JsonWriter& writer, const core::DseResult& result);
+
+/// Emit engine statistics as the "stats" object (grid size, area-filtered
+/// and degenerate counts, evaluator calls, cache hits and hit rate).
+void write_dse_stats(JsonWriter& writer, const core::DseStats& stats);
 
 }  // namespace xl::api

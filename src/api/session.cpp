@@ -1,5 +1,6 @@
 #include "api/session.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "api/analytical_backend.hpp"
@@ -15,6 +16,8 @@ Session::Session(SimConfig config, const BackendRegistry* registry)
 void Session::set_config(SimConfig config) {
   config.validate();
   config_ = std::move(config);
+  // The DSE memo was built under the previous config's knobs.
+  dse_engine_.clear_cache();
 }
 
 Backend& Session::backend(const std::string& name) {
@@ -74,18 +77,46 @@ EvalResult Session::evaluate_functional(const std::string& backend_name,
   return backend(backend_name).evaluate(request);
 }
 
-std::vector<core::DsePoint> Session::run_dse(const core::DseSweep& sweep,
-                                             const std::vector<dnn::ModelSpec>& models) {
-  Backend& b = backend(AnalyticalBackend::registry_key(sweep.variant));
-  return core::run_dse(sweep, models,
-                       [this, &b](const core::ArchitectureConfig& cfg,
-                                  const dnn::ModelSpec& model) {
-                         EvalRequest request;
-                         request.model = model;
-                         request.config = config_;
-                         request.config.architecture = cfg;
-                         return b.evaluate(request).report;
-                       });
+core::DseResult Session::run_dse(const core::DseSweep& sweep,
+                                 const std::vector<dnn::ModelSpec>& models,
+                                 const core::DseEngine::Options& options) {
+  if (sweep.effects.size() > 1) {
+    throw std::invalid_argument(
+        "Session::run_dse: the analytical registry backends are "
+        "effects-insensitive, so an effects axis would multiply evaluation "
+        "cost without varying any result; run core::DseEngine with an "
+        "effects-sensitive evaluator instead");
+  }
+  // Resolve the per-variant backends up front: Backend creation mutates the
+  // session cache, while the evaluator below runs on OpenMP workers. The
+  // analytical backends themselves are stateless and thread-safe.
+  std::map<core::Variant, Backend*> backends;
+  for (core::Variant v : sweep.variant_axis()) {
+    backends.emplace(v, &backend(AnalyticalBackend::registry_key(v)));
+  }
+  const bool sweep_resolution = !sweep.resolution_bits.empty();
+  // One template config for every job: the session knobs with the sweep
+  // reset to its default, so each of the grid-size-many per-job copies and
+  // backend-side validations doesn't drag the (arbitrarily large) sweep
+  // axes along.
+  SimConfig job_config = config_;
+  job_config.dse = core::DseSweep{};
+  dse_engine_.set_options(options);
+  return dse_engine_.run(
+      sweep, models,
+      [&backends, &job_config, sweep_resolution](
+          const core::DseCandidate& candidate, const dnn::ModelSpec& model) {
+        EvalRequest request;
+        request.model = model;
+        request.config = job_config;
+        request.config.architecture = candidate.config;
+        // An explicit resolution axis drives the functional view too,
+        // mirroring the CLI's --resolution semantics.
+        if (sweep_resolution) {
+          request.config.vdp.resolution_bits = candidate.config.resolution_bits;
+        }
+        return backends.at(candidate.config.variant)->evaluate(request).report;
+      });
 }
 
 }  // namespace xl::api

@@ -17,7 +17,7 @@
 
 #include "api/backend.hpp"
 #include "api/registry.hpp"
-#include "core/dse.hpp"
+#include "core/dse_engine.hpp"
 #include "core/report.hpp"
 #include "dnn/layer_spec.hpp"
 
@@ -68,15 +68,25 @@ class Session {
                                                const dnn::Dataset& dataset);
 
   /// Fig. 6 design-space exploration routed through the registry: every
-  /// candidate (N, K, n, m) is evaluated by the analytical backend matching
-  /// sweep.variant, with the session config supplying the remaining knobs.
-  [[nodiscard]] std::vector<core::DsePoint> run_dse(
-      const core::DseSweep& sweep, const std::vector<dnn::ModelSpec>& models);
+  /// candidate (N, K, n, m, variant, resolution, budget) is evaluated
+  /// OpenMP-parallel by the analytical backend matching its variant, with
+  /// the session config supplying the remaining knobs. The result carries
+  /// the ranked points, the (fps, epb, area, power) Pareto front, flagged
+  /// degenerate candidates, and cache statistics. The engine's memo
+  /// persists across calls on one session (a repeated or overlapping sweep
+  /// re-pays nothing; set_config clears it). The analytical backends are
+  /// effects-insensitive, so a sweep with more than one EffectConfig is
+  /// rejected here — drive effect axes through core::DseEngine with an
+  /// effects-sensitive evaluator instead.
+  [[nodiscard]] core::DseResult run_dse(const core::DseSweep& sweep,
+                                        const std::vector<dnn::ModelSpec>& models,
+                                        const core::DseEngine::Options& options = {});
 
  private:
   SimConfig config_;
   const BackendRegistry* registry_;
   std::map<std::string, std::unique_ptr<Backend>> cache_;
+  core::DseEngine dse_engine_;  ///< Memo persists across run_dse calls.
 };
 
 }  // namespace xl::api

@@ -5,6 +5,12 @@
 // the paper lands on (20, 150, 100, 60). The sweep is parameterized over an
 // evaluator callback so higher layers (api::Session) can route every
 // candidate through a registry backend instead of a hand-wired accelerator.
+//
+// Beyond the paper's fixed grid, DseSweep carries scenario-diversity axes
+// (architecture variants, datapath resolutions, area budgets, non-ideality
+// configurations); the parallel engine that walks the expanded grid lives in
+// core/dse_engine.hpp. The run_dse entry points below remain as thin,
+// backward-compatible wrappers over that engine.
 #pragma once
 
 #include <functional>
@@ -12,6 +18,7 @@
 
 #include "core/accelerator.hpp"
 #include "core/config.hpp"
+#include "core/effects.hpp"
 #include "dnn/layer_spec.hpp"
 
 namespace xl::core {
@@ -21,16 +28,31 @@ struct DsePoint {
   std::size_t fc_unit_size = 0;    ///< K
   std::size_t conv_units = 0;      ///< n
   std::size_t fc_units = 0;        ///< m
+  Variant variant = Variant::kOptTed;
+  int resolution_bits = 16;
+  double area_budget_mm2 = 0.0;  ///< Budget slice the candidate was admitted under.
+  std::size_t candidate_id = 0;  ///< Dense index into the expanded grid.
+
   double avg_fps = 0.0;
   double avg_epb_pj = 0.0;
   double area_mm2 = 0.0;
   double avg_power_w = 0.0;
+
+  bool on_pareto = false;   ///< Non-dominated over (fps, epb, area, power).
+  bool degenerate = false;  ///< Evaluation produced non-finite/non-positive metrics.
 
   /// The paper's selection criterion.
   [[nodiscard]] double fps_per_epb() const noexcept {
     return avg_epb_pj > 0.0 ? avg_fps / avg_epb_pj : 0.0;
   }
 };
+
+/// Strict total order used to rank sweep results: FPS/EPB descending, ties
+/// broken by ascending (N, K, n, m), then (variant, resolution, budget,
+/// candidate id). Total by construction — candidate ids are unique — so the
+/// ranking (and best_point) is identical across stdlib std::sort
+/// implementations and thread counts.
+[[nodiscard]] bool dse_point_less(const DsePoint& a, const DsePoint& b) noexcept;
 
 struct DseSweep {
   std::vector<std::size_t> conv_unit_sizes = {10, 15, 20, 25, 30};
@@ -41,6 +63,34 @@ struct DseSweep {
   /// Skip configurations whose area exceeds this budget (paper: ~25 mm^2
   /// comparisons; DSE itself explores a wider envelope).
   double max_area_mm2 = 60.0;
+
+  // Scenario-diversity axes. Every non-empty axis multiplies the candidate
+  // grid; an empty axis falls back to the single legacy value (variant /
+  // max_area_mm2 / base.resolution_bits / the ideal datapath).
+  std::vector<Variant> variants;         ///< Architecture variants to compare.
+  std::vector<int> resolution_bits;      ///< Datapath resolutions, each in [1, 16].
+  std::vector<double> area_budgets_mm2;  ///< Envelope slices (each <= max fits).
+  /// Per-candidate non-ideality configs, for effects-sensitive evaluators
+  /// driven through core::DseEngine (the analytical registry path of
+  /// api::Session::run_dse is effects-insensitive and rejects multi-entry
+  /// axes).
+  std::vector<EffectConfig> effects;
+
+  /// Non-swept knobs every candidate inherits (mrs_per_bank, pitches,
+  /// devices). Defaults to the paper's flagship configuration.
+  ArchitectureConfig base{};
+
+  // Resolved axes (legacy fallbacks applied).
+  [[nodiscard]] std::vector<Variant> variant_axis() const;
+  [[nodiscard]] std::vector<int> resolution_axis() const;
+  [[nodiscard]] std::vector<double> budget_axis() const;
+  /// Candidates in the fully expanded grid (before area filtering).
+  [[nodiscard]] std::size_t grid_size() const;
+
+  /// Throws std::invalid_argument naming the offending axis: any empty
+  /// (N, K, n, m) axis, non-positive entries, resolutions outside [1, 16],
+  /// non-positive area budgets, or invalid effect/base configurations.
+  void validate() const;
 };
 
 /// Produces the report of one (configuration, model) evaluation. The sweep
@@ -48,17 +98,22 @@ struct DseSweep {
 using DseEvaluator =
     std::function<AcceleratorReport(const ArchitectureConfig&, const xl::dnn::ModelSpec&)>;
 
-/// Run the sweep over the given model zoo; results sorted by descending
-/// FPS/EPB. Evaluates with CrossLightAccelerator directly.
+/// Run the sweep over the given model zoo; results ranked by dse_point_less.
+/// Evaluates with CrossLightAccelerator (OpenMP-parallel; bit-identical to
+/// the serial path). Degenerate evaluations are dropped from the ranking —
+/// retrieve them via DseEngine::run if needed. Throws std::invalid_argument
+/// on invalid sweeps, including a budget that rejects every candidate.
 [[nodiscard]] std::vector<DsePoint> run_dse(const DseSweep& sweep,
                                             const std::vector<xl::dnn::ModelSpec>& models);
 
-/// Same sweep with a custom evaluator (e.g. an api registry backend).
+/// Same sweep with a custom evaluator (e.g. an api registry backend). The
+/// evaluator is not assumed thread-safe, so candidates run serially; use
+/// DseEngine directly for parallel sweeps over thread-safe evaluators.
 [[nodiscard]] std::vector<DsePoint> run_dse(const DseSweep& sweep,
                                             const std::vector<xl::dnn::ModelSpec>& models,
                                             const DseEvaluator& evaluate);
 
-/// Highest-FPS/EPB point (throws on empty results).
+/// Highest-ranked point under dse_point_less (throws on empty results).
 [[nodiscard]] const DsePoint& best_point(const std::vector<DsePoint>& points);
 
 }  // namespace xl::core

@@ -117,7 +117,7 @@ TEST(ApiParity, SessionDseMatchesCoreDse) {
 
   const auto direct = core::run_dse(sweep, models);
   api::Session session;
-  const auto via_api = session.run_dse(sweep, models);
+  const auto via_api = session.run_dse(sweep, models).points;
   ASSERT_EQ(via_api.size(), direct.size());
   for (std::size_t i = 0; i < direct.size(); ++i) {
     EXPECT_EQ(via_api[i].conv_unit_size, direct[i].conv_unit_size);
@@ -127,6 +127,32 @@ TEST(ApiParity, SessionDseMatchesCoreDse) {
     EXPECT_EQ(via_api[i].avg_power_w, direct[i].avg_power_w);
     EXPECT_EQ(via_api[i].area_mm2, direct[i].area_mm2);
   }
+}
+
+TEST(ApiParity, SessionDseMemoPersistsAcrossCalls) {
+  core::DseSweep sweep;
+  sweep.conv_unit_sizes = {15, 20};
+  sweep.fc_unit_sizes = {100};
+  sweep.conv_unit_counts = {100};
+  sweep.fc_unit_counts = {60};
+  const std::vector<dnn::ModelSpec> models{dnn::lenet5_spec()};
+  api::Session session;
+  const auto first = session.run_dse(sweep, models);
+  EXPECT_GT(first.stats.evaluations, 0u);
+  const auto second = session.run_dse(sweep, models);
+  EXPECT_EQ(second.stats.evaluations, 0u) << "session memo must persist";
+  // set_config invalidates the memo.
+  session.set_config(session.config());
+  const auto third = session.run_dse(sweep, models);
+  EXPECT_EQ(third.stats.evaluations, first.stats.evaluations);
+}
+
+TEST(ApiParity, SessionDseRejectsEffectAxes) {
+  core::DseSweep sweep;
+  sweep.effects = {core::EffectConfig{}, core::EffectConfig{}};
+  api::Session session;
+  EXPECT_THROW((void)session.run_dse(sweep, {dnn::lenet5_spec()}),
+               std::invalid_argument);
 }
 
 TEST(ApiParity, FunctionalBackendMatchesPhotonicInferenceEngine) {

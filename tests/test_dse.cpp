@@ -1,10 +1,19 @@
-// Design-space exploration tests (Fig. 6).
+// Design-space exploration tests (Fig. 6): the legacy run_dse wrappers and
+// the parallel, memoizing DseEngine behind them.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
 
-#include "core/dse.hpp"
+#include "core/dse_engine.hpp"
 #include "dnn/models.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace xl::core {
 namespace {
@@ -17,6 +26,24 @@ DseSweep small_sweep() {
   sweep.conv_unit_counts = {50, 100};
   sweep.fc_unit_counts = {30, 60};
   return sweep;
+}
+
+void expect_points_identical(const std::vector<DsePoint>& a,
+                             const std::vector<DsePoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].conv_unit_size, b[i].conv_unit_size);
+    EXPECT_EQ(a[i].fc_unit_size, b[i].fc_unit_size);
+    EXPECT_EQ(a[i].conv_units, b[i].conv_units);
+    EXPECT_EQ(a[i].fc_units, b[i].fc_units);
+    EXPECT_EQ(a[i].candidate_id, b[i].candidate_id);
+    // Bit-identity, not tolerance: the parallel engine writes into
+    // pre-sized slots and accumulates in fixed model order.
+    EXPECT_EQ(a[i].avg_fps, b[i].avg_fps);
+    EXPECT_EQ(a[i].avg_epb_pj, b[i].avg_epb_pj);
+    EXPECT_EQ(a[i].area_mm2, b[i].area_mm2);
+    EXPECT_EQ(a[i].avg_power_w, b[i].avg_power_w);
+  }
 }
 
 TEST(Dse, ProducesSortedPoints) {
@@ -34,11 +61,18 @@ TEST(Dse, BestPointIsFront) {
   EXPECT_THROW((void)best_point({}), std::invalid_argument);
 }
 
-TEST(Dse, AreaConstraintFilters) {
+TEST(Dse, ImpossibleAreaBudgetThrows) {
   DseSweep sweep = small_sweep();
   sweep.max_area_mm2 = 1.0;  // Impossible budget.
-  const auto points = run_dse(sweep, xl::dnn::table1_models());
-  EXPECT_TRUE(points.empty());
+  // A budget that rejects every candidate used to yield an empty result and
+  // a confusing "best_point: empty sweep" throw much later; it is now an
+  // immediate, named error.
+  try {
+    (void)run_dse(sweep, xl::dnn::table1_models());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("area budget"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Dse, AllPointsRespectAreaBudget) {
@@ -94,6 +128,329 @@ TEST(Dse, PointMetricsPopulated) {
     EXPECT_GT(p.avg_power_w, 0.0);
     EXPECT_GT(p.area_mm2, 0.0);
   }
+}
+
+// --- DseSweep::validate -----------------------------------------------------
+
+TEST(DseSweepValidate, NamesTheEmptyAxis) {
+  const auto expect_names = [](DseSweep sweep, const char* token) {
+    try {
+      sweep.validate();
+      FAIL() << "expected std::invalid_argument naming " << token;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(token), std::string::npos) << e.what();
+    }
+  };
+  DseSweep s = small_sweep();
+  s.conv_unit_sizes.clear();
+  expect_names(s, "conv_unit_sizes");
+  s = small_sweep();
+  s.fc_unit_sizes.clear();
+  expect_names(s, "fc_unit_sizes");
+  s = small_sweep();
+  s.conv_unit_counts.clear();
+  expect_names(s, "conv_unit_counts");
+  s = small_sweep();
+  s.fc_unit_counts.clear();
+  expect_names(s, "fc_unit_counts");
+  s = small_sweep();
+  s.max_area_mm2 = 0.0;
+  expect_names(s, "max_area_mm2");
+  s = small_sweep();
+  s.conv_unit_sizes = {10, 0};
+  expect_names(s, "conv_unit_sizes");
+  s = small_sweep();
+  s.resolution_bits = {8, 99};
+  expect_names(s, "resolution_bits");
+  s = small_sweep();
+  s.area_budgets_mm2 = {25.0, -1.0};
+  expect_names(s, "area_budgets_mm2");
+}
+
+TEST(DseSweepValidate, DefaultSweepIsValid) {
+  EXPECT_NO_THROW(DseSweep{}.validate());
+}
+
+// --- DseEngine --------------------------------------------------------------
+
+TEST(DseEngine, SerialVsParallelBitIdentityAcrossThreadCounts) {
+  const auto models = xl::dnn::table1_models();
+  DseEngine::Options serial_opts;
+  serial_opts.parallel = false;
+  DseEngine serial_engine(serial_opts);
+  const DseResult serial = serial_engine.run(small_sweep(), models);
+  ASSERT_FALSE(serial.points.empty());
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  for (int threads : {1, 4, 16}) {
+    omp_set_num_threads(threads);
+    DseEngine parallel_engine;
+    const DseResult parallel = parallel_engine.run(small_sweep(), models);
+    expect_points_identical(serial.points, parallel.points);
+    expect_points_identical(serial.pareto, parallel.pareto);
+  }
+  omp_set_num_threads(saved);
+#else
+  DseEngine parallel_engine;
+  const DseResult parallel = parallel_engine.run(small_sweep(), models);
+  expect_points_identical(serial.points, parallel.points);
+#endif
+}
+
+TEST(DseEngine, SecondRunOfSameSweepDoesZeroEvaluatorCalls) {
+  const auto models = xl::dnn::table1_models();
+  std::atomic<std::size_t> calls{0};
+  const DseCandidateEvaluator counting =
+      [&calls](const DseCandidate& c, const xl::dnn::ModelSpec& model) {
+        ++calls;
+        return CrossLightAccelerator(c.config).evaluate(model);
+      };
+  DseEngine engine;
+  const DseResult first = engine.run(small_sweep(), models, counting);
+  const std::size_t first_calls = calls.load();
+  EXPECT_EQ(first_calls, first.stats.evaluations);
+  EXPECT_GT(first_calls, 0u);
+
+  const DseResult second = engine.run(small_sweep(), models, counting);
+  EXPECT_EQ(calls.load(), first_calls) << "warm run must not re-evaluate";
+  EXPECT_EQ(second.stats.evaluations, 0u);
+  EXPECT_EQ(second.stats.cache_hits, first.stats.evaluations + first.stats.cache_hits);
+  expect_points_identical(first.points, second.points);
+}
+
+TEST(DseEngine, ChangedDeviceParamsInvalidateTheMemo) {
+  // The memo key digests ArchitectureConfig::devices: re-running the same
+  // grid with different device parameters on the same engine must
+  // re-evaluate, not serve the previous physics' reports.
+  const std::vector<xl::dnn::ModelSpec> models{xl::dnn::lenet5_spec()};
+  DseEngine engine;
+  DseSweep sweep = small_sweep();
+  const DseResult first = engine.run(sweep, models);
+  sweep.base.devices.laser_efficiency = 0.1;  // Half the wall-plug efficiency.
+  const DseResult second = engine.run(sweep, models);
+  EXPECT_EQ(second.stats.evaluations, first.stats.evaluations);
+  EXPECT_EQ(second.stats.cache_hits, 0u);
+  // And the re-evaluation actually reflects the new physics.
+  double first_power = 0.0;
+  double second_power = 0.0;
+  for (const auto& p : first.points) first_power += p.avg_power_w;
+  for (const auto& p : second.points) second_power += p.avg_power_w;
+  EXPECT_GT(second_power, first_power);
+}
+
+TEST(DseEngine, OverlappingBudgetAxesShareEvaluations) {
+  const auto models = xl::dnn::table1_models();
+  DseSweep sweep = small_sweep();
+  sweep.area_budgets_mm2 = {20.0, 40.0};
+  DseEngine engine;
+  const DseResult result = engine.run(sweep, models);
+  // Every candidate admitted under 20 mm2 is admitted under 40 mm2 too and
+  // must be served from the memo there.
+  EXPECT_GT(result.stats.cache_hits, 0u);
+  std::size_t under_tight = 0;
+  for (const auto& p : result.points) {
+    if (p.area_budget_mm2 == 20.0) ++under_tight;
+  }
+  EXPECT_EQ(result.stats.cache_hits, under_tight * models.size());
+}
+
+TEST(DseEngine, EffectAxisEntriesNeverAliasInTheMemo) {
+  // Two effect configs that differ only in a deep stage parameter (same
+  // seed, same stage switchboard) must produce distinct memo keys: every
+  // candidate is evaluated once per axis entry, with no cross-entry hits.
+  const std::vector<xl::dnn::ModelSpec> models{xl::dnn::lenet5_spec()};
+  DseSweep sweep = small_sweep();
+  EffectConfig fx_a;
+  fx_a.noise = true;
+  EffectConfig fx_b = fx_a;
+  fx_b.noise_stage.receiver.bandwidth_ghz *= 2.0;
+  sweep.effects = {fx_a, fx_b};
+  std::atomic<std::size_t> calls{0};
+  DseEngine engine;
+  const DseResult result = engine.run(
+      sweep, models,
+      [&calls](const DseCandidate& c, const xl::dnn::ModelSpec& model) {
+        ++calls;
+        return CrossLightAccelerator(c.config).evaluate(model);
+      });
+  EXPECT_EQ(result.stats.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), result.stats.evaluations);
+  EXPECT_EQ(result.stats.grid_candidates, 2 * small_sweep().grid_size());
+}
+
+TEST(DseEngine, ParetoFrontDedupsBudgetSliceDuplicates) {
+  // The same design admitted under two budget slices yields two identical-
+  // metric rows; the front keeps one representative per design while both
+  // rows stay flagged on_pareto.
+  DseSweep sweep = small_sweep();
+  sweep.area_budgets_mm2 = {30.0, 60.0};
+  DseEngine engine;
+  const DseResult result = engine.run(sweep, xl::dnn::table1_models());
+  for (std::size_t i = 1; i < result.pareto.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const DsePoint& a = result.pareto[i];
+      const DsePoint& b = result.pareto[j];
+      EXPECT_FALSE(a.conv_unit_size == b.conv_unit_size &&
+                   a.fc_unit_size == b.fc_unit_size && a.conv_units == b.conv_units &&
+                   a.fc_units == b.fc_units && a.variant == b.variant &&
+                   a.resolution_bits == b.resolution_bits)
+          << "duplicate design on the front";
+    }
+  }
+  // Both budget rows of a front design keep the flag.
+  for (const DsePoint& f : result.pareto) {
+    std::size_t flagged_rows = 0;
+    for (const DsePoint& p : result.points) {
+      if (p.conv_unit_size == f.conv_unit_size && p.fc_unit_size == f.fc_unit_size &&
+          p.conv_units == f.conv_units && p.fc_units == f.fc_units &&
+          p.on_pareto) {
+        ++flagged_rows;
+      }
+    }
+    EXPECT_GE(flagged_rows, 1u);
+  }
+}
+
+TEST(DseEngine, ParetoFrontMembership) {
+  DseEngine engine;
+  const DseResult result = engine.run(small_sweep(), xl::dnn::table1_models());
+  ASSERT_FALSE(result.pareto.empty());
+  const auto dominates = [](const DsePoint& a, const DsePoint& b) {
+    const bool no_worse = a.avg_fps >= b.avg_fps && a.avg_epb_pj <= b.avg_epb_pj &&
+                          a.area_mm2 <= b.area_mm2 && a.avg_power_w <= b.avg_power_w;
+    const bool better = a.avg_fps > b.avg_fps || a.avg_epb_pj < b.avg_epb_pj ||
+                        a.area_mm2 < b.area_mm2 || a.avg_power_w < b.avg_power_w;
+    return no_worse && better;
+  };
+  for (const auto& f : result.pareto) {
+    EXPECT_TRUE(f.on_pareto);
+    for (const auto& p : result.points) {
+      EXPECT_FALSE(dominates(p, f)) << "pareto member is dominated";
+    }
+  }
+  for (const auto& p : result.points) {
+    if (p.on_pareto) continue;
+    const bool dominated =
+        std::any_of(result.pareto.begin(), result.pareto.end(),
+                    [&](const DsePoint& f) { return dominates(f, p); });
+    EXPECT_TRUE(dominated) << "off-front point is not dominated by the front";
+  }
+  // The best-FPS/EPB point is never dominated on the fps/epb axes alone...
+  // but can be on area/power; the front must contain at least the best point
+  // when it is non-dominated, and the ranking winner must carry its flag
+  // consistently either way.
+  EXPECT_EQ(result.points.front().on_pareto,
+            std::any_of(result.pareto.begin(), result.pareto.end(),
+                        [&](const DsePoint& f) {
+                          return f.candidate_id == result.points.front().candidate_id;
+                        }));
+}
+
+TEST(DseEngine, TieBreakDeterminism) {
+  // An evaluator yielding identical metrics for every candidate leaves the
+  // primary criterion fully tied: the ranking must fall back to the strict
+  // (N, K, n, m) total order, not std::sort's unspecified tie order.
+  const DseCandidateEvaluator constant = [](const DseCandidate&,
+                                            const xl::dnn::ModelSpec&) {
+    AcceleratorReport r;
+    r.perf.fps = 1000.0;
+    r.perf.frame_latency_us = 10.0;
+    r.power.laser_mw = 500.0;
+    r.area_mm2 = 10.0;
+    r.resolution_bits = 16;
+    r.macs_per_frame = 1000;
+    return r;
+  };
+  DseEngine::Options opts;
+  opts.cache_enabled = false;  // Distinct candidates, identical reports.
+  DseEngine engine(opts);
+  const DseResult result =
+      engine.run(small_sweep(), {xl::dnn::lenet5_spec()}, constant);
+  ASSERT_GT(result.points.size(), 1u);
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    const DsePoint& a = result.points[i - 1];
+    const DsePoint& b = result.points[i];
+    EXPECT_EQ(a.fps_per_epb(), b.fps_per_epb());
+    EXPECT_TRUE(dse_point_less(a, b));
+    EXPECT_LT(std::tie(a.conv_unit_size, a.fc_unit_size, a.conv_units, a.fc_units),
+              std::tie(b.conv_unit_size, b.fc_unit_size, b.conv_units, b.fc_units));
+  }
+}
+
+TEST(DseEngine, DegenerateReportsAreFlaggedNotRanked) {
+  // One candidate reports zero power (EPB collapses to 0): it must land in
+  // `rejected` with the degenerate flag instead of silently ranking last.
+  const DseCandidateEvaluator broken =
+      [](const DseCandidate& c, const xl::dnn::ModelSpec& model) {
+        AcceleratorReport r = CrossLightAccelerator(c.config).evaluate(model);
+        if (c.config.conv_unit_size == 20 && c.config.fc_unit_size == 100 &&
+            c.config.conv_units == 50 && c.config.fc_units == 30) {
+          r.power = PowerBreakdown{};
+        }
+        return r;
+      };
+  DseEngine engine;
+  const DseResult result = engine.run(small_sweep(), xl::dnn::table1_models(), broken);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.stats.degenerate, 1u);
+  const DsePoint& bad = result.rejected.front();
+  EXPECT_TRUE(bad.degenerate);
+  EXPECT_EQ(bad.conv_unit_size, 20u);
+  EXPECT_EQ(bad.fc_unit_size, 100u);
+  for (const auto& p : result.points) {
+    EXPECT_FALSE(p.degenerate);
+    EXPECT_FALSE(p.conv_unit_size == 20 && p.fc_unit_size == 100 &&
+                 p.conv_units == 50 && p.fc_units == 30);
+  }
+}
+
+TEST(DseEngine, VariantAxisMultipliesTheGrid) {
+  const std::vector<xl::dnn::ModelSpec> models{xl::dnn::lenet5_spec()};
+  DseSweep sweep = small_sweep();
+  DseEngine single;
+  const DseResult one = single.run(sweep, models);
+  sweep.variants = {Variant::kBase, Variant::kOptTed};
+  DseEngine dual;
+  const DseResult two = dual.run(sweep, models);
+  EXPECT_EQ(two.stats.grid_candidates, 2 * one.stats.grid_candidates);
+  bool saw_base = false;
+  bool saw_opt_ted = false;
+  for (const auto& p : two.points) {
+    saw_base = saw_base || p.variant == Variant::kBase;
+    saw_opt_ted = saw_opt_ted || p.variant == Variant::kOptTed;
+  }
+  EXPECT_TRUE(saw_base);
+  EXPECT_TRUE(saw_opt_ted);
+}
+
+TEST(DseEngine, TopKTruncatesRankingNotPareto) {
+  DseEngine::Options opts;
+  opts.top_k = 3;
+  DseEngine engine(opts);
+  const DseResult result = engine.run(small_sweep(), xl::dnn::table1_models());
+  EXPECT_EQ(result.points.size(), 3u);
+  EXPECT_GT(result.pareto.size(), 0u);
+  // The truncated ranking still leads with the global best.
+  DseEngine full;
+  const DseResult all = full.run(small_sweep(), xl::dnn::table1_models());
+  EXPECT_EQ(result.points.front().candidate_id, all.points.front().candidate_id);
+}
+
+TEST(DseEngine, ProgressCallbackIsMonotoneAndComplete) {
+  std::atomic<std::size_t> last{0};
+  std::atomic<std::size_t> total_seen{0};
+  DseEngine::Options opts;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_GE(done, 1u);
+    EXPECT_LE(done, total);
+    last = std::max(last.load(), done);
+    total_seen = total;
+  };
+  DseEngine engine(opts);
+  const DseResult result = engine.run(small_sweep(), xl::dnn::table1_models());
+  EXPECT_EQ(last.load(), result.stats.evaluations);
+  EXPECT_EQ(total_seen.load(), result.stats.evaluations);
 }
 
 }  // namespace
