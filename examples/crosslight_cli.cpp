@@ -11,6 +11,15 @@
 //                  [--resolution <bits>] [--schedule] [--json]
 //                  [--effects <csv>] [--samples <n>] [--train-epochs <n>]
 //                  [--dse] [--top-k <n>] [--budget <mm2>] [--serial]
+//                  [--serve] [--workers <n>] [--max-batch <n>]
+//                  [--deadline-us <us>] [--requests <n>]
+//
+// --serve runs the xl::serve demo: the trained proxy MLP is registered on a
+// ServingRuntime built from the session config (so --effects selects the
+// shard datapath), a burst trace of --requests mixed-size requests is
+// submitted, and the runtime's latency/batching/throughput telemetry is
+// reported. Results are bit-identical for any --workers count (see the
+// determinism contract in src/serve/serving_runtime.hpp).
 //
 // --dse runs the Fig. 6 design-space exploration (parallel DseEngine) over
 // the Table I zoo for the selected crosslight:* backend's variant, printing
@@ -32,18 +41,24 @@
 //   crosslight_cli --model 4 --N 30 --K 200 --json
 //   crosslight_cli --backend functional --effects thermal,fpv,noise --json
 //   crosslight_cli --dse --budget 25 --top-k 5 --json
+//   crosslight_cli --serve --workers 4 --max-batch 8 --effects noise --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include <future>
+#include <vector>
+
 #include "api/api.hpp"
 #include "core/scheduler.hpp"
 #include "dnn/datasets.hpp"
+#include "dnn/loss.hpp"
 #include "dnn/models.hpp"
 #include "dnn/network.hpp"
 #include "dnn/trainer.hpp"
 #include "numerics/rng.hpp"
+#include "serve/serving_runtime.hpp"
 
 namespace {
 
@@ -56,7 +71,32 @@ void usage() {
                "                      [--resolution bits] [--schedule] [--json]\n"
                "                      [--effects thermal,fpv,noise|all|none|ideal]\n"
                "                      [--samples n] [--train-epochs n]\n"
-               "                      [--dse] [--top-k n] [--budget mm2] [--serial]\n");
+               "                      [--dse] [--top-k n] [--budget mm2] [--serial]\n"
+               "                      [--serve] [--workers n] [--max-batch n]\n"
+               "                      [--deadline-us us] [--requests n]\n");
+}
+
+// Strictly positive integer flag value; a negative would otherwise wrap to
+// SIZE_MAX through the size_t cast and dodge the == 0 checks.
+std::size_t parse_positive(const char* value, const char* flag) {
+  const long parsed = std::atol(value);
+  if (parsed <= 0) {
+    std::fprintf(stderr, "error: %s must be a positive integer\n", flag);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+// Non-negative double flag value, rejecting trailing garbage (atof would
+// silently read "1,000" as 1).
+double parse_nonnegative(const char* value, const char* flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed < 0.0) {
+    std::fprintf(stderr, "error: %s must be a non-negative number\n", flag);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 std::string backend_for_variant(const std::string& s) {
@@ -222,6 +262,83 @@ int run_dse_cli(xl::api::Session& session, bool json, std::size_t top_k, bool se
   return 0;
 }
 
+// xl::serve demo: register the trained proxy MLP on a runtime built from
+// the session config, replay a burst trace of mixed-size requests, and
+// report the serving telemetry. Logits are bit-identical for any worker
+// count, so served accuracy equals the direct functional-path accuracy for
+// the same samples.
+int run_serve(xl::api::Session& session, bool json, std::size_t workers,
+              std::size_t max_batch, double deadline_us, std::size_t requests,
+              std::size_t train_epochs) {
+  using namespace xl;
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
+
+  serve::ServingOptions options;
+  options.workers = workers;
+  options.max_batch = max_batch;
+  options.deadline_us = deadline_us;
+  auto runtime = session.serve(options);
+  runtime->register_model(serve::table1_proxy_served_model(proxy.net));
+  runtime->start();
+
+  // Burst replay of the canonical mixed-size trace (1..4 samples, capped at
+  // max_batch) cycled over the held-out test set.
+  std::vector<std::pair<std::size_t, std::size_t>> slices;  // (start, rows).
+  const std::vector<dnn::Tensor> trace =
+      serve::make_mixed_size_trace(proxy.test, requests, max_batch, &slices);
+  const auto t0 = serve::Clock::now();
+  std::vector<std::future<serve::InferResult>> futures;
+  futures.reserve(requests);
+  for (const dnn::Tensor& input : trace) {
+    futures.push_back(runtime->submit("table1-proxy-mlp", input));
+  }
+
+  double correct = 0.0;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::InferResult result = futures[i].get();
+    const auto [start, rows] = slices[i];
+    correct += static_cast<double>(rows) *
+               dnn::accuracy(result.logits,
+                             dnn::batch_labels(proxy.test, start, rows));
+    samples += rows;
+  }
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(serve::Clock::now() - t0).count();
+  runtime->stop();
+  const serve::ServingStats stats = runtime->stats();
+  const double accuracy = correct / static_cast<double>(samples);
+  const double fps = wall_us > 0.0 ? static_cast<double>(samples) * 1e6 / wall_us : 0.0;
+
+  if (json) {
+    api::JsonWriter writer;
+    writer.field("mode", "serve");
+    writer.field("model", "table1-proxy-mlp");
+    writer.field("workers", workers);
+    writer.field("max_batch", max_batch);
+    writer.field("deadline_us", deadline_us);
+    api::write_effect_config(writer, session.config().vdp.effective_effects());
+    writer.field("wall_us", wall_us);
+    writer.field("achieved_fps", fps);
+    writer.field("served_accuracy", accuracy);
+    api::write_serving_stats(writer, "serving", stats);
+    std::fputs(writer.finish().c_str(), stdout);
+  } else {
+    std::printf("Serving table1-proxy-mlp on %zu shard(s), max batch %zu, "
+                "deadline %.0f us\n",
+                workers, max_batch, deadline_us);
+    std::printf("  requests   : %zu (%zu samples, %zu micro-batches, mean %.2f "
+                "rows/batch)\n",
+                stats.requests, stats.samples, stats.batches, stats.mean_batch_rows());
+    const auto [p50, p99] = serve::latency_p50_p99_us(stats.latency_us);
+    std::printf("  latency    : p50 %.0f us, p99 %.0f us\n", p50, p99);
+    std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", fps, wall_us * 1e-3);
+    std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", accuracy,
+                session.config().vdp.effective_effects().summary().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +356,11 @@ int main(int argc, char** argv) {
   std::size_t dse_top_k = 0;
   bool dse_top_k_set = false;
   std::size_t train_epochs = 20;
+  bool serve_mode = false;
+  std::size_t serve_workers = 2;
+  std::size_t serve_max_batch = 16;
+  double serve_deadline_us = 2000.0;
+  std::size_t serve_requests = 64;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -284,6 +406,16 @@ int main(int argc, char** argv) {
         config.dse.max_area_mm2 = std::atof(next());
       } else if (arg == "--serial") {
         dse_serial = true;
+      } else if (arg == "--serve") {
+        serve_mode = true;
+      } else if (arg == "--workers") {
+        serve_workers = parse_positive(next(), "--workers");
+      } else if (arg == "--max-batch") {
+        serve_max_batch = parse_positive(next(), "--max-batch");
+      } else if (arg == "--deadline-us") {
+        serve_deadline_us = parse_nonnegative(next(), "--deadline-us");
+      } else if (arg == "--requests") {
+        serve_requests = parse_positive(next(), "--requests");
       } else if (arg == "--schedule") {
         run_schedule = true;
       } else if (arg == "--json") {
@@ -294,6 +426,8 @@ int main(int argc, char** argv) {
         usage();
         return 0;
       } else {
+        // Never silently ignore an argument: name the offender.
+        std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
         usage();
         return 2;
       }
@@ -330,6 +464,10 @@ int main(int argc, char** argv) {
 
     api::Session session(config);
     if (list_only) return list_backends(session, json);
+    if (serve_mode) {
+      return run_serve(session, json, serve_workers, serve_max_batch,
+                       serve_deadline_us, serve_requests, train_epochs);
+    }
     if (run_dse) {
       const std::size_t top_k = (json || dse_top_k_set) ? dse_top_k : 10;
       return run_dse_cli(session, json, top_k, dse_serial);

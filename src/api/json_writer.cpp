@@ -5,6 +5,7 @@
 
 #include "core/dse_engine.hpp"
 #include "core/effects.hpp"
+#include "serve/serve_types.hpp"
 
 namespace xl::api {
 
@@ -236,6 +237,36 @@ void write_dse_stats(JsonWriter& writer, const core::DseStats& stats) {
   writer.field("cache_hits", stats.cache_hits);
   writer.field("cache_hit_rate", stats.cache_hit_rate());
   writer.field("degenerate", stats.degenerate);
+  writer.end_object();
+}
+
+void write_serving_stats(JsonWriter& writer, const std::string& key,
+                         const serve::ServingStats& stats) {
+  writer.begin_object(key);
+  writer.field("requests", stats.requests);
+  writer.field("samples", stats.samples);
+  writer.field("batches", stats.batches);
+  writer.field("mean_batch_rows", stats.mean_batch_rows());
+  writer.field("busy_us", stats.busy_us);
+  const auto [p50, p99] = serve::latency_p50_p99_us(stats.latency_us);
+  writer.field("latency_p50_us", p50);
+  writer.field("latency_p99_us", p99);
+  writer.begin_array("batch_rows_histogram");
+  for (std::size_t rows = 0; rows < stats.batch_rows_histogram.size(); ++rows) {
+    if (stats.batch_rows_histogram[rows] == 0) continue;
+    writer.begin_object();
+    writer.field("rows", rows);
+    writer.field("batches", stats.batch_rows_histogram[rows]);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.begin_object("inference");
+  writer.field("photonic_matmuls", stats.inference.photonic_matmuls);
+  writer.field("photonic_dot_products", stats.inference.photonic_dot_products);
+  writer.field("photonic_macs", stats.inference.photonic_macs);
+  writer.field("samples_inferred", stats.inference.samples_inferred);
+  writer.field("batches_inferred", stats.inference.batches_inferred);
+  writer.end_object();
   writer.end_object();
 }
 

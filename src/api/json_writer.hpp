@@ -17,6 +17,10 @@ struct DseStats;
 struct EffectConfig;
 }  // namespace xl::core
 
+namespace xl::serve {
+struct ServingStats;
+}  // namespace xl::serve
+
 namespace xl::api {
 
 class JsonWriter {
@@ -73,5 +77,11 @@ void write_pareto_front(JsonWriter& writer, const core::DseResult& result);
 /// Emit engine statistics as the "stats" object (grid size, area-filtered
 /// and degenerate counts, evaluator calls, cache hits and hit rate).
 void write_dse_stats(JsonWriter& writer, const core::DseStats& stats);
+
+/// Emit a serving-runtime snapshot as a named object: request/sample/batch
+/// counters, mean batch rows, p50/p99 latency, the batch-size histogram
+/// (only non-empty bins), and the merged photonic work counters.
+void write_serving_stats(JsonWriter& writer, const std::string& key,
+                         const serve::ServingStats& stats);
 
 }  // namespace xl::api

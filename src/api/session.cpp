@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/analytical_backend.hpp"
+#include "serve/serving_runtime.hpp"
 
 namespace xl::api {
 
@@ -17,10 +18,15 @@ void Session::set_config(SimConfig config) {
   config.validate();
   config_ = std::move(config);
   // The DSE memo was built under the previous config's knobs.
+  std::lock_guard<std::mutex> lock(dse_mutex_);
   dse_engine_.clear_cache();
 }
 
 Backend& Session::backend(const std::string& name) {
+  // Instance creation is serialized; the returned reference stays valid for
+  // the session's lifetime (node-stable map of unique_ptrs), so concurrent
+  // evaluations may use it lock-free.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = cache_.find(name);
   if (it == cache_.end()) {
     it = cache_.emplace(name, registry_->create(name)).first;
@@ -80,6 +86,9 @@ EvalResult Session::evaluate_functional(const std::string& backend_name,
 core::DseResult Session::run_dse(const core::DseSweep& sweep,
                                  const std::vector<dnn::ModelSpec>& models,
                                  const core::DseEngine::Options& options) {
+  // The engine's memo (and its OpenMP team) is one shared resource:
+  // concurrent run_dse calls are serialized rather than interleaved.
+  std::lock_guard<std::mutex> dse_lock(dse_mutex_);
   if (sweep.effects.size() > 1) {
     throw std::invalid_argument(
         "Session::run_dse: the analytical registry backends are "
@@ -117,6 +126,14 @@ core::DseResult Session::run_dse(const core::DseSweep& sweep,
         }
         return backends.at(candidate.config.variant)->evaluate(request).report;
       });
+}
+
+std::unique_ptr<serve::ServingRuntime> Session::serve(
+    serve::ServingOptions options) const {
+  // The session's architecture is the pacing reference; its vdp options are
+  // the shared immutable engine configuration every shard clones from.
+  options.architecture = config_.architecture;
+  return std::make_unique<serve::ServingRuntime>(config_.vdp, options);
 }
 
 }  // namespace xl::api

@@ -8,10 +8,24 @@
 //   api::Session session;
 //   auto result = session.evaluate("crosslight:opt_ted", dnn::lenet5_spec());
 //   auto table  = session.summarize("deap_cnn", dnn::table1_models());
+//
+// Thread-safety guarantee (serving worker pools): the backend-instance
+// cache and the DSE memo are lock-protected, so one Session may be shared
+// by concurrent callers of backend() / evaluate() / evaluate_all() /
+// summarize() / evaluate_functional() / run_dse() — instances are created
+// exactly once and run_dse calls are serialized on the shared memo. The
+// registry backends themselves hold no per-call mutable state (the
+// functional backend constructs a fresh engine per evaluation). Two
+// caveats: the network/dataset arguments of evaluate_functional() must be
+// thread-private (Layer::forward caches activations even in inference
+// mode — the same hazard that makes serve shards replicate networks), and
+// set_config() requires exclusive use: it swaps the config every in-flight
+// evaluation snapshots, so callers must not race it against evaluations.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +34,11 @@
 #include "core/dse_engine.hpp"
 #include "core/report.hpp"
 #include "dnn/layer_spec.hpp"
+#include "serve/serve_types.hpp"
+
+namespace xl::serve {
+class ServingRuntime;
+}  // namespace xl::serve
 
 namespace xl::dnn {
 class Network;
@@ -82,11 +101,23 @@ class Session {
                                         const std::vector<dnn::ModelSpec>& models,
                                         const core::DseEngine::Options& options = {});
 
+  /// Serving facade: build a ServingRuntime whose shards each construct
+  /// their own PhotonicInferenceEngine from this session's immutable vdp
+  /// options, with the session's architecture driving optional
+  /// hardware-time pacing. The session hands out engine configuration
+  /// instead of being the sole evaluation caller — register models on the
+  /// returned runtime, then start() it. The runtime is independent of the
+  /// session afterwards (set_config does not affect running shards).
+  [[nodiscard]] std::unique_ptr<serve::ServingRuntime> serve(
+      serve::ServingOptions options = {}) const;
+
  private:
   SimConfig config_;
   const BackendRegistry* registry_;
   std::map<std::string, std::unique_ptr<Backend>> cache_;
   core::DseEngine dse_engine_;  ///< Memo persists across run_dse calls.
+  mutable std::mutex cache_mutex_;  ///< Guards cache_ (serving worker pools).
+  std::mutex dse_mutex_;            ///< Serializes run_dse on the shared memo.
 };
 
 }  // namespace xl::api

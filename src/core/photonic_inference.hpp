@@ -44,6 +44,21 @@ struct PhotonicInferenceStats {
   /// track_layer_error is enabled (opt-in: it costs a full software forward
   /// pass per accelerated layer).
   double max_abs_layer_error = 0.0;
+
+  /// Accumulate another engine's counters into this one (counter sums, max
+  /// of the layer errors). The serving runtime merges per-shard stats
+  /// through this under its stats lock, so shard engines never share
+  /// mutable counters across threads.
+  void merge(const PhotonicInferenceStats& other) noexcept {
+    photonic_dot_products += other.photonic_dot_products;
+    photonic_macs += other.photonic_macs;
+    photonic_matmuls += other.photonic_matmuls;
+    samples_inferred += other.samples_inferred;
+    batches_inferred += other.batches_inferred;
+    if (other.max_abs_layer_error > max_abs_layer_error) {
+      max_abs_layer_error = other.max_abs_layer_error;
+    }
+  }
 };
 
 /// Runs a network photonically. The network is inspected layer by layer;

@@ -1,0 +1,76 @@
+#include "serve/model_repository.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dnn/models.hpp"
+#include "numerics/rng.hpp"
+#include "serve/serve_types.hpp"
+
+namespace xl::serve {
+
+ServedModel table1_proxy_served_model(dnn::Network& prototype) {
+  ServedModel model;
+  model.name = "table1-proxy-mlp";
+  model.prototype = &prototype;
+  model.factory = [] {
+    numerics::Rng rng(21);
+    return dnn::build_table1_proxy_mlp(rng);
+  };
+  model.input_shape = {1, 1, 12, 12};
+  return model;
+}
+
+void ModelRepository::add(ServedModel model) {
+  if (model.name.empty()) {
+    throw std::invalid_argument("ModelRepository: model name must be non-empty");
+  }
+  if (contains(model.name)) {
+    throw std::invalid_argument("ModelRepository: duplicate model: " + model.name);
+  }
+  if (model.prototype == nullptr) {
+    throw std::invalid_argument("ModelRepository: model needs a prototype network");
+  }
+  if (!model.factory) {
+    throw std::invalid_argument("ModelRepository: model needs a replica factory");
+  }
+  if (model.input_shape.size() < 2 || model.input_shape[0] != 1) {
+    throw std::invalid_argument(
+        "ModelRepository: input_shape must be a per-sample shape with dim 0 == 1");
+  }
+  if (model.spec.layers.empty()) {
+    model.spec.layers = model.prototype->export_specs(model.input_shape);
+  }
+  if (model.spec.name.empty()) model.spec.name = model.name;
+  models_.push_back(std::move(model));
+}
+
+const ServedModel& ModelRepository::find(const std::string& name) const {
+  for (const ServedModel& m : models_) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("ModelRepository: unknown model: " + name);
+}
+
+bool ModelRepository::contains(const std::string& name) const {
+  for (const ServedModel& m : models_) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ModelRepository::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const ServedModel& m : models_) out.push_back(m.name);
+  return out;
+}
+
+dnn::Network ModelRepository::replicate(const std::string& name) const {
+  const ServedModel& entry = find(name);
+  dnn::Network replica = entry.factory();
+  copy_parameters(*entry.prototype, replica);
+  return replica;
+}
+
+}  // namespace xl::serve

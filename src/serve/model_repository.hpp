@@ -1,0 +1,59 @@
+// Registered models of a serving runtime.
+//
+// A ServedModel pairs one immutable prototype network (the weight source,
+// owned by the caller, must outlive the runtime and stay untouched while
+// serving) with a factory that builds an identically structured replica.
+// Each accelerator shard instantiates its own replica + engine from these
+// at start(), so no network state is ever shared across worker threads
+// (Layer::forward caches activations even in inference mode).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/layer_spec.hpp"
+#include "dnn/network.hpp"
+#include "dnn/tensor.hpp"
+
+namespace xl::serve {
+
+struct ServedModel {
+  std::string name;
+  dnn::Network* prototype = nullptr;        ///< Weight source; caller-owned.
+  std::function<dnn::Network()> factory;    ///< Architecture replica builder.
+  dnn::Shape input_shape;                   ///< Per-sample shape, dim 0 = 1.
+  /// Analytical workload shape for hardware-time pacing; synthesized from
+  /// the prototype's export_specs when left empty.
+  dnn::ModelSpec spec;
+};
+
+/// ServedModel preset for the shared Table I proxy MLP (the model-zoo
+/// build_table1_proxy_mlp recipe: seed-21 architecture, 12x12x1 input,
+/// registry name "table1-proxy-mlp"). One definition for the CLI, bench,
+/// and example, so their replica factories can never drift from the
+/// prototype architecture.
+[[nodiscard]] ServedModel table1_proxy_served_model(dnn::Network& prototype);
+
+class ModelRepository {
+ public:
+  /// Validates and registers a model. Fills spec.layers from the prototype
+  /// when empty. Throws std::invalid_argument on a duplicate name, missing
+  /// prototype/factory, or an input shape whose dim 0 is not 1.
+  void add(ServedModel model);
+
+  [[nodiscard]] const ServedModel& find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return models_.size(); }
+
+  /// Build a weight-complete replica of the named model (factory +
+  /// copy_parameters from the prototype).
+  [[nodiscard]] dnn::Network replicate(const std::string& name) const;
+
+ private:
+  std::vector<ServedModel> models_;  ///< Registration order.
+};
+
+}  // namespace xl::serve

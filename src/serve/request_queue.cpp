@@ -1,0 +1,77 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xl::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+  }
+}
+
+bool RequestQueue::push(PendingRequest&& pending) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  pending.sequence = next_sequence_++;
+  pending.enqueued_at = Clock::now();
+  queue_.push_back(std::move(pending));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<PendingRequest> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // Closed and drained.
+  PendingRequest out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return out;
+}
+
+RequestQueue::PopSame RequestQueue::try_pop_same(const std::string& model,
+                                                std::size_t max_rows,
+                                                std::optional<PendingRequest>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.empty()) return closed_ ? PopSame::kClosed : PopSame::kEmpty;
+  PendingRequest& front = queue_.front();
+  if (front.request.model != model) return PopSame::kMismatch;
+  if (front.rows() > max_rows) return PopSame::kTooLarge;
+  out = std::move(front);
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return PopSame::kPopped;
+}
+
+bool RequestQueue::wait_for_request(Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return not_empty_.wait_until(lock, deadline,
+                               [&] { return !queue_.empty() || closed_; });
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace xl::serve

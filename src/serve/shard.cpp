@@ -1,0 +1,152 @@
+#include "serve/shard.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "core/scheduler.hpp"
+
+namespace xl::serve {
+
+namespace {
+
+double elapsed_us(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+AcceleratorShard::AcceleratorShard(std::size_t id, const ModelRepository& models,
+                                   const core::VdpSimOptions& vdp,
+                                   const ServingOptions& options)
+    : id_(id), options_(options) {
+  stats_.batch_rows_histogram.assign(options_.max_batch + 1, 0);
+  for (const std::string& name : models.names()) {
+    auto shard_model = std::make_unique<ShardModel>();
+    shard_model->network = models.replicate(name);
+    shard_model->engine = std::make_unique<core::PhotonicInferenceEngine>(
+        shard_model->network, vdp);
+    if (options_.pace_hardware_time) {
+      shard_model->mapping =
+          core::map_model(models.find(name).spec, options_.architecture);
+    }
+    models_.emplace(name, std::move(shard_model));
+  }
+}
+
+double AcceleratorShard::paced_service_us(const std::string& model, std::size_t rows) {
+  if (!options_.pace_hardware_time || rows == 0) return 0.0;
+  ShardModel& entry = *models_.at(model);
+  const auto memo = entry.service_us_by_rows.find(rows);
+  if (memo != entry.service_us_by_rows.end()) return memo->second;
+  core::ScheduleOptions schedule;
+  schedule.batch = rows;
+  const double makespan_us =
+      core::EventScheduler(options_.architecture, schedule).run(entry.mapping).makespan_us();
+  const double service = makespan_us * options_.pace_scale;
+  entry.service_us_by_rows.emplace(rows, service);
+  return service;
+}
+
+void AcceleratorShard::execute(MicroBatch&& batch) {
+  const Clock::time_point dispatched_at = Clock::now();
+  try {
+    const auto it = models_.find(batch.model);
+    if (it == models_.end()) {
+      throw std::logic_error("AcceleratorShard: unregistered model: " + batch.model);
+    }
+    ShardModel& entry = *it->second;
+
+    // Coalesce: stack every request's rows into one (rows, ...) tensor. All
+    // requests were shape-checked against the model at submit().
+    const dnn::Tensor& head = batch.requests.front().request.input;
+    dnn::Shape shape = head.shape();
+    shape[0] = batch.rows;
+    dnn::Tensor coalesced(shape);
+    const std::size_t row_numel = head.numel() / head.dim(0);
+    std::size_t row = 0;
+    for (const PendingRequest& pending : batch.requests) {
+      const dnn::Tensor& input = pending.request.input;
+      std::memcpy(coalesced.data() + row * row_numel, input.data(),
+                  input.numel() * sizeof(float));
+      row += pending.rows();
+    }
+
+    // Canonical effect timeline: every micro-batch starts from the boot
+    // (t = 0) pipeline state. Combined with the engine's row-independent
+    // GEMM and operand-keyed noise, per-sample logits are therefore
+    // invariant to batch composition, shard assignment, and worker count.
+    entry.engine->engine().reset_effects();
+    const dnn::Tensor logits = entry.engine->infer_batch(coalesced);
+
+    // The shard is occupied for at least the simulated hardware makespan of
+    // this batch (hardware-time pacing; no-op when disabled).
+    const double target_us = paced_service_us(batch.model, batch.rows);
+    const double compute_us = elapsed_us(dispatched_at, Clock::now());
+    if (target_us > compute_us) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(target_us - compute_us));
+    }
+
+    const Clock::time_point completed_at = Clock::now();
+    const double service_us = elapsed_us(dispatched_at, completed_at);
+    const std::size_t classes = logits.dim(1);
+
+    ShardStats delta;
+    delta.latencies.reserve(batch.requests.size());
+    row = 0;
+    for (PendingRequest& pending : batch.requests) {
+      const std::size_t k = pending.rows();
+      InferResult result;
+      result.logits = dnn::Tensor({k, classes});
+      std::memcpy(result.logits.data(), logits.data() + row * classes,
+                  k * classes * sizeof(float));
+      result.shard_id = id_;
+      result.batch_rows = batch.rows;
+      result.coalesced_requests = batch.requests.size();
+      result.queue_us = elapsed_us(pending.enqueued_at, dispatched_at);
+      result.service_us = service_us;
+      delta.latencies.emplace_back(pending.sequence,
+                                   elapsed_us(pending.enqueued_at, completed_at));
+      pending.promise.set_value(std::move(result));
+      row += k;
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.batches += 1;
+    stats_.samples += batch.rows;
+    stats_.requests += batch.requests.size();
+    stats_.busy_us += service_us;
+    if (batch.rows < stats_.batch_rows_histogram.size()) {
+      stats_.batch_rows_histogram[batch.rows] += 1;
+    }
+    for (auto& latency : delta.latencies) {
+      stats_.latencies.push_back(latency);
+    }
+    // Re-sum the engine counters (written only by this worker thread) into
+    // the lock-guarded snapshot source.
+    stats_.inference = core::PhotonicInferenceStats{};
+    for (const auto& [name, model] : models_) {
+      (void)name;
+      stats_.inference.merge(model->engine->stats());
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& pending : batch.requests) {
+      try {
+        pending.promise.set_exception(error);
+      } catch (const std::future_error&) {
+        // Promise already satisfied before the failure; nothing to do.
+      }
+    }
+  }
+}
+
+ShardStats AcceleratorShard::snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace xl::serve

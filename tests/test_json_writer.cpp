@@ -1,0 +1,89 @@
+// JsonWriter tests: escaping guarantees (model/backend names can never emit
+// invalid JSON), non-finite number handling, and document structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "api/json_writer.hpp"
+
+namespace xl::api {
+namespace {
+
+TEST(JsonWriterEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonWriterEscape, CommonControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonWriter::escape("col1\tcol2"), "col1\\tcol2");
+  EXPECT_EQ(JsonWriter::escape("cr\rend"), "cr\\rend");
+}
+
+TEST(JsonWriterEscape, RemainingControlCharactersAsUnicode) {
+  // Every control character below 0x20 must be escaped — raw occurrences
+  // are invalid JSON (RFC 8259 section 7).
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x0b") + "b"), "a\\u000bb");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = JsonWriter::escape(std::string(1, static_cast<char>(c)));
+    for (char ch : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u)
+          << "control char " << c << " leaked through unescaped";
+    }
+  }
+}
+
+TEST(JsonWriterEscape, PassesPrintableAndUtf8Through) {
+  EXPECT_EQ(JsonWriter::escape("crosslight:opt_ted"), "crosslight:opt_ted");
+  // Multi-byte UTF-8 is high-bit and must not hit the control-char path.
+  EXPECT_EQ(JsonWriter::escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonWriter, HostileKeyAndValueProduceEscapedDocument) {
+  JsonWriter writer;
+  writer.field("name\nwith\tctrl", std::string("v\"1\"\x02"));
+  const std::string doc = writer.finish();
+  EXPECT_NE(doc.find("name\\nwith\\tctrl"), std::string::npos);
+  EXPECT_NE(doc.find("v\\\"1\\\"\\u0002"), std::string::npos);
+  // No raw control characters other than the writer's own newlines.
+  for (char c : doc) {
+    const auto u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u >= 0x20 || c == '\n') << "raw control byte " << static_cast<int>(u);
+  }
+}
+
+TEST(JsonWriter, NonFiniteNumbersSerializeAsNull) {
+  JsonWriter writer;
+  writer.field("nan", std::numeric_limits<double>::quiet_NaN());
+  writer.field("inf", std::numeric_limits<double>::infinity());
+  writer.field("finite", 1.5);
+  const std::string doc = writer.finish();
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"finite\": 1.5"), std::string::npos);
+}
+
+TEST(JsonWriter, NestedStructure) {
+  JsonWriter writer;
+  writer.field("top", std::size_t{1});
+  writer.begin_object("obj");
+  writer.field("k", "v");
+  writer.end_object();
+  writer.begin_array("arr");
+  writer.element(2.0);
+  writer.element("s");
+  writer.end_array();
+  const std::string doc = writer.finish();
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc[doc.find_last_not_of('\n')], '}');
+  EXPECT_NE(doc.find("\"obj\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"arr\": ["), std::string::npos);
+  EXPECT_NE(doc.find("\"k\": \"v\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xl::api

@@ -121,6 +121,55 @@ TEST(Scheduler, BatchedScheduleMatchesBatchedAnalyticModel) {
   }
 }
 
+TEST(Scheduler, PerSampleMakespanStrictlyDecreasesWithBatch) {
+  // The amortization claim of scheduler.hpp (and of the batched functional
+  // engine): weights are imprinted once per layer per batch, so the
+  // per-layer fill is paid once while pass counts scale — per-sample
+  // makespan must strictly decrease as the batch grows.
+  const ArchitectureConfig cfg = best_config();
+  for (const auto& model : {xl::dnn::lenet5_spec(), xl::dnn::cnn_cifar10_spec()}) {
+    const ModelMapping mapping = map_model(model, cfg);
+    double previous_per_sample = 0.0;
+    bool first = true;
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+          std::size_t{16}}) {
+      ScheduleOptions opts;
+      opts.batch = batch;
+      const ScheduleResult r = EventScheduler(cfg, opts).run(mapping);
+      const double per_sample = r.makespan_ns / static_cast<double>(batch);
+      if (!first) {
+        EXPECT_LT(per_sample, previous_per_sample)
+            << model.name << " batch " << batch;
+      }
+      previous_per_sample = per_sample;
+      first = false;
+      // fps() is the per-sample makespan's reciprocal, at every batch.
+      EXPECT_NEAR(r.fps(), 1e9 / per_sample, 1e-6 * r.fps()) << "batch " << batch;
+    }
+  }
+}
+
+TEST(Scheduler, UtilizationBoundedAndNonDecreasingWithBatch) {
+  const ArchitectureConfig cfg = best_config();
+  const ModelMapping mapping = map_model(xl::dnn::lenet5_spec(), cfg);
+  double previous_conv = 0.0;
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    ScheduleOptions opts;
+    opts.batch = batch;
+    const ScheduleResult r = EventScheduler(cfg, opts).run(mapping);
+    // Utilization stays a physical fraction of pool-time at every batch...
+    EXPECT_GT(r.conv_pool_utilization, 0.0) << "batch " << batch;
+    EXPECT_LE(r.conv_pool_utilization, 1.0) << "batch " << batch;
+    EXPECT_GE(r.fc_pool_utilization, 0.0) << "batch " << batch;
+    EXPECT_LE(r.fc_pool_utilization, 1.0) << "batch " << batch;
+    // ...and fill amortization means batching never lowers it.
+    EXPECT_GE(r.conv_pool_utilization, previous_conv) << "batch " << batch;
+    previous_conv = r.conv_pool_utilization;
+  }
+}
+
 TEST(Scheduler, BatchingAmortizesFillAndRaisesUtilization) {
   const ArchitectureConfig cfg = best_config();
   const ModelMapping mapping = map_model(xl::dnn::lenet5_spec(), cfg);
