@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "dnn/models.hpp"
 #include "numerics/eigen.hpp"
 #include "numerics/gemm.hpp"
+#include "numerics/kernels.hpp"
 #include "numerics/rng.hpp"
 #include "thermal/crosstalk_matrix.hpp"
 #include "thermal/ted.hpp"
@@ -234,6 +236,133 @@ void BM_PhotonicConvBatched(benchmark::State& state) {
                           static_cast<std::int64_t>(rows * 16 * 72));
 }
 BENCHMARK(BM_PhotonicConvBatched)->Arg(1)->Arg(16);
+
+// --- ISA-dispatched kernel pairs ---------------------------------------------
+// Each hot-loop kernel is benchmarked twice on identical inputs: once pinned
+// to the scalar reference table and once through the runtime-dispatched
+// table. tools/check_bench_regression.py pairs *_Scalar with *_Dispatch to
+// compute per-kernel speedups (and their geomean) and gates CI on them. On
+// non-AVX2 hardware the two rows coincide (speedup ~1x).
+
+std::vector<double> random_vector(std::size_t n, numerics::Rng& rng, double lo,
+                                  double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+void bench_kernel_gemm(benchmark::State& state,
+                       const numerics::kernels::KernelTable& kt) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto panels = static_cast<std::size_t>(state.range(1));
+  numerics::Rng rng(11);
+  const auto a = random_vector(k, rng, -1.0, 1.0);
+  const auto pack = random_vector(panels * 4 * k, rng, -1.0, 1.0);
+  std::vector<double> out(panels * 4);
+  for (auto _ : state) {
+    kt.gemm_row_panels(a.data(), pack.data(), k, panels, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k * panels * 4));
+}
+void BM_KernelGemm_Scalar(benchmark::State& state) {
+  bench_kernel_gemm(state, numerics::kernels::scalar_table());
+}
+void BM_KernelGemm_Dispatch(benchmark::State& state) {
+  bench_kernel_gemm(state, numerics::kernels::active_table());
+}
+BENCHMARK(BM_KernelGemm_Scalar)->Args({256, 16});
+BENCHMARK(BM_KernelGemm_Dispatch)->Args({256, 16});
+
+void bench_kernel_abs_max(benchmark::State& state,
+                          const numerics::kernels::KernelTable& kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numerics::Rng rng(12);
+  const auto v = random_vector(n, rng, -4.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.abs_max(v.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+void BM_KernelAbsMax_Scalar(benchmark::State& state) {
+  bench_kernel_abs_max(state, numerics::kernels::scalar_table());
+}
+void BM_KernelAbsMax_Dispatch(benchmark::State& state) {
+  bench_kernel_abs_max(state, numerics::kernels::active_table());
+}
+BENCHMARK(BM_KernelAbsMax_Scalar)->Arg(4096);
+BENCHMARK(BM_KernelAbsMax_Dispatch)->Arg(4096);
+
+void bench_kernel_arm_diag(benchmark::State& state,
+                           const numerics::kernels::KernelTable& kt) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  numerics::Rng rng(13);
+  const auto a = random_vector(len, rng, 0.0, 1.0);
+  const auto detune = random_vector(len, rng, 0.0, 0.2);
+  const auto dsq = random_vector(len, rng, 1e-4, 2e-2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kt.arm_sum_diag(a.data(), detune.data(), dsq.data(), 0.968, len));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+void BM_KernelArmSumDiag_Scalar(benchmark::State& state) {
+  bench_kernel_arm_diag(state, numerics::kernels::scalar_table());
+}
+void BM_KernelArmSumDiag_Dispatch(benchmark::State& state) {
+  bench_kernel_arm_diag(state, numerics::kernels::active_table());
+}
+BENCHMARK(BM_KernelArmSumDiag_Scalar)->Arg(1024);
+BENCHMARK(BM_KernelArmSumDiag_Dispatch)->Arg(1024);
+
+void bench_kernel_arm_xtalk(benchmark::State& state,
+                            const numerics::kernels::KernelTable& kt) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  numerics::Rng rng(14);
+  const auto a = random_vector(len, rng, 0.1, 1.0);  // dense: no zero skips
+  const auto detune = random_vector(len, rng, 0.0, 0.2);
+  const auto dsq = random_vector(len, rng, 1e-4, 2e-2);
+  const auto sep = random_vector(len * len, rng, -3.0, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.arm_sum_xtalk(a.data(), detune.data(),
+                                              sep.data(), len, dsq.data(),
+                                              0.968, len));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(len * len));
+}
+void BM_KernelArmSumXtalk_Scalar(benchmark::State& state) {
+  bench_kernel_arm_xtalk(state, numerics::kernels::scalar_table());
+}
+void BM_KernelArmSumXtalk_Dispatch(benchmark::State& state) {
+  bench_kernel_arm_xtalk(state, numerics::kernels::active_table());
+}
+BENCHMARK(BM_KernelArmSumXtalk_Scalar)->Arg(64);
+BENCHMARK(BM_KernelArmSumXtalk_Dispatch)->Arg(64);
+
+void bench_kernel_hash_gaussian_n(benchmark::State& state,
+                                  const numerics::kernels::KernelTable& kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    kt.hash_gaussian_n(0xFEEDFACE, base, n, out.data());
+    base += n;
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+void BM_KernelHashGaussianN_Scalar(benchmark::State& state) {
+  bench_kernel_hash_gaussian_n(state, numerics::kernels::scalar_table());
+}
+void BM_KernelHashGaussianN_Dispatch(benchmark::State& state) {
+  bench_kernel_hash_gaussian_n(state, numerics::kernels::active_table());
+}
+BENCHMARK(BM_KernelHashGaussianN_Scalar)->Arg(4096);
+BENCHMARK(BM_KernelHashGaussianN_Dispatch)->Arg(4096);
 
 void BM_TiledGemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,58 @@
+// Over-aligned storage for SIMD-friendly buffers.
+//
+// The AVX2 kernel layer (numerics/kernels.hpp) loads operands with unaligned
+// instructions, so alignment is a throughput optimization rather than a
+// correctness requirement — but 64-byte (cache-line) alignment keeps panel
+// loads from splitting lines and leaves headroom for 512-bit ISAs. Matrix
+// storage and the GEMM pack buffers allocate through this allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace xl::numerics {
+
+/// Minimal C++17 aligned allocator; propagates through std::vector so aligned
+/// buffers keep value semantics (copy/move/swap) for free.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment below the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // operator new rounds the size itself; no manual padding needed.
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Cache-line-aligned double buffer: the storage type of Matrix and of the
+/// GEMM panel pack scratch.
+using AlignedVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+}  // namespace xl::numerics

@@ -1,18 +1,21 @@
 #include "numerics/gemm.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
+
+#include "numerics/aligned.hpp"
+#include "numerics/kernels.hpp"
 
 namespace xl::numerics {
 
 Vector row_abs_max(const Matrix& m) {
+  const kernels::KernelTable& kt = kernels::active_table();
   Vector out(m.rows());
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    double best = 0.0;
-    for (const double v : m.row(r)) best = std::max(best, std::abs(v));
-    out[r] = best;
+    const std::span<const double> row = m.row(r);
+    out[r] = kt.abs_max(row.data(), row.size());
   }
   return out;
 }
@@ -21,11 +24,33 @@ Matrix matmul_transposed(const Matrix& a, const Matrix& b, std::size_t tile) {
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_transposed: inner dimension mismatch");
   }
+  // Default tile = 64 rows of A per work item: wide enough that the packed-B
+  // streaming below is amortized across many dot products per OpenMP task,
+  // narrow enough to load-balance small batches across threads. (Column
+  // blocking of the pre-kernel implementation is superseded by panel
+  // packing: B is read once into a cache-friendly interleaved layout.)
   if (tile == 0) tile = 64;
   const std::size_t m = a.rows();
   const std::size_t n = b.rows();
   const std::size_t k = a.cols();
   Matrix c(m, n);
+  if (m == 0 || n == 0) return c;
+
+  const kernels::KernelTable& kt = kernels::active_table();
+
+  // Pack B's rows (the output columns) into 4-column interleaved panels,
+  // once per GEMM, shared read-only by every thread. Each output element
+  // still accumulates strictly sequentially over k, so results are
+  // bit-identical to the unpacked scalar loop.
+  const std::size_t n_panels = n / 4;
+  AlignedVector pack(n_panels * 4 * k);
+  for (std::size_t p = 0; p < n_panels; ++p) {
+    double* panel = pack.data() + p * 4 * k;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::span<const double> brow = b.row(p * 4 + j);
+      for (std::size_t i = 0; i < k; ++i) panel[i * 4 + j] = brow[i];
+    }
+  }
 
   const auto row_tiles = static_cast<std::int64_t>((m + tile - 1) / tile);
 #ifdef _OPENMP
@@ -34,16 +59,21 @@ Matrix matmul_transposed(const Matrix& a, const Matrix& b, std::size_t tile) {
   for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
     const std::size_t r0 = static_cast<std::size_t>(rt) * tile;
     const std::size_t r1 = std::min(m, r0 + tile);
-    for (std::size_t c0 = 0; c0 < n; c0 += tile) {
-      const std::size_t c1 = std::min(n, c0 + tile);
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::span<const double> arow = a.row(r);
+      if (n_panels > 0) {
+        kt.gemm_row_panels(arow.data(), pack.data(), k, n_panels, &c(r, 0));
+      }
+    }
+    // Tail columns (n % 4): scalar dot per column, with the b-row span
+    // hoisted out of the row loop instead of re-materialized per element.
+    for (std::size_t col = n_panels * 4; col < n; ++col) {
+      const std::span<const double> brow = b.row(col);
       for (std::size_t r = r0; r < r1; ++r) {
         const std::span<const double> arow = a.row(r);
-        for (std::size_t col = c0; col < c1; ++col) {
-          const std::span<const double> brow = b.row(col);
-          double acc = 0.0;
-          for (std::size_t i = 0; i < k; ++i) acc += arow[i] * brow[i];
-          c(r, col) = acc;
-        }
+        double acc = 0.0;
+        for (std::size_t i = 0; i < k; ++i) acc += arow[i] * brow[i];
+        c(r, col) = acc;
       }
     }
   }

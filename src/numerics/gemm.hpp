@@ -5,6 +5,13 @@
 // walks contiguous memory on every operand. A cache-blocked exact kernel is
 // provided for the electronic reference path, plus the per-row max-magnitude
 // reduction the DAC normalization stage needs.
+//
+// Both entry points route through the runtime-dispatched ISA kernel layer
+// (numerics/kernels.hpp): an AVX2+FMA microkernel over packed 4-column
+// B panels when the CPU supports it, the scalar reference otherwise.
+// Results are bit-identical across ISAs (and to the historical unpacked
+// scalar loop): every output element accumulates strictly sequentially
+// over K in its own SIMD lane.
 #pragma once
 
 #include <cstddef>
@@ -17,10 +24,12 @@ namespace xl::numerics {
 /// Returns a vector of m.rows() entries; zero rows yield 0.
 [[nodiscard]] Vector row_abs_max(const Matrix& m);
 
-/// C = A * B^T with cache blocking: A is (m x k), B is (n x k), C is (m x n).
-/// Throws std::invalid_argument on inner-dimension mismatch. Parallelized
-/// over row tiles with OpenMP when available; results are deterministic
-/// (each output element is owned by exactly one iteration).
+/// C = A * B^T: A is (m x k), B is (n x k), C is (m x n). Throws
+/// std::invalid_argument on inner-dimension mismatch. Parallelized over row
+/// tiles (`tile` rows of A per OpenMP work item; 0 selects the default of
+/// 64, documented in the implementation) — results are deterministic and
+/// tile-independent (each output element is owned by exactly one iteration
+/// and accumulates in a fixed order).
 [[nodiscard]] Matrix matmul_transposed(const Matrix& a, const Matrix& b,
                                        std::size_t tile = 64);
 

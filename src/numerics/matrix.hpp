@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "numerics/aligned.hpp"
+
 namespace xl::numerics {
 
 /// Dense column vector of doubles.
@@ -114,7 +116,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte aligned so the SIMD GEMM/reduction kernels never split a cache
+  // line on the first lane (loads stay unaligned-safe either way).
+  AlignedVector data_;
 };
 
 [[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numerics/kernels.hpp"
+
 namespace xl::numerics {
 
 double Rng::uniform(double lo, double hi) {
@@ -17,12 +19,22 @@ double Rng::gaussian(double mean, double stddev) {
   return dist(engine_);
 }
 
-double Rng::truncated_gaussian(double mean, double stddev, double lo, double hi) {
+double Rng::truncated_gaussian(double mean, double stddev, double lo, double hi,
+                               int max_attempts) {
   if (lo > hi) throw std::invalid_argument("truncated_gaussian: lo > hi");
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  if (stddev < 0.0) throw std::invalid_argument("truncated_gaussian: stddev < 0");
+  if (max_attempts < 1) {
+    throw std::invalid_argument("truncated_gaussian: max_attempts < 1");
+  }
+  // Point mass: rejection could never succeed, so don't burn the attempt
+  // budget — the clamp is the distribution's actual support projection.
+  if (stddev == 0.0) return std::clamp(mean, lo, hi);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const double v = gaussian(mean, stddev);
     if (v >= lo && v <= hi) return v;
   }
+  // Genuine exhaustion (stddev > 0, all draws rejected): fall back to the
+  // nearest in-range value rather than looping unboundedly.
   return std::clamp(mean, lo, hi);
 }
 
@@ -63,6 +75,11 @@ std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
 double hash_unit(std::uint64_t key) noexcept {
   // Top 53 bits -> [0, 1) with full double-precision granularity.
   return static_cast<double>(splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+void hash_gaussian_n(std::uint64_t key, std::uint64_t base_counter,
+                     std::size_t n, double* out) noexcept {
+  kernels::active_table().hash_gaussian_n(key, base_counter, n, out);
 }
 
 double hash_gaussian(std::uint64_t key) noexcept {

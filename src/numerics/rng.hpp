@@ -5,6 +5,7 @@
 // seeded explicitly, so each bench/test run is bit-reproducible.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -21,8 +22,15 @@ class Rng {
   [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0);
   /// Gaussian with given mean and standard deviation.
   [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0);
-  /// Gaussian truncated to [lo, hi] by resampling (max 64 attempts, then clamp).
-  [[nodiscard]] double truncated_gaussian(double mean, double stddev, double lo, double hi);
+  /// Gaussian truncated to [lo, hi] by rejection sampling. `max_attempts`
+  /// bounds the resampling budget; only when a genuine (stddev > 0)
+  /// rejection loop exhausts it does the draw fall back to clamp(mean).
+  /// A degenerate stddev == 0 returns clamp(mean) immediately (the
+  /// distribution is a point mass; resampling could never succeed).
+  /// Throws std::invalid_argument on lo > hi, stddev < 0, or
+  /// max_attempts < 1.
+  [[nodiscard]] double truncated_gaussian(double mean, double stddev, double lo,
+                                          double hi, int max_attempts = 64);
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Bernoulli trial.
@@ -60,5 +68,16 @@ class Rng {
 /// Standard normal draw derived from `key` alone (Box-Muller over two
 /// decorrelated hash_unit streams).
 [[nodiscard]] double hash_gaussian(std::uint64_t key) noexcept;
+
+/// Counter-splittable bulk sampler:
+///   out[i] == hash_gaussian(hash_combine(key, base_counter + i))
+/// bit for bit, for i in [0, n) (counter addition wraps mod 2^64). A pure
+/// function of (key, counter): any slicing of the counter range across
+/// calls or threads yields identical samples, so bulk draws are
+/// index-addressable like Qlattice's per-site split RNG. Dispatches to the
+/// AVX2 kernel (vectorized splitmix64 mixing + Box-Muller) when available;
+/// SIMD and scalar paths agree exactly.
+void hash_gaussian_n(std::uint64_t key, std::uint64_t base_counter,
+                     std::size_t n, double* out) noexcept;
 
 }  // namespace xl::numerics

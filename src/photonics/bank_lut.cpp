@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "numerics/kernels.hpp"
 #include "numerics/rng.hpp"
 #include "photonics/crosstalk.hpp"
 #include "photonics/units.hpp"
@@ -75,26 +76,13 @@ double MrBankTransferLut::detune_for_code(std::size_t ring, std::uint32_t code) 
 double MrBankTransferLut::arm_sum(std::span<const double> a,
                                   std::span<const double> detune,
                                   bool crosstalk) const noexcept {
-  const std::size_t len = a.size();
-  double sum = 0.0;
+  const auto& kt = numerics::kernels::active_table();
   if (crosstalk) {
-    for (std::size_t i = 0; i < len; ++i) {
-      double power = a[i];
-      if (power == 0.0) continue;  // 0 * T == 0 for every finite T.
-      const double* sep_row = sep_.data() + i * n_;
-      for (std::size_t j = 0; j < len; ++j) {
-        const double d = sep_row[j] + detune[j];  // lambda_i - (lambda_j - detune_j)
-        power *= 1.0 - full_ * delta_sq_[j] / (d * d + delta_sq_[j]);
-      }
-      sum += power;
-    }
-  } else {
-    for (std::size_t i = 0; i < len; ++i) {
-      const double d = detune[i];
-      sum += a[i] * (1.0 - full_ * delta_sq_[i] / (d * d + delta_sq_[i]));
-    }
+    return kt.arm_sum_xtalk(a.data(), detune.data(), sep_.data(), n_,
+                            delta_sq_.data(), full_, a.size());
   }
-  return sum;
+  return kt.arm_sum_diag(a.data(), detune.data(), delta_sq_.data(), full_,
+                         a.size());
 }
 
 double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
@@ -132,13 +120,11 @@ double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
   double* dp = scratch.detune_pos.data();
   double* dn = scratch.detune_neg.data();
 
-  double acc = 0.0;
-  for (std::size_t start = 0; start < total; start += n_) {
-    const std::size_t len = std::min(n_, total - start);
-    // Split the signed weight across the balanced-PD arms: the arm not
-    // carrying the weight holds a zero-weight (on-resonance) ring. A drifted
-    // ring j resonates at lambda_j - detune_j + drift_j, so the drift enters
-    // as a negative detuning contribution on both arms.
+  // Split the signed weight across the balanced-PD arms: the arm not
+  // carrying the weight holds a zero-weight (on-resonance) ring. A drifted
+  // ring j resonates at lambda_j - detune_j + drift_j, so the drift enters
+  // as a negative detuning contribution on both arms.
+  const auto chunk_partial = [&](std::size_t start, std::size_t len) {
     if (drift == nullptr) {
       for (std::size_t j = 0; j < len; ++j) {
         const double d = detune[start + j];
@@ -162,24 +148,45 @@ double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
         }
       }
     }
-    const double pos =
-        arm_sum(a_mag.subspan(start, len), {dp, len}, crosstalk);
+    const double pos = arm_sum(a_mag.subspan(start, len), {dp, len}, crosstalk);
     const double negative =
         arm_sum(a_mag.subspan(start, len), {dn, len}, crosstalk);
-    double partial = pos - negative;
-    if (noise_std > 0.0) {
-      // Balanced detection sums 2 * len independent per-channel noise
-      // currents in quadrature. The draw is keyed on the chunk's operands
-      // (activation magnitudes, imprint detunings, arm signs, chunk
-      // position), never on evaluation order, so scalar, batched, and any
-      // OpenMP schedule sample the same perturbation; only genuinely
-      // identical operand chunks share a draw.
-      const auto bits_of = [](double v) {
-        std::uint64_t b;
-        static_assert(sizeof(b) == sizeof(v));
-        std::memcpy(&b, &v, sizeof(b));
-        return b;
-      };
+    return pos - negative;
+  };
+  // Partial-sum ADC: the balanced-PD output re-enters the digital domain
+  // (via the VCSEL accumulation path) at the datapath resolution.
+  const auto requantized = [this](double partial, std::size_t len) {
+    const double norm = static_cast<double>(len);
+    return (quant_.quantize(std::abs(partial) / norm) * norm) *
+           (partial < 0.0 ? -1.0 : 1.0);
+  };
+
+  double acc = 0.0;
+  if (noise_std > 0.0) {
+    // Balanced detection sums 2 * len independent per-channel noise currents
+    // in quadrature. Each draw is keyed on the chunk's operands (activation
+    // magnitudes, imprint detunings, arm signs, chunk position), never on
+    // evaluation order, so scalar, batched, and any OpenMP schedule sample
+    // the same perturbation; only genuinely identical operand chunks share a
+    // draw. The keys for every chunk are collected first so the draws go
+    // through one bulk hash_gaussian_keys kernel call — bit-identical to the
+    // historical per-chunk hash_gaussian calls.
+    const auto bits_of = [](double v) {
+      std::uint64_t b;
+      static_assert(sizeof(b) == sizeof(v));
+      std::memcpy(&b, &v, sizeof(b));
+      return b;
+    };
+    const std::size_t nchunks = (total + n_ - 1) / n_;
+    if (scratch.partial.size() < nchunks) {
+      scratch.partial.resize(nchunks);
+      scratch.noise_key.resize(nchunks);
+      scratch.noise_draw.resize(nchunks);
+    }
+    std::size_t ci = 0;
+    for (std::size_t start = 0; start < total; start += n_, ++ci) {
+      const std::size_t len = std::min(n_, total - start);
+      scratch.partial[ci] = chunk_partial(start, len);
       std::uint64_t key = xl::numerics::hash_combine(
           effects->noise_seed, static_cast<std::uint64_t>(start));
       for (std::size_t j = 0; j < len; ++j) {
@@ -187,14 +194,24 @@ double MrBankTransferLut::vdp_dot(std::span<const double> a_mag,
         key = xl::numerics::hash_combine(
             key, bits_of(detune[start + j]) ^ (neg[start + j] ? ~0ULL : 0ULL));
       }
-      partial += noise_std * std::sqrt(2.0 * static_cast<double>(len)) *
-                 xl::numerics::hash_gaussian(key);
+      scratch.noise_key[ci] = key;
     }
-    // Partial-sum ADC: the balanced-PD output re-enters the digital domain
-    // (via the VCSEL accumulation path) at the datapath resolution.
-    const double norm = static_cast<double>(len);
-    acc += (quant_.quantize(std::abs(partial) / norm) * norm) *
-           (partial < 0.0 ? -1.0 : 1.0);
+    numerics::kernels::active_table().hash_gaussian_keys(
+        scratch.noise_key.data(), nchunks, scratch.noise_draw.data());
+    ci = 0;
+    for (std::size_t start = 0; start < total; start += n_, ++ci) {
+      const std::size_t len = std::min(n_, total - start);
+      const double partial =
+          scratch.partial[ci] + noise_std *
+                                    std::sqrt(2.0 * static_cast<double>(len)) *
+                                    scratch.noise_draw[ci];
+      acc += requantized(partial, len);
+    }
+  } else {
+    for (std::size_t start = 0; start < total; start += n_) {
+      const std::size_t len = std::min(n_, total - start);
+      acc += requantized(chunk_partial(start, len), len);
+    }
   }
   return acc;
 }

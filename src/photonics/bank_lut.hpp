@@ -23,16 +23,22 @@
 #include <span>
 #include <vector>
 
+#include "numerics/aligned.hpp"
 #include "photonics/devices.hpp"
 #include "photonics/wdm.hpp"
 
 namespace xl::photonics {
 
 /// Reusable buffers for vdp_dot (keep one per thread; avoids per-call
-/// allocation in the batched engine's hot loop).
+/// allocation in the batched engine's hot loop). The noise buffers hold one
+/// entry per chunk of the running dot product, so the PD-noise draws for the
+/// whole operand can go through one bulk hash_gaussian_keys kernel call.
 struct VdpScratch {
   std::vector<double> detune_pos;
   std::vector<double> detune_neg;
+  std::vector<double> partial;            ///< Per-chunk balanced-PD partials.
+  std::vector<std::uint64_t> noise_key;   ///< Per-chunk operand-hash keys.
+  std::vector<double> noise_draw;         ///< Bulk gaussian draws.
 };
 
 /// Non-ideality view consumed by vdp_dot — filled by the core effect pipeline
@@ -129,8 +135,9 @@ class MrBankTransferLut {
   double full_ = 0.0;    ///< 1 - t_min: drop at exact resonance.
   std::vector<double> lambda_;    ///< Grid wavelengths (nm).
   std::vector<double> delta_;     ///< Per-ring half bandwidth (nm).
-  std::vector<double> delta_sq_;
-  std::vector<double> sep_;       ///< lambda_i - lambda_j, n x n row-major.
+  // 64-byte aligned: the dispatched arm-sum kernels stream these every call.
+  numerics::AlignedVector delta_sq_;
+  numerics::AlignedVector sep_;   ///< lambda_i - lambda_j, n x n row-major.
   std::vector<double> ratio_lut_; ///< Per weight code: max(0, full/drop - 1).
   std::vector<double> phi_row_sum_;
   double max_phi_row_sum_ = 0.0;

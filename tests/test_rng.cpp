@@ -1,6 +1,11 @@
 // Deterministic RNG tests — reproducibility underpins every experiment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "numerics/rng.hpp"
 
 namespace xl::numerics {
@@ -62,6 +67,49 @@ TEST(Rng, TruncatedGaussianRejectsInvertedRange) {
   EXPECT_THROW((void)rng.truncated_gaussian(0.0, 1.0, 1.0, -1.0), std::invalid_argument);
 }
 
+TEST(Rng, TruncatedGaussianRejectsBadParams) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.truncated_gaussian(0.0, -1.0, -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)rng.truncated_gaussian(0.0, 1.0, -1.0, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)rng.truncated_gaussian(0.0, 1.0, -1.0, 1.0, -3),
+               std::invalid_argument);
+}
+
+TEST(Rng, TruncatedGaussianZeroStddevClampsImmediately) {
+  // A point mass can never satisfy rejection sampling when the mean lies
+  // outside the range: the draw must be the projection onto [lo, hi] and must
+  // not advance the engine state at all (no attempts are burned).
+  Rng rng(11);
+  Rng witness(11);
+  EXPECT_EQ(rng.truncated_gaussian(5.0, 0.0, -1.0, 1.0), 1.0);
+  EXPECT_EQ(rng.truncated_gaussian(-5.0, 0.0, -1.0, 1.0), -1.0);
+  EXPECT_EQ(rng.truncated_gaussian(0.25, 0.0, -1.0, 1.0), 0.25);
+  EXPECT_EQ(rng.uniform(), witness.uniform());  // engine untouched
+}
+
+TEST(Rng, TruncatedGaussianClampsOnlyOnGenuineExhaustion) {
+  // Mean 100 sigma outside the window: every draw rejects, so after the
+  // attempt budget the fallback clamps to the nearest bound...
+  Rng rng(13);
+  EXPECT_EQ(rng.truncated_gaussian(100.0, 1.0, -1.0, 1.0, 8), 1.0);
+  // ...and exactly max_attempts gaussians were consumed along the way.
+  Rng counted(13);
+  for (int i = 0; i < 8; ++i) (void)counted.gaussian(100.0, 1.0);
+  Rng a(13);
+  (void)a.truncated_gaussian(100.0, 1.0, -1.0, 1.0, 8);
+  EXPECT_EQ(a.uniform(), counted.uniform());
+  // A well-centred draw succeeds without ever clamping (values strictly
+  // inside the interval, not pinned at a bound).
+  Rng ok(17);
+  for (int i = 0; i < 200; ++i) {
+    const double v = ok.truncated_gaussian(0.0, 0.1, -1.0, 1.0, 8);
+    EXPECT_GT(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
 TEST(Rng, BernoulliFrequency) {
   Rng rng(21);
   int hits = 0;
@@ -85,6 +133,111 @@ TEST(Rng, GaussianVectorSize) {
   Rng rng(4);
   const auto v = rng.gaussian_vector(17, 0.0, 1.0);
   EXPECT_EQ(v.size(), 17u);
+}
+
+// --- stateless counter-based hashing ----------------------------------------
+
+TEST(HashRng, HashUnitMomentsAndKs) {
+  // First two moments of U(0,1) plus a one-sample Kolmogorov-Smirnov check
+  // against the uniform CDF. n = 20000 puts the 1% KS critical value at
+  // ~1.63/sqrt(n) ~= 0.0115; a generous 0.02 keeps the test deterministic-
+  // robust while still catching any mixing defect.
+  constexpr std::size_t kN = 20000;
+  std::vector<double> u(kN);
+  for (std::size_t i = 0; i < kN; ++i) u[i] = hash_unit(hash_combine(42, i));
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (const double v : u) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mean += v;
+    m2 += v * v;
+  }
+  mean /= static_cast<double>(kN);
+  m2 /= static_cast<double>(kN);
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(m2 - mean * mean, 1.0 / 12.0, 0.005);
+  std::sort(u.begin(), u.end());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double ecdf_hi = static_cast<double>(i + 1) / kN;
+    const double ecdf_lo = static_cast<double>(i) / kN;
+    ks = std::max(ks, std::max(std::abs(ecdf_hi - u[i]), std::abs(u[i] - ecdf_lo)));
+  }
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(HashRng, HashGaussianMomentsAndKs) {
+  constexpr std::size_t kN = 20000;
+  std::vector<double> g(kN);
+  for (std::size_t i = 0; i < kN; ++i) g[i] = hash_gaussian(hash_combine(7, i));
+  double mean = 0.0;
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (const double v : g) {
+    mean += v;
+    m2 += v * v;
+    m4 += v * v * v * v;
+  }
+  mean /= static_cast<double>(kN);
+  m2 /= static_cast<double>(kN);
+  m4 /= static_cast<double>(kN);
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(m2, 1.0, 0.04);
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.15);  // normal kurtosis
+  // KS against Phi via the complementary error function.
+  std::sort(g.begin(), g.end());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double cdf = 0.5 * std::erfc(-g[i] / std::sqrt(2.0));
+    const double ecdf_hi = static_cast<double>(i + 1) / kN;
+    const double ecdf_lo = static_cast<double>(i) / kN;
+    ks = std::max(ks, std::max(std::abs(ecdf_hi - cdf), std::abs(cdf - ecdf_lo)));
+  }
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(HashRng, HashGaussianNMatchesScalarBitForBit) {
+  // The bulk sampler's contract: out[i] == hash_gaussian(hash_combine(key,
+  // base + i)) exactly, for every alignment of n against the SIMD width.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{8},
+                              std::size_t{127}, std::size_t{1024}}) {
+    std::vector<double> bulk(n + 1, -999.0);
+    hash_gaussian_n(0xABCDEF, 1000, n, bulk.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bulk[i], hash_gaussian(hash_combine(0xABCDEF, 1000 + i)))
+          << "n=" << n << " i=" << i;
+    }
+    EXPECT_EQ(bulk[n], -999.0);  // no overrun
+  }
+}
+
+TEST(HashRng, HashGaussianNIsCounterSplittable) {
+  // Any slicing of the counter range yields the same samples: one call over
+  // [0, 64) must equal ragged sub-range calls stitched together.
+  constexpr std::size_t kN = 64;
+  std::vector<double> whole(kN);
+  hash_gaussian_n(99, 0, kN, whole.data());
+  std::vector<double> stitched(kN);
+  const std::size_t cuts[] = {0, 5, 6, 13, 32, 33, 64};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    hash_gaussian_n(99, cuts[c], cuts[c + 1] - cuts[c], stitched.data() + cuts[c]);
+  }
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(whole[i], stitched[i]) << i;
+}
+
+TEST(HashRng, HashGaussianNWrapsCounterMod2e64) {
+  // base_counter near UINT64_MAX: indices wrap, matching scalar unsigned
+  // arithmetic.
+  const std::uint64_t base = ~std::uint64_t{0} - 1;  // 2^64 - 2
+  double bulk[6];
+  hash_gaussian_n(5, base, 6, bulk);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(bulk[i], hash_gaussian(hash_combine(
+                           5, base + static_cast<std::uint64_t>(i))))
+        << i;
+  }
 }
 
 }  // namespace

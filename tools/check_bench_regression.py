@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Scalar-vs-dispatch speedup report + regression gate for the kernel benches.
+
+Reads a google-benchmark JSON file (BENCH_micro_kernels.json), pairs every
+``BM_Kernel<Name>_Scalar`` row with its ``BM_Kernel<Name>_Dispatch`` twin run
+on identical inputs, and prints a speedup table plus the geometric mean.
+
+Gating compares *speedup ratios* against a committed baseline JSON, not
+absolute times: CI runners and dev machines differ wildly in clocks, but the
+scalar and dispatch rows of one run share the machine, so their ratio is the
+portable signal. A kernel fails the gate when its speedup drops more than
+``--threshold`` (default 10%) below the baseline's.
+
+Usage:
+  check_bench_regression.py CURRENT.json [--baseline BASELINE.json]
+                            [--threshold 0.10]
+
+Exit status: 0 on pass, 1 on any gated regression or malformed input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCALAR_SUFFIX = "_Scalar"
+DISPATCH_SUFFIX = "_Dispatch"
+
+
+def load_runs(path):
+    """Map benchmark name -> cpu_time (ns) for kernel-pair rows."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    runs = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name", "")
+        if not name.startswith("BM_Kernel"):
+            continue
+        unit_scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            row.get("time_unit", "ns"), 1.0)
+        runs[name] = float(row["cpu_time"]) * unit_scale
+    return runs
+
+
+def pair_speedups(runs):
+    """kernel label -> (scalar_ns, dispatch_ns, speedup)."""
+    speedups = {}
+    for name, scalar_ns in runs.items():
+        base, sep, args = name.partition("/")
+        if not base.endswith(SCALAR_SUFFIX):
+            continue
+        twin = base[: -len(SCALAR_SUFFIX)] + DISPATCH_SUFFIX + sep + args
+        if twin not in runs:
+            continue
+        label = base[len("BM_Kernel"): -len(SCALAR_SUFFIX)] + sep + args
+        dispatch_ns = runs[twin]
+        speedups[label] = (scalar_ns, dispatch_ns, scalar_ns / dispatch_ns)
+    return speedups
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="BENCH_micro_kernels.json from this run")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON to gate against")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional speedup drop vs baseline")
+    args = ap.parse_args()
+
+    current = pair_speedups(load_runs(args.current))
+    if not current:
+        print("error: no BM_Kernel*_Scalar/_Dispatch pairs in", args.current)
+        return 1
+
+    baseline = {}
+    if args.baseline:
+        baseline = pair_speedups(load_runs(args.baseline))
+
+    print(f"{'kernel':<28} {'scalar ns':>12} {'dispatch ns':>12} "
+          f"{'speedup':>8} {'baseline':>9} {'status':>8}")
+    failures = 0
+    for label in sorted(current):
+        scalar_ns, dispatch_ns, speedup = current[label]
+        base_speedup = baseline.get(label, (0, 0, None))[2]
+        status = "ok"
+        if base_speedup is not None:
+            floor = base_speedup * (1.0 - args.threshold)
+            if speedup < floor:
+                status = "REGRESSED"
+                failures += 1
+        base_txt = f"{base_speedup:.2f}x" if base_speedup is not None else "-"
+        print(f"{label:<28} {scalar_ns:>12.1f} {dispatch_ns:>12.1f} "
+              f"{speedup:>7.2f}x {base_txt:>9} {status:>8}")
+
+    gm = geomean([v[2] for v in current.values()])
+    print(f"{'geomean':<28} {'':>12} {'':>12} {gm:>7.2f}x")
+
+    if baseline:
+        missing = sorted(set(baseline) - set(current))
+        for label in missing:
+            print(f"warning: baseline kernel '{label}' missing from current run")
+    if failures:
+        print(f"FAIL: {failures} kernel(s) regressed more than "
+              f"{args.threshold:.0%} vs baseline")
+        return 1
+    print("PASS: no dispatch speedup regression"
+          + (f" (threshold {args.threshold:.0%})" if baseline else
+             " (no baseline provided; report only)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
