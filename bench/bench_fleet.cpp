@@ -1,0 +1,212 @@
+// bench_fleet — node-scaling sweep of the xl::fleet layer, tracking the
+// distributed serving + DSE trajectory per PR as BENCH_fleet.json.
+//
+// Serving: one fixed burst trace of mixed-size requests round-robins over
+// four data-parallel registrations of the proxy MLP, replayed on fleets of
+// {1, 2, 4} nodes (one paced shard per node, hardware-time pacing on, so
+// "achieved FPS" measures the simulated accelerator pool, not the host
+// CPU). The round-robin partition spreads the four models across the
+// nodes, so the shard pool grows with the fleet. Acceptance: achieved FPS
+// must increase monotonically from 1 -> 4 nodes at this fixed offered
+// load, with bit-identical logits across every run (the fleet determinism
+// contract).
+//
+// DSE: the same sweep runs distributed on the 4-node fleet — cold (the
+// evaluation work striped across the nodes, memo deltas merged) and warm
+// (the union cache covers the grid; acceptance: zero evaluator calls).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "core/mapper.hpp"
+#include "core/scheduler.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/models.hpp"
+#include "fleet/fleet.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+constexpr std::size_t kRequests = 96;
+constexpr std::size_t kMaxBatch = 8;
+constexpr double kDeadlineUs = 500.0;
+constexpr double kPaceScale = 500000.0;  // Simulated us -> wall us multiplier.
+constexpr std::size_t kDpModels = 4;     // Data-parallel registrations.
+
+struct RunResult {
+  double wall_us = 0.0;
+  double achieved_fps = 0.0;
+  double checksum = 0.0;  ///< Sum over every logit of the trace.
+  xl::fleet::FleetStats stats;
+};
+
+std::string model_name(std::size_t k) { return "proxy-" + std::to_string(k); }
+
+xl::fleet::FleetOptions fleet_options(std::size_t nodes, bool paced) {
+  using namespace xl;
+  fleet::FleetOptions options;
+  options.nodes = nodes;
+  options.serving.workers = 1;  // One shard per node: nodes ARE the pool.
+  options.serving.max_batch = kMaxBatch;
+  options.serving.deadline_us = kDeadlineUs;
+  options.serving.pace_hardware_time = paced;
+  options.serving.pace_scale = kPaceScale;
+  options.serving.architecture = core::best_config();
+  return options;
+}
+
+void register_zoo(xl::fleet::FleetCoordinator& coordinator,
+                  xl::dnn::Table1ProxyMlp& proxy) {
+  for (std::size_t k = 0; k < kDpModels; ++k) {
+    xl::serve::ServedModel model =
+        xl::serve::table1_proxy_served_model(proxy.net);
+    model.name = model_name(k);
+    coordinator.register_model({std::move(model), /*model_parallel=*/false});
+  }
+}
+
+RunResult run_trace(xl::dnn::Table1ProxyMlp& proxy, std::size_t nodes) {
+  using namespace xl;
+  fleet::FleetCoordinator coordinator(core::VdpSimOptions{},
+                                      fleet_options(nodes, /*paced=*/true));
+  register_zoo(coordinator, proxy);
+  coordinator.start();
+
+  // The canonical fixed trace — identical for every node count.
+  const std::vector<dnn::Tensor> trace =
+      serve::make_mixed_size_trace(proxy.test, kRequests, kMaxBatch);
+  const auto t0 = serve::Clock::now();
+  std::vector<std::future<serve::InferResult>> futures;
+  futures.reserve(kRequests);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    futures.push_back(coordinator.submit(model_name(i % kDpModels), trace[i]));
+  }
+
+  RunResult result;
+  std::size_t samples = 0;
+  for (auto& future : futures) {
+    const serve::InferResult r = future.get();
+    samples += r.logits.dim(0);
+    for (std::size_t j = 0; j < r.logits.numel(); ++j) {
+      result.checksum += static_cast<double>(r.logits[j]);
+    }
+  }
+  result.wall_us =
+      std::chrono::duration<double, std::micro>(serve::Clock::now() - t0).count();
+  coordinator.stop();
+  result.stats = coordinator.stats();
+  result.achieved_fps = static_cast<double>(samples) * 1e6 / result.wall_us;
+  return result;
+}
+
+void write_run(xl::api::JsonWriter& writer, std::size_t nodes, const RunResult& r) {
+  writer.begin_object();
+  writer.field("nodes", nodes);
+  writer.field("achieved_fps", r.achieved_fps);
+  writer.field("wall_us", r.wall_us);
+  writer.field("logits_checksum", r.checksum);
+  xl::api::write_fleet_stats(writer, "fleet", r.stats);
+  writer.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xl;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(6);
+
+  api::JsonWriter writer;
+  writer.field("bench", "fleet");
+  writer.field("model", "table1-proxy-mlp");
+  writer.field("dp_registrations", kDpModels);
+  writer.field("requests", kRequests);
+  writer.field("max_batch", kMaxBatch);
+  writer.field("deadline_us", kDeadlineUs);
+  writer.field("pace_scale", kPaceScale);
+
+  const std::vector<std::size_t> node_counts = {1, 2, 4};
+  std::vector<double> burst_fps;
+  std::vector<double> checksums;
+  writer.begin_array("runs");
+  for (const std::size_t nodes : node_counts) {
+    const RunResult r = run_trace(proxy, nodes);
+    burst_fps.push_back(r.achieved_fps);
+    checksums.push_back(r.checksum);
+    write_run(writer, nodes, r);
+    std::printf("burst  %zu node(s): %7.0f samples/s | %6zu frames | "
+                "%8zu payload bytes\n",
+                nodes, r.achieved_fps,
+                static_cast<std::size_t>(r.stats.transport.frames),
+                static_cast<std::size_t>(r.stats.transport.payload_bytes));
+  }
+  writer.end_array();
+
+  // Distributed DSE on a 4-node fleet (no pacing: DSE never touches the
+  // serving shards). Cold stripes the admitted grid over the nodes; warm
+  // must be answered entirely by the merged memo.
+  fleet::FleetCoordinator dse_fleet(core::VdpSimOptions{},
+                                    fleet_options(4, /*paced=*/false));
+  register_zoo(dse_fleet, proxy);
+  dse_fleet.start();
+  core::DseSweep sweep;
+  sweep.conv_unit_sizes = {10, 20, 30};
+  sweep.fc_unit_sizes = {100, 150};
+  sweep.conv_unit_counts = {50, 100};
+  sweep.fc_unit_counts = {30, 60};
+  const std::vector<dnn::ModelSpec> models = dnn::table1_models();
+  const fleet::FleetDseResult cold = dse_fleet.run_dse(sweep, models);
+  const fleet::FleetDseResult warm = dse_fleet.run_dse(sweep, models);
+  dse_fleet.stop();
+
+  writer.begin_object("dse");
+  writer.field("grid_candidates", cold.result.stats.grid_candidates);
+  writer.field("points", cold.result.points.size());
+  writer.field("pareto", cold.result.pareto.size());
+  writer.begin_array("cold_node_evaluations");
+  for (const std::size_t n : cold.node_evaluations) {
+    writer.element(static_cast<double>(n));
+  }
+  writer.end_array();
+  writer.field("cold_total_evaluations", cold.total_evaluations());
+  writer.field("warm_total_evaluations", warm.total_evaluations());
+  writer.end_object();
+  std::printf("\ndse    4 node(s): %zu cold evaluations striped [",
+              cold.total_evaluations());
+  for (std::size_t r = 0; r < cold.node_evaluations.size(); ++r) {
+    std::printf("%s%zu", r ? ", " : "", cold.node_evaluations[r]);
+  }
+  std::printf("], warm re-run %zu\n", warm.total_evaluations());
+
+  bool monotonic = true;
+  for (std::size_t i = 1; i < burst_fps.size(); ++i) {
+    monotonic = monotonic && burst_fps[i] > burst_fps[i - 1];
+  }
+  bool deterministic = true;
+  for (const double checksum : checksums) {
+    deterministic = deterministic && checksum == checksums.front();
+  }
+  const bool warm_free = warm.total_evaluations() == 0;
+  writer.field("fps_monotonic_1_to_4_nodes", monotonic);
+  writer.field("logits_deterministic_across_runs", deterministic);
+  writer.field("warm_dse_is_free", warm_free);
+  std::printf("\nachieved FPS monotonic 1 -> 4 nodes  : %s\n",
+              monotonic ? "yes" : "NO");
+  std::printf("logits deterministic across all runs : %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("warm distributed DSE re-run is free  : %s\n",
+              warm_free ? "yes" : "NO");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << writer.finish();
+  std::printf("wrote %s\n", out_path.c_str());
+  return (monotonic && deterministic && warm_free) ? 0 : 1;
+}

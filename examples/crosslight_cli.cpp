@@ -13,6 +13,7 @@
 //                  [--dse] [--top-k <n>] [--budget <mm2>] [--serial]
 //                  [--serve] [--workers <n>] [--max-batch <n>]
 //                  [--deadline-us <us>] [--requests <n>]
+//                  [--fleet-nodes <n>] [--partition <spec>]
 //
 // --serve runs the xl::serve demo: the trained proxy MLP is registered on a
 // ServingRuntime built from the session config (so --effects selects the
@@ -20,6 +21,16 @@
 // submitted, and the runtime's latency/batching/throughput telemetry is
 // reported. Results are bit-identical for any --workers count (see the
 // determinism contract in src/serve/serving_runtime.hpp).
+//
+// --fleet-nodes routes the same replay through xl::fleet instead: a
+// FleetCoordinator partitions the zoo across <n> nodes (each node runs its
+// own ServingRuntime with --workers shards), the proxy is registered twice —
+// once data-parallel, once model-parallel (final Dense layer split
+// column-wise across the fleet with halo exchange) — and the trace
+// alternates between the two. --partition picks the ownership map
+// ("round_robin", "hash", or explicit "model=rank[,...]" pins); logits are
+// bit-identical for every node count and partition map (the fleet
+// determinism contract, see src/fleet/coordinator.hpp).
 //
 // --dse runs the Fig. 6 design-space exploration (parallel DseEngine) over
 // the Table I zoo for the selected crosslight:* backend's variant, printing
@@ -42,6 +53,7 @@
 //   crosslight_cli --backend functional --effects thermal,fpv,noise --json
 //   crosslight_cli --dse --budget 25 --top-k 5 --json
 //   crosslight_cli --serve --workers 4 --max-batch 8 --effects noise --json
+//   crosslight_cli --fleet-nodes 2 --partition hash --requests 32 --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +69,7 @@
 #include "dnn/models.hpp"
 #include "dnn/network.hpp"
 #include "dnn/trainer.hpp"
+#include "fleet/fleet.hpp"
 #include "numerics/rng.hpp"
 #include "serve/serving_runtime.hpp"
 
@@ -73,7 +86,8 @@ void usage() {
                "                      [--samples n] [--train-epochs n]\n"
                "                      [--dse] [--top-k n] [--budget mm2] [--serial]\n"
                "                      [--serve] [--workers n] [--max-batch n]\n"
-               "                      [--deadline-us us] [--requests n]\n");
+               "                      [--deadline-us us] [--requests n]\n"
+               "                      [--fleet-nodes n] [--partition spec]\n");
 }
 
 // Strictly positive integer flag value; a negative would otherwise wrap to
@@ -339,6 +353,99 @@ int run_serve(xl::api::Session& session, bool json, std::size_t workers,
   return 0;
 }
 
+// xl::fleet demo: the same burst replay, routed through a FleetCoordinator.
+// The proxy is registered twice — data-parallel (owned by one node's local
+// runtime) and model-parallel (replicated fleet-wide, final Dense layer
+// split column-wise with halo exchange) — and the trace alternates between
+// the two, so every fleet code path carries traffic. Both registrations
+// share one prototype, so served accuracy is scored exactly as in --serve.
+int run_fleet(xl::api::Session& session, bool json, std::size_t nodes,
+              const std::string& partition_spec, std::size_t workers,
+              std::size_t max_batch, double deadline_us, std::size_t requests,
+              std::size_t train_epochs) {
+  using namespace xl;
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
+
+  fleet::FleetOptions options;
+  options.nodes = nodes;
+  options.partition = fleet::FleetPartition::parse(partition_spec);
+  options.serving.workers = workers;
+  options.serving.max_batch = max_batch;
+  options.serving.deadline_us = deadline_us;
+  auto coordinator = session.fleet(options);
+
+  serve::ServedModel dp = serve::table1_proxy_served_model(proxy.net);
+  serve::ServedModel mp = serve::table1_proxy_served_model(proxy.net);
+  mp.name += "-mp";
+  coordinator->register_model({dp, /*model_parallel=*/false});
+  coordinator->register_model({std::move(mp), /*model_parallel=*/true});
+  coordinator->start();
+
+  std::vector<std::pair<std::size_t, std::size_t>> slices;  // (start, rows).
+  const std::vector<dnn::Tensor> trace =
+      serve::make_mixed_size_trace(proxy.test, requests, max_batch, &slices);
+  const auto t0 = serve::Clock::now();
+  std::vector<std::future<serve::InferResult>> futures;
+  futures.reserve(requests);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    futures.push_back(coordinator->submit(
+        i % 2 == 0 ? "table1-proxy-mlp" : "table1-proxy-mlp-mp", trace[i]));
+  }
+
+  double correct = 0.0;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::InferResult result = futures[i].get();
+    const auto [start, rows] = slices[i];
+    correct += static_cast<double>(rows) *
+               dnn::accuracy(result.logits,
+                             dnn::batch_labels(proxy.test, start, rows));
+    samples += rows;
+  }
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(serve::Clock::now() - t0).count();
+  coordinator->stop();
+  const fleet::FleetStats stats = coordinator->stats();
+  const double accuracy = correct / static_cast<double>(samples);
+  const double fps = wall_us > 0.0 ? static_cast<double>(samples) * 1e6 / wall_us : 0.0;
+
+  if (json) {
+    api::JsonWriter writer;
+    writer.field("mode", "fleet");
+    writer.field("nodes", nodes);
+    writer.field("partition", coordinator->options().partition.summary());
+    writer.field("workers_per_node", workers);
+    writer.field("max_batch", max_batch);
+    writer.field("deadline_us", deadline_us);
+    api::write_effect_config(writer, session.config().vdp.effective_effects());
+    writer.field("wall_us", wall_us);
+    writer.field("achieved_fps", fps);
+    writer.field("served_accuracy", accuracy);
+    api::write_fleet_stats(writer, "fleet", stats);
+    std::fputs(writer.finish().c_str(), stdout);
+  } else {
+    std::printf("Fleet of %zu node(s) (%s partition), %zu worker(s)/node, "
+                "max batch %zu\n",
+                nodes, coordinator->options().partition.summary().c_str(),
+                workers, max_batch);
+    std::printf("  requests   : %zu routed (%zu samples)\n", stats.requests, samples);
+    for (const fleet::FleetNodeStats& node : stats.nodes) {
+      std::printf("  node %u     : %zu dp requests, %zu mp requests, %zu halo "
+                  "tiles served\n",
+                  node.rank, node.serving.requests, node.mp_requests,
+                  node.halo_tiles_served);
+    }
+    std::printf("  fabric     : %zu frames, %zu payload bytes (%zu halo bytes)\n",
+                static_cast<std::size_t>(stats.transport.frames),
+                static_cast<std::size_t>(stats.transport.payload_bytes),
+                static_cast<std::size_t>(stats.transport.halo_bytes));
+    std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", fps, wall_us * 1e-3);
+    std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", accuracy,
+                session.config().vdp.effective_effects().summary().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,6 +468,9 @@ int main(int argc, char** argv) {
   std::size_t serve_max_batch = 16;
   double serve_deadline_us = 2000.0;
   std::size_t serve_requests = 64;
+  std::size_t fleet_nodes = 0;  // 0 = fleet path off.
+  std::string fleet_partition;
+  bool fleet_partition_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -416,6 +526,13 @@ int main(int argc, char** argv) {
         serve_deadline_us = parse_nonnegative(next(), "--deadline-us");
       } else if (arg == "--requests") {
         serve_requests = parse_positive(next(), "--requests");
+      } else if (arg == "--fleet-nodes") {
+        fleet_nodes = parse_positive(next(), "--fleet-nodes");
+      } else if (arg == "--partition") {
+        // Validate eagerly so a typo fails before any training happens.
+        fleet_partition = next();
+        (void)fleet::FleetPartition::parse(fleet_partition);
+        fleet_partition_set = true;
       } else if (arg == "--schedule") {
         run_schedule = true;
       } else if (arg == "--json") {
@@ -438,6 +555,15 @@ int main(int argc, char** argv) {
   }
   if (model_no < 1 || model_no > 4) {
     std::fprintf(stderr, "error: --model must be 1..4\n");
+    return 2;
+  }
+  if (fleet_partition_set && fleet_nodes == 0) {
+    std::fprintf(stderr, "error: --partition requires --fleet-nodes\n");
+    return 2;
+  }
+  if (fleet_nodes > 0 && run_dse) {
+    std::fprintf(stderr, "error: --fleet-nodes drives the serving replay; it "
+                         "cannot be combined with --dse\n");
     return 2;
   }
 
@@ -464,6 +590,11 @@ int main(int argc, char** argv) {
 
     api::Session session(config);
     if (list_only) return list_backends(session, json);
+    if (fleet_nodes > 0) {
+      return run_fleet(session, json, fleet_nodes, fleet_partition, serve_workers,
+                       serve_max_batch, serve_deadline_us, serve_requests,
+                       train_epochs);
+    }
     if (serve_mode) {
       return run_serve(session, json, serve_workers, serve_max_batch,
                        serve_deadline_us, serve_requests, train_epochs);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <stdexcept>
@@ -77,27 +78,16 @@ std::uint64_t hash_effects(const EffectConfig& fx) noexcept {
   return f.h;
 }
 
-/// Memo key of one (candidate, model) evaluation: the architecture tuple,
-/// variant, resolution, shared knobs, a DeviceParams digest (the struct is
-/// all 8-byte doubles — no padding — so its object representation
-/// identifies the value), the full EffectConfig digest, and the model name.
-std::string cache_key(const DseCandidate& c, const xl::dnn::ModelSpec& model) {
-  static_assert(std::is_trivially_copyable_v<xl::photonics::DeviceParams>);
-  const ArchitectureConfig& cfg = c.config;
-  Fnv1a devices;
-  devices.bytes(&cfg.devices, sizeof cfg.devices);
-  char buf[192];
-  std::snprintf(buf, sizeof buf,
-                "%zu/%zu/%zu/%zu|v%u|r%d|mb%zu|p%.6g/%.6g|d%llx|fx%llx|",
-                cfg.conv_unit_size, cfg.fc_unit_size, cfg.conv_units, cfg.fc_units,
-                static_cast<unsigned>(cfg.variant), cfg.resolution_bits,
-                cfg.mrs_per_bank, cfg.pitch_ted_um, cfg.pitch_guard_um,
-                static_cast<unsigned long long>(devices.h),
-                static_cast<unsigned long long>(hash_effects(c.effects)));
-  return buf + model.name;
-}
-
 bool finite_positive(double v) noexcept { return std::isfinite(v) && v > 0.0; }
+
+/// Doubles compared by object representation: bit-for-bit, NaN-safe.
+bool bits_equal(double a, double b) noexcept {
+  std::uint64_t ia = 0, ib = 0;
+  static_assert(sizeof ia == sizeof a);
+  std::memcpy(&ia, &a, sizeof ia);
+  std::memcpy(&ib, &b, sizeof ib);
+  return ia == ib;
+}
 
 /// A report is sane when every metric the sweep consumes is finite and
 /// positive; anything else marks the candidate degenerate.
@@ -115,6 +105,64 @@ bool dominates(const DsePoint& a, const DsePoint& b) noexcept {
 }
 
 }  // namespace
+
+bool reports_bit_identical(const AcceleratorReport& a,
+                           const AcceleratorReport& b) noexcept {
+  return a.accelerator == b.accelerator && a.model == b.model &&
+         bits_equal(a.perf.cycle_ns, b.perf.cycle_ns) &&
+         a.perf.batch == b.perf.batch &&
+         bits_equal(a.perf.frame_latency_us, b.perf.frame_latency_us) &&
+         bits_equal(a.perf.fps, b.perf.fps) &&
+         bits_equal(a.power.laser_mw, b.power.laser_mw) &&
+         bits_equal(a.power.to_tuning_mw, b.power.to_tuning_mw) &&
+         bits_equal(a.power.eo_tuning_mw, b.power.eo_tuning_mw) &&
+         bits_equal(a.power.pd_mw, b.power.pd_mw) &&
+         bits_equal(a.power.tia_mw, b.power.tia_mw) &&
+         bits_equal(a.power.vcsel_mw, b.power.vcsel_mw) &&
+         bits_equal(a.power.adc_dac_mw, b.power.adc_dac_mw) &&
+         bits_equal(a.power.control_mw, b.power.control_mw) &&
+         bits_equal(a.area_mm2, b.area_mm2) &&
+         a.resolution_bits == b.resolution_bits &&
+         a.macs_per_frame == b.macs_per_frame;
+}
+
+void DseMemo::merge(const DseMemo& other) {
+  if (other.entries.empty()) return;
+  std::unordered_map<std::string, const AcceleratorReport*> index;
+  index.reserve(entries.size());
+  for (const DseMemoEntry& e : entries) index.emplace(e.key, &e.report);
+  for (const DseMemoEntry& e : other.entries) {
+    const auto it = index.find(e.key);
+    if (it == index.end()) {
+      entries.push_back(e);
+    } else if (!reports_bit_identical(*it->second, e.report)) {
+      throw std::runtime_error(
+          "DseMemo::merge: divergent reports for key '" + e.key +
+          "' — two caches disagree on a deterministic evaluation");
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DseMemoEntry& a, const DseMemoEntry& b) { return a.key < b.key; });
+}
+
+std::string DseEngine::memo_key(const DseCandidate& c,
+                                const xl::dnn::ModelSpec& model) {
+  // The DeviceParams digest hashes the object representation: the struct is
+  // all 8-byte doubles — no padding — so the bytes identify the value.
+  static_assert(std::is_trivially_copyable_v<xl::photonics::DeviceParams>);
+  const ArchitectureConfig& cfg = c.config;
+  Fnv1a devices;
+  devices.bytes(&cfg.devices, sizeof cfg.devices);
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%zu/%zu/%zu/%zu|v%u|r%d|mb%zu|p%.6g/%.6g|d%llx|fx%llx|",
+                cfg.conv_unit_size, cfg.fc_unit_size, cfg.conv_units, cfg.fc_units,
+                static_cast<unsigned>(cfg.variant), cfg.resolution_bits,
+                cfg.mrs_per_bank, cfg.pitch_ted_um, cfg.pitch_guard_um,
+                static_cast<unsigned long long>(devices.h),
+                static_cast<unsigned long long>(hash_effects(c.effects)));
+  return buf + model.name;
+}
 
 const DsePoint& DseResult::best() const {
   if (!points.empty()) return points.front();
@@ -198,24 +246,11 @@ std::vector<DseCandidate> DseEngine::expand(const DseSweep& sweep) {
   return candidates;
 }
 
-DseResult DseEngine::run(const DseSweep& sweep,
-                         const std::vector<xl::dnn::ModelSpec>& models) {
-  return run(sweep, models,
-             [](const DseCandidate& c, const xl::dnn::ModelSpec& model) {
-               return CrossLightAccelerator(c.config).evaluate(model);
-             });
-}
-
-DseResult DseEngine::run(const DseSweep& sweep,
-                         const std::vector<xl::dnn::ModelSpec>& models,
-                         const DseCandidateEvaluator& evaluate) {
+std::vector<DseCandidate> DseEngine::admit(const DseSweep& sweep,
+                                           std::size_t* area_filtered) {
   sweep.validate();
-  if (models.empty()) throw std::invalid_argument("run_dse: no models");
-  if (!evaluate) throw std::invalid_argument("run_dse: null evaluator");
-
-  DseResult result;
   std::vector<DseCandidate> candidates = expand(sweep);
-  result.stats.grid_candidates = candidates.size();
+  const std::size_t grid = candidates.size();
 
   // Budget filter: the sweep enumerates CrossLight organizations, so the
   // area verdict comes from the CrossLight area model up front — over-budget
@@ -227,7 +262,6 @@ DseResult DseEngine::run(const DseSweep& sweep,
     const double area = evaluate_area(c.config).total_mm2();
     min_area = std::min(min_area, area);
     if (area <= c.area_budget_mm2) admitted.push_back(std::move(c));
-    else ++result.stats.area_filtered;
   }
   if (admitted.empty()) {
     const std::vector<double> budgets = sweep.budget_axis();
@@ -236,10 +270,19 @@ DseResult DseEngine::run(const DseSweep& sweep,
     std::snprintf(msg, sizeof msg,
                   "DseSweep: area budget %.3g mm2 rejects all %zu candidates "
                   "(smallest candidate needs %.3g mm2)",
-                  max_budget, candidates.size(), min_area);
+                  max_budget, grid, min_area);
     throw std::invalid_argument(msg);
   }
+  if (area_filtered != nullptr) *area_filtered = grid - admitted.size();
+  return admitted;
+}
 
+std::vector<DseMemoEntry> DseEngine::evaluate_missing(
+    const std::vector<DseCandidate>& candidates,
+    const std::vector<xl::dnn::ModelSpec>& models,
+    const DseCandidateEvaluator& evaluate,
+    const std::unordered_map<std::string, AcceleratorReport>& store,
+    DseStats* stats) const {
   // Resolve every (candidate, model) pair against the memo; unseen pairs
   // become jobs, each pair beyond the first with the same key is a hit.
   struct Job {
@@ -248,15 +291,13 @@ DseResult DseEngine::run(const DseSweep& sweep,
     const xl::dnn::ModelSpec* model;
   };
   std::vector<Job> jobs;
-  std::unordered_map<std::string, AcceleratorReport> local;  // cache-off store
-  auto& store = options_.cache_enabled ? cache_ : local;
   {
     std::unordered_map<std::string, std::size_t> pending;
-    for (const DseCandidate& c : admitted) {
+    for (const DseCandidate& c : candidates) {
       for (const auto& model : models) {
-        std::string key = cache_key(c, model);
+        std::string key = memo_key(c, model);
         if (store.count(key) != 0 || pending.count(key) != 0) {
-          ++result.stats.cache_hits;
+          if (stats != nullptr) ++stats->cache_hits;
           continue;
         }
         pending.emplace(key, jobs.size());
@@ -264,7 +305,7 @@ DseResult DseEngine::run(const DseSweep& sweep,
       }
     }
   }
-  result.stats.evaluations = jobs.size();
+  if (stats != nullptr) stats->evaluations += jobs.size();
 
   // Evaluate. Every job writes into its own pre-sized slot, so the result is
   // identical for any thread count, schedule, and completion order.
@@ -302,10 +343,91 @@ DseResult DseEngine::run(const DseSweep& sweep,
     for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
   }
 
+  std::vector<DseMemoEntry> fresh;
+  fresh.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    fresh.push_back(DseMemoEntry{std::move(jobs[i].key), std::move(reports[i])});
+  }
+  return fresh;
+}
+
+namespace {
+/// The built-in evaluator shared by run()/populate() without an explicit one.
+AcceleratorReport builtin_evaluate(const DseCandidate& c,
+                                   const xl::dnn::ModelSpec& model) {
+  return CrossLightAccelerator(c.config).evaluate(model);
+}
+}  // namespace
+
+DseResult DseEngine::run(const DseSweep& sweep,
+                         const std::vector<xl::dnn::ModelSpec>& models) {
+  return run(sweep, models, builtin_evaluate);
+}
+
+DseMemo DseEngine::populate(const std::vector<DseCandidate>& slice,
+                            const std::vector<xl::dnn::ModelSpec>& models) {
+  return populate(slice, models, builtin_evaluate);
+}
+
+DseMemo DseEngine::populate(const std::vector<DseCandidate>& slice,
+                            const std::vector<xl::dnn::ModelSpec>& models,
+                            const DseCandidateEvaluator& evaluate) {
+  if (models.empty()) throw std::invalid_argument("populate: no models");
+  if (!evaluate) throw std::invalid_argument("populate: null evaluator");
+  DseMemo delta;
+  delta.entries = evaluate_missing(slice, models, evaluate, cache_, nullptr);
+  for (const DseMemoEntry& e : delta.entries) cache_.emplace(e.key, e.report);
+  std::sort(delta.entries.begin(), delta.entries.end(),
+            [](const DseMemoEntry& a, const DseMemoEntry& b) { return a.key < b.key; });
+  return delta;
+}
+
+DseMemo DseEngine::export_memo() const {
+  DseMemo memo;
+  memo.entries.reserve(cache_.size());
+  for (const auto& [key, report] : cache_) {
+    memo.entries.push_back(DseMemoEntry{key, report});
+  }
+  std::sort(memo.entries.begin(), memo.entries.end(),
+            [](const DseMemoEntry& a, const DseMemoEntry& b) { return a.key < b.key; });
+  return memo;
+}
+
+std::size_t DseEngine::import_memo(const DseMemo& memo) {
+  std::size_t inserted = 0;
+  for (const DseMemoEntry& e : memo.entries) {
+    const auto [it, fresh] = cache_.emplace(e.key, e.report);
+    if (fresh) {
+      ++inserted;
+    } else if (!reports_bit_identical(it->second, e.report)) {
+      throw std::runtime_error(
+          "DseEngine::import_memo: divergent reports for key '" + e.key +
+          "' — imported cache disagrees with the resident one");
+    }
+  }
+  return inserted;
+}
+
+DseResult DseEngine::run(const DseSweep& sweep,
+                         const std::vector<xl::dnn::ModelSpec>& models,
+                         const DseCandidateEvaluator& evaluate) {
+  if (models.empty()) throw std::invalid_argument("run_dse: no models");
+  if (!evaluate) throw std::invalid_argument("run_dse: null evaluator");
+
+  DseResult result;
+  const std::vector<DseCandidate> admitted =
+      admit(sweep, &result.stats.area_filtered);
+  result.stats.grid_candidates = admitted.size() + result.stats.area_filtered;
+
+  std::unordered_map<std::string, AcceleratorReport> local;  // cache-off store
+  auto& store = options_.cache_enabled ? cache_ : local;
+  std::vector<DseMemoEntry> fresh =
+      evaluate_missing(admitted, models, evaluate, store, &result.stats);
+
   // Merge serially (deterministic), then assemble candidate points from the
   // store in fixed grid/model order — bit-identical for any thread count.
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    store.emplace(std::move(jobs[i].key), std::move(reports[i]));
+  for (DseMemoEntry& e : fresh) {
+    store.emplace(std::move(e.key), std::move(e.report));
   }
   for (const DseCandidate& c : admitted) {
     DsePoint p;
@@ -319,7 +441,7 @@ DseResult DseEngine::run(const DseSweep& sweep,
     p.candidate_id = c.id;
     bool sane = true;
     for (const auto& model : models) {
-      const AcceleratorReport& r = store.at(cache_key(c, model));
+      const AcceleratorReport& r = store.at(memo_key(c, model));
       sane = sane && report_is_sane(r);
       p.area_mm2 = r.area_mm2;
       p.avg_fps += r.perf.fps;

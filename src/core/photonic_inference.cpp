@@ -106,15 +106,36 @@ Tensor PhotonicInferenceEngine::run_conv_photonic(const Tensor& input, Conv2d& l
 }
 
 Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
+  return infer_range(batch, 0, network_.layer_count());
+}
+
+std::size_t PhotonicInferenceEngine::accelerated_layers_before(
+    std::size_t end_layer) const {
+  const std::size_t end = std::min(end_layer, network_.layer_count());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < end; ++i) {
+    const LayerKind kind = network_.layer(i).kind_id();
+    if (kind == LayerKind::kDense || kind == LayerKind::kConv) ++count;
+  }
+  return count;
+}
+
+Tensor PhotonicInferenceEngine::infer_range(const Tensor& batch,
+                                            std::size_t begin_layer,
+                                            std::size_t end_layer) {
   if (batch.rank() < 2 || batch.dim(0) == 0) {
     throw std::invalid_argument("PhotonicInference: batch must have rank >= 2 and N >= 1");
+  }
+  const std::size_t end = std::min(end_layer, network_.layer_count());
+  if (begin_layer > end) {
+    throw std::invalid_argument("PhotonicInference: begin_layer past end_layer");
   }
   // Simulated time per accelerated layer: thermal drift evolves across the
   // network's depth (and across batches — the chip does not cool down
   // between them). advance_effects is a no-op without a thermal stage.
   const double layer_dt_us = engine_.options().effects.thermal_stage.dt_us;
   Tensor x = batch;
-  for (std::size_t i = 0; i < network_.layer_count(); ++i) {
+  for (std::size_t i = begin_layer; i < end; ++i) {
     dnn::Layer& layer = network_.layer(i);
     bool accelerated = false;
     switch (layer.kind_id()) {
@@ -151,8 +172,10 @@ Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
     }
     if (accelerated) engine_.advance_effects(layer_dt_us);
   }
-  stats_.samples_inferred += batch.dim(0);
-  stats_.batches_inferred += 1;
+  if (begin_layer == 0 && end == network_.layer_count()) {
+    stats_.samples_inferred += batch.dim(0);
+    stats_.batches_inferred += 1;
+  }
   return x;
 }
 

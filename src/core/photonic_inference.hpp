@@ -73,6 +73,25 @@ class PhotonicInferenceEngine {
   /// accelerated layer issues one photonic GEMM over the batch.
   [[nodiscard]] dnn::Tensor infer_batch(const dnn::Tensor& batch);
 
+  /// Run only the layer range [begin, end) of the network on `batch`
+  /// (end is clamped to layer_count()). The fleet's model-parallel path
+  /// splits one forward pass into trunk / boundary-tile / tail segments:
+  /// because every accelerated layer advances simulated time identically
+  /// whichever engine executes it, stitching ranges back together is
+  /// bit-identical to one infer_batch() call — provided the caller lines
+  /// the engines up on the same effect timeline first (reset_effects +
+  /// one advance per accelerated layer already executed). Sample/batch
+  /// counters accrue only on full passes (begin == 0 && end >= count).
+  [[nodiscard]] dnn::Tensor infer_range(const dnn::Tensor& batch,
+                                        std::size_t begin_layer,
+                                        std::size_t end_layer);
+
+  /// Number of accelerated (kConv/kDense) layers in [0, end_layer) — the
+  /// count of thermal dt steps a range execution advances. Used by
+  /// model-parallel peers to fast-forward their effect timeline to the
+  /// partition boundary.
+  [[nodiscard]] std::size_t accelerated_layers_before(std::size_t end_layer) const;
+
   /// Classification accuracy over a dataset subset [0, count), evaluated in
   /// batches of eval_batch_size().
   [[nodiscard]] double evaluate_accuracy(const dnn::Dataset& data, std::size_t count);

@@ -1,0 +1,12 @@
+// Umbrella header for the xl::fleet layer: transport-abstracted multi-node
+// serving and distributed DSE. Layering: fleet sits between xl::serve
+// (which it composes per node) and xl::api (which exposes it as
+// Session::fleet()).
+#pragma once
+
+#include "fleet/coordinator.hpp"    // IWYU pragma: export
+#include "fleet/fleet_node.hpp"     // IWYU pragma: export
+#include "fleet/fleet_types.hpp"    // IWYU pragma: export
+#include "fleet/model_parallel.hpp" // IWYU pragma: export
+#include "fleet/transport.hpp"      // IWYU pragma: export
+#include "fleet/wire.hpp"           // IWYU pragma: export

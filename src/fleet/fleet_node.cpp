@@ -1,0 +1,378 @@
+#include "fleet/fleet_node.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace xl::fleet {
+namespace {
+
+Message make_frame(FrameType type, Channel channel, std::uint32_t dest,
+                   std::uint64_t sequence, std::vector<std::uint8_t> payload) {
+  Message message;
+  message.header.type = type;
+  message.header.channel = channel;
+  message.header.dest = dest;
+  message.header.sequence = sequence;
+  message.payload = std::move(payload);
+  return message;
+}
+
+double elapsed_us(serve::Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(serve::Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+FleetNode::FleetNode(std::uint32_t rank, std::unique_ptr<Transport> transport,
+                     const std::vector<FleetModel>& zoo,
+                     const core::VdpSimOptions& vdp, const FleetOptions& options,
+                     const DseSharedContext* dse_context)
+    : rank_(rank),
+      node_count_(static_cast<std::uint32_t>(options.nodes)),
+      coordinator_rank_(static_cast<std::uint32_t>(options.nodes)),
+      transport_(std::move(transport)),
+      dse_context_(dse_context),
+      vdp_(vdp),
+      dse_engine_(options.dse) {
+  if (rank_ >= node_count_) {
+    throw std::invalid_argument("FleetNode: rank out of range");
+  }
+  std::vector<serve::ServedModel> owned_dp;
+  for (std::size_t index = 0; index < zoo.size(); ++index) {
+    const FleetModel& model = zoo[index];
+    const std::uint32_t owner =
+        options.partition.owner_of(model.served.name, index, node_count_);
+    if (model.model_parallel) {
+      // Replicated everywhere: any rank may be asked for a boundary tile.
+      mp_workers_.emplace(model.served.name,
+                          std::make_unique<ModelParallelWorker>(model.served, vdp_));
+      if (owner == rank_) owned_mp_.insert(model.served.name);
+    } else if (owner == rank_) {
+      owned_dp.push_back(model.served);
+    }
+  }
+  if (!owned_dp.empty()) {
+    // Only ranks that own a data-parallel model run a ServingRuntime — an
+    // empty runtime refuses to start, and a model-parallel-only rank has no
+    // use for one (mp requests bypass micro-batching by design).
+    runtime_ = std::make_unique<serve::ServingRuntime>(vdp_, options.serving);
+    for (serve::ServedModel& model : owned_dp) {
+      runtime_->register_model(std::move(model));
+    }
+  }
+}
+
+void FleetNode::start() {
+  if (runtime_) runtime_->start();
+  completer_ = std::thread(&FleetNode::completer_loop, this);
+  halo_ = std::thread(&FleetNode::halo_loop, this);
+  pump_ = std::thread(&FleetNode::pump_loop, this);
+}
+
+void FleetNode::join_pump() {
+  if (pump_.joinable()) pump_.join();
+}
+
+void FleetNode::join_halo() {
+  if (halo_.joinable()) halo_.join();
+}
+
+FleetNodeStats FleetNode::stats() const {
+  FleetNodeStats stats;
+  stats.rank = rank_;
+  if (runtime_) stats.serving = runtime_->stats();
+  stats.mp_requests = mp_requests_.load();
+  stats.halo_tiles_served = halo_tiles_served_.load();
+  stats.dse_evaluations = dse_evaluations_.load();
+  return stats;
+}
+
+void FleetNode::pump_loop() {
+  for (;;) {
+    Message message = transport_->recv(kAnySource, Channel::kServe);
+    switch (message.header.type) {
+      case FrameType::kInferRequest:
+        handle_infer(message.header.sequence, std::move(message));
+        break;
+      case FrameType::kDseAssign:
+        handle_dse_assign(message);
+        break;
+      case FrameType::kDseMemoMerged: {
+        const std::uint64_t generation = message.header.sequence;
+        try {
+          WireReader reader(message.payload);
+          const core::DseMemo merged = read_memo(reader);
+          reader.expect_done();
+          dse_engine_.import_memo(merged);
+          transport_->send(make_frame(FrameType::kDseAck, Channel::kDse,
+                                      coordinator_rank_, generation, {}));
+        } catch (const std::exception& error) {
+          WireWriter writer;
+          writer.str(error.what());
+          transport_->send(make_frame(FrameType::kErrorReply, Channel::kDse,
+                                      coordinator_rank_, generation,
+                                      writer.take()));
+        }
+        break;
+      }
+      case FrameType::kShutdown: {
+        // Drain every submitted request before stopping the runtime, so a
+        // request accepted before shutdown always resolves normally; the
+        // runtime's own stop() then has nothing queued to orphan.
+        {
+          std::lock_guard<std::mutex> lock(completer_mutex_);
+          completer_closed_ = true;
+        }
+        completer_cv_.notify_all();
+        if (completer_.joinable()) completer_.join();
+        if (runtime_) runtime_->stop();
+        return;
+      }
+      default:
+        send_error(message.header.sequence,
+                   "fleet node: unexpected frame type on serve channel");
+        break;
+    }
+  }
+}
+
+void FleetNode::handle_infer(std::uint64_t sequence, Message message) {
+  std::string name;
+  dnn::Tensor input;
+  try {
+    WireReader reader(message.payload);
+    name = reader.str();
+    input = read_tensor(reader);
+    reader.expect_done();
+  } catch (const std::exception& error) {
+    send_error(sequence, error.what());
+    return;
+  }
+  if (owned_mp_.count(name) != 0) {
+    try {
+      execute_model_parallel(sequence, name, std::move(input));
+    } catch (const std::exception& error) {
+      send_error(sequence, error.what());
+    }
+    return;
+  }
+  if (mp_workers_.count(name) != 0) {
+    send_error(sequence, "fleet node " + std::to_string(rank_) +
+                             ": not the owner of model-parallel model '" +
+                             name + "'");
+    return;
+  }
+  if (!runtime_) {
+    send_error(sequence, "fleet node " + std::to_string(rank_) +
+                             ": no serving runtime (owns no data-parallel "
+                             "model) for '" + name + "'");
+    return;
+  }
+  try {
+    std::future<serve::InferResult> future =
+        runtime_->submit(name, std::move(input));
+    {
+      std::lock_guard<std::mutex> lock(completer_mutex_);
+      completer_queue_.push_back(PendingResult{sequence, std::move(future)});
+    }
+    completer_cv_.notify_all();
+  } catch (const std::exception& error) {
+    send_error(sequence, error.what());
+  }
+}
+
+void FleetNode::execute_model_parallel(std::uint64_t sequence,
+                                       const std::string& name,
+                                       dnn::Tensor input) {
+  const auto started = serve::Clock::now();
+  ModelParallelWorker& worker = *mp_workers_.at(name);
+  const HaloPlan& plan = worker.plan();
+  const std::size_t rows = input.rank() >= 1 ? input.dim(0) : 0;
+
+  const dnn::Tensor boundary = worker.run_trunk(input);
+
+  // Fan the halo out first so peers compute while we do our own tile.
+  struct PeerTile {
+    std::uint32_t rank = 0;
+    std::pair<std::size_t, std::size_t> range;
+  };
+  std::vector<PeerTile> peers;
+  for (std::uint32_t peer = 0; peer < node_count_; ++peer) {
+    if (peer == rank_) continue;
+    const auto range = plan.tile_range(peer, node_count_);
+    if (range.first == range.second) continue;
+    WireWriter writer;
+    writer.str(name);
+    writer.u64(range.first);
+    writer.u64(range.second);
+    write_tensor(writer, boundary);
+    transport_->send(make_frame(FrameType::kHaloTile, Channel::kHaloRequest,
+                                peer, sequence, writer.take()));
+    peers.push_back(PeerTile{peer, range});
+  }
+
+  dnn::Tensor stitched({rows, plan.out_features});
+  const auto own = plan.tile_range(rank_, node_count_);
+  if (own.first != own.second) {
+    // run_trunk left our engine at the boundary instant — no fast-forward.
+    const dnn::Tensor tile =
+        worker.run_tile(boundary, own.first, own.second, false);
+    for (std::size_t b = 0; b < rows; ++b) {
+      for (std::size_t c = own.first; c < own.second; ++c) {
+        stitched.at2(b, c) = tile.at2(b, c - own.first);
+      }
+    }
+  }
+  for (const PeerTile& peer : peers) {
+    Message reply = transport_->recv(peer.rank, Channel::kHaloReply);
+    if (reply.header.type == FrameType::kErrorReply) {
+      WireReader reader(reply.payload);
+      throw std::runtime_error("fleet halo: peer " + std::to_string(peer.rank) +
+                               " failed: " + reader.str());
+    }
+    if (reply.header.type != FrameType::kHaloTileReply ||
+        reply.header.sequence != sequence) {
+      throw std::runtime_error("fleet halo: unexpected reply frame");
+    }
+    WireReader reader(reply.payload);
+    const dnn::Tensor tile = read_tensor(reader);
+    reader.expect_done();
+    const std::size_t width = peer.range.second - peer.range.first;
+    if (tile.rank() != 2 || tile.dim(0) != rows || tile.dim(1) != width) {
+      throw std::runtime_error("fleet halo: tile shape mismatch from peer " +
+                               std::to_string(peer.rank));
+    }
+    for (std::size_t b = 0; b < rows; ++b) {
+      for (std::size_t c = 0; c < width; ++c) {
+        stitched.at2(b, peer.range.first + c) = tile.at2(b, c);
+      }
+    }
+  }
+
+  serve::InferResult result;
+  result.logits = worker.run_tail(stitched);
+  result.shard_id = rank_;
+  result.batch_rows = rows;
+  result.coalesced_requests = 1;
+  result.queue_us = 0.0;
+  result.service_us = elapsed_us(started);
+  mp_requests_.fetch_add(1);
+  send_result(sequence, result);
+}
+
+void FleetNode::handle_dse_assign(const Message& message) {
+  const std::uint64_t generation = message.header.sequence;
+  try {
+    WireReader reader(message.payload);
+    const std::uint64_t count = reader.u64();
+    std::vector<std::uint64_t> ids(static_cast<std::size_t>(count));
+    for (auto& id : ids) id = reader.u64();
+    reader.expect_done();
+    if (dse_context_ == nullptr || dse_context_->admitted == nullptr ||
+        dse_context_->models == nullptr) {
+      throw std::logic_error("fleet node: kDseAssign without a published "
+                             "DSE context");
+    }
+    std::vector<core::DseCandidate> slice;
+    slice.reserve(ids.size());
+    for (const std::uint64_t id : ids) {
+      slice.push_back(dse_context_->admitted->at(static_cast<std::size_t>(id)));
+    }
+    const core::DseMemo delta =
+        dse_context_->evaluate != nullptr
+            ? dse_engine_.populate(slice, *dse_context_->models,
+                                   *dse_context_->evaluate)
+            : dse_engine_.populate(slice, *dse_context_->models);
+    dse_evaluations_.store(delta.size());
+    WireWriter writer;
+    write_memo(writer, delta);
+    transport_->send(make_frame(FrameType::kDseMemoDelta, Channel::kDse,
+                                coordinator_rank_, generation, writer.take()));
+  } catch (const std::exception& error) {
+    WireWriter writer;
+    writer.str(error.what());
+    transport_->send(make_frame(FrameType::kErrorReply, Channel::kDse,
+                                coordinator_rank_, generation, writer.take()));
+  }
+}
+
+void FleetNode::halo_loop() {
+  for (;;) {
+    Message message = transport_->recv(kAnySource, Channel::kHaloRequest);
+    if (message.header.type == FrameType::kShutdown) return;
+    const std::uint32_t owner = message.header.source;
+    const std::uint64_t sequence = message.header.sequence;
+    try {
+      if (message.header.type != FrameType::kHaloTile) {
+        throw std::runtime_error("fleet halo: unexpected request frame");
+      }
+      WireReader reader(message.payload);
+      const std::string name = reader.str();
+      const std::size_t col_begin = static_cast<std::size_t>(reader.u64());
+      const std::size_t col_end = static_cast<std::size_t>(reader.u64());
+      const dnn::Tensor boundary = read_tensor(reader);
+      reader.expect_done();
+      const auto it = mp_workers_.find(name);
+      if (it == mp_workers_.end()) {
+        throw std::runtime_error("fleet halo: unknown model '" + name + "'");
+      }
+      // Peer path: fast-forward our engine onto the owner's boundary instant.
+      const dnn::Tensor tile =
+          it->second->run_tile(boundary, col_begin, col_end, true);
+      halo_tiles_served_.fetch_add(1);
+      WireWriter writer;
+      write_tensor(writer, tile);
+      transport_->send(make_frame(FrameType::kHaloTileReply, Channel::kHaloReply,
+                                  owner, sequence, writer.take()));
+    } catch (const std::exception& error) {
+      WireWriter writer;
+      writer.str(error.what());
+      transport_->send(make_frame(FrameType::kErrorReply, Channel::kHaloReply,
+                                  owner, sequence, writer.take()));
+    }
+  }
+}
+
+void FleetNode::completer_loop() {
+  for (;;) {
+    PendingResult job;
+    {
+      std::unique_lock<std::mutex> lock(completer_mutex_);
+      completer_cv_.wait(lock, [&] {
+        return completer_closed_ || !completer_queue_.empty();
+      });
+      if (completer_queue_.empty()) return;  // Closed and drained.
+      job = std::move(completer_queue_.front());
+      completer_queue_.pop_front();
+    }
+    try {
+      send_result(job.sequence, job.future.get());
+    } catch (const std::exception& error) {
+      send_error(job.sequence, error.what());
+    }
+  }
+}
+
+void FleetNode::send_result(std::uint64_t sequence,
+                            const serve::InferResult& result) {
+  WireWriter writer;
+  write_tensor(writer, result.logits);
+  writer.u64(result.shard_id);
+  writer.u64(result.batch_rows);
+  writer.u64(result.coalesced_requests);
+  writer.f64(result.queue_us);
+  writer.f64(result.service_us);
+  transport_->send(make_frame(FrameType::kInferResult, Channel::kServe,
+                              coordinator_rank_, sequence, writer.take()));
+}
+
+void FleetNode::send_error(std::uint64_t sequence, const std::string& what) {
+  WireWriter writer;
+  writer.str(what);
+  transport_->send(make_frame(FrameType::kErrorReply, Channel::kServe,
+                              coordinator_rank_, sequence, writer.take()));
+}
+
+}  // namespace xl::fleet

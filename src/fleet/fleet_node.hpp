@@ -1,0 +1,132 @@
+// FleetNode — one rank of the fleet: a local ServingRuntime for the
+// data-parallel models it owns, a ModelParallelWorker replica for every
+// model-parallel model, and a DseEngine for its stripe of the candidate
+// grid. All work arrives as typed frames from the coordinator (rank N).
+//
+// Thread model (the deadlock-freedom argument):
+//   * pump thread      — blocks on Channel::kServe only. Executes control
+//     frames, submits data-parallel requests to the runtime, and runs
+//     model-parallel requests inline (trunk -> halo fan-out -> own tile ->
+//     collect on Channel::kHaloReply -> tail).
+//   * halo thread      — blocks on Channel::kHaloRequest only. Serves
+//     boundary tiles to *other* owners, so it is always available even
+//     while this node's own pump is blocked waiting for halo replies.
+//   * completer thread — drains a local queue of (sequence, future) pairs
+//     and ships each resolved future back to the coordinator, so the pump
+//     never blocks on a micro-batch.
+// Each thread owns one receive channel and any per-(node, model) engine it
+// touches is driven by exactly one thread (the pump when this node owns the
+// model, the halo thread when a peer does), so no engine locking is needed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dse_engine.hpp"
+#include "core/vdp_simulator.hpp"
+#include "fleet/fleet_types.hpp"
+#include "fleet/model_parallel.hpp"
+#include "fleet/transport.hpp"
+#include "serve/serving_runtime.hpp"
+
+namespace xl::fleet {
+
+/// In-process side table for distributed DSE: the coordinator publishes the
+/// admitted candidate grid (and the evaluator) here before sending
+/// kDseAssign, and nodes resolve their striped candidate ids against it.
+/// Only compact ids, memo deltas, and the merged memo cross the transport;
+/// the mailbox mutex of the assign frame provides the happens-before edge
+/// that makes the published fields safely readable on the node side. A
+/// socket transport would serialize the sweep itself instead — a payload
+/// change confined to the kDseAssign codec.
+struct DseSharedContext {
+  const std::vector<core::DseCandidate>* admitted = nullptr;
+  const std::vector<dnn::ModelSpec>* models = nullptr;
+  /// Null selects the built-in CrossLightAccelerator evaluator.
+  const core::DseCandidateEvaluator* evaluate = nullptr;
+};
+
+class FleetNode {
+ public:
+  /// Builds the node's slice of the zoo: data-parallel models whose
+  /// partition owner is `rank` are registered into a private ServingRuntime
+  /// (only constructed when at least one exists); every model-parallel
+  /// model gets a local ModelParallelWorker replica. Does not start threads.
+  FleetNode(std::uint32_t rank, std::unique_ptr<Transport> transport,
+            const std::vector<FleetModel>& zoo, const core::VdpSimOptions& vdp,
+            const FleetOptions& options, const DseSharedContext* dse_context);
+
+  FleetNode(const FleetNode&) = delete;
+  FleetNode& operator=(const FleetNode&) = delete;
+
+  /// Start the local runtime (if any) and the pump/halo/completer threads.
+  void start();
+
+  /// Join the pump (and, transitively, the completer and local runtime).
+  /// The pump exits after its kShutdown frame: it first drains every
+  /// completer future, so all submitted requests resolve before the
+  /// runtime stops. The coordinator calls this for every node BEFORE
+  /// shutting down halo threads — in-flight model-parallel requests may
+  /// still need peers' tiles.
+  void join_pump();
+
+  /// Join the halo thread (after its kShutdown on Channel::kHaloRequest).
+  void join_halo();
+
+  [[nodiscard]] FleetNodeStats stats() const;
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+
+ private:
+  struct PendingResult {
+    std::uint64_t sequence = 0;
+    std::future<serve::InferResult> future;
+  };
+
+  void pump_loop();
+  void halo_loop();
+  void completer_loop();
+
+  void handle_infer(std::uint64_t sequence, Message message);
+  void execute_model_parallel(std::uint64_t sequence, const std::string& name,
+                              dnn::Tensor input);
+  void handle_dse_assign(const Message& message);
+  void send_result(std::uint64_t sequence, const serve::InferResult& result);
+  void send_error(std::uint64_t sequence, const std::string& what);
+
+  const std::uint32_t rank_;
+  const std::uint32_t node_count_;        ///< Fleet nodes (coordinator excluded).
+  const std::uint32_t coordinator_rank_;  ///< == node_count_.
+  std::unique_ptr<Transport> transport_;
+  const DseSharedContext* dse_context_;
+
+  core::VdpSimOptions vdp_;
+  std::unique_ptr<serve::ServingRuntime> runtime_;  ///< Null when no dp model owned.
+  std::map<std::string, std::unique_ptr<ModelParallelWorker>> mp_workers_;
+  std::set<std::string> owned_mp_;  ///< Model-parallel models this rank owns.
+  core::DseEngine dse_engine_;
+
+  std::thread pump_;
+  std::thread halo_;
+  std::thread completer_;
+
+  std::mutex completer_mutex_;
+  std::condition_variable completer_cv_;
+  std::deque<PendingResult> completer_queue_;
+  bool completer_closed_ = false;
+
+  std::atomic<std::size_t> mp_requests_{0};
+  std::atomic<std::size_t> halo_tiles_served_{0};
+  std::atomic<std::size_t> dse_evaluations_{0};
+};
+
+}  // namespace xl::fleet

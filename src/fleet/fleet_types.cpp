@@ -1,0 +1,102 @@
+#include "fleet/fleet_types.hpp"
+
+#include <stdexcept>
+
+namespace xl::fleet {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FleetPartition FleetPartition::parse(const std::string& text) {
+  FleetPartition partition;
+  if (text.empty() || text == "round_robin") return partition;
+  if (text == "hash") {
+    partition.strategy = Strategy::kHash;
+    return partition;
+  }
+  // Pin list: "model=rank[,model=rank...]".
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      throw std::invalid_argument(
+          "FleetPartition: expected 'round_robin', 'hash', or "
+          "'model=rank[,...]', got '" + text + "'");
+    }
+    const std::string name = item.substr(0, eq);
+    const std::string rank_text = item.substr(eq + 1);
+    std::size_t parsed = 0;
+    unsigned long rank = 0;
+    try {
+      rank = std::stoul(rank_text, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != rank_text.size()) {
+      throw std::invalid_argument("FleetPartition: bad rank in '" + item + "'");
+    }
+    if (!partition.overrides.emplace(name, static_cast<std::uint32_t>(rank)).second) {
+      throw std::invalid_argument("FleetPartition: duplicate pin for '" + name + "'");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return partition;
+}
+
+std::uint32_t FleetPartition::owner_of(const std::string& name,
+                                       std::size_t index,
+                                       std::uint32_t nodes) const {
+  if (nodes == 0) throw std::invalid_argument("FleetPartition: zero nodes");
+  const auto it = overrides.find(name);
+  if (it != overrides.end()) {
+    if (it->second >= nodes) {
+      throw std::invalid_argument("FleetPartition: pin for '" + name +
+                                  "' names rank " + std::to_string(it->second) +
+                                  " but the fleet has " + std::to_string(nodes) +
+                                  " nodes");
+    }
+    return it->second;
+  }
+  if (strategy == Strategy::kHash) {
+    return static_cast<std::uint32_t>(fnv1a(name) % nodes);
+  }
+  return static_cast<std::uint32_t>(index % nodes);
+}
+
+std::string FleetPartition::summary() const {
+  std::string out =
+      strategy == Strategy::kHash ? std::string("hash") : std::string("round_robin");
+  for (const auto& [name, rank] : overrides) {
+    out += "," + name + "=" + std::to_string(rank);
+  }
+  return out;
+}
+
+void FleetOptions::validate() const {
+  if (nodes == 0) {
+    throw std::invalid_argument("FleetOptions: nodes must be >= 1");
+  }
+  serving.validate();
+  for (const auto& [name, rank] : partition.overrides) {
+    if (rank >= nodes) {
+      throw std::invalid_argument("FleetOptions: partition pin '" + name + "=" +
+                                  std::to_string(rank) + "' is out of range for " +
+                                  std::to_string(nodes) + " nodes");
+    }
+  }
+}
+
+}  // namespace xl::fleet

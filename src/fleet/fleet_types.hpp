@@ -1,0 +1,109 @@
+// Shared types of the xl::fleet layer: partition maps, options, stats.
+//
+// The fleet partitions two grids across N FleetNodes: the model zoo (each
+// data-parallel model is owned by exactly one node; model-parallel models
+// are replicated everywhere and split column-wise at their boundary layer)
+// and the DSE candidate grid (striped round-robin over the admitted list).
+// A FleetPartition decides model ownership; it is pure metadata — the
+// determinism contract guarantees per-sample logits are bit-identical under
+// ANY partition map and node count, so partitioning is purely a
+// load-balancing decision, never a numerics decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dse_engine.hpp"
+#include "fleet/transport.hpp"
+#include "serve/model_repository.hpp"
+#include "serve/serve_types.hpp"
+
+namespace xl::fleet {
+
+/// How the model zoo maps onto node ranks.
+struct FleetPartition {
+  enum class Strategy : std::uint8_t {
+    kRoundRobin,  ///< Registration index modulo node count.
+    kHash,        ///< FNV-1a of the model name modulo node count.
+  };
+
+  Strategy strategy = Strategy::kRoundRobin;
+  /// Explicit pins: model name -> node rank. Wins over the strategy; a rank
+  /// out of range is rejected at fleet start.
+  std::map<std::string, std::uint32_t> overrides;
+
+  /// Parse a --partition spec: "round_robin", "hash", or a comma-separated
+  /// pin list "model=rank[,model=rank...]" (pins imply round_robin for
+  /// unpinned models). Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FleetPartition parse(const std::string& text);
+
+  /// Owning node of the model registered at `index` under `nodes` ranks.
+  [[nodiscard]] std::uint32_t owner_of(const std::string& name,
+                                       std::size_t index,
+                                       std::uint32_t nodes) const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Fleet configuration. `serving` configures every node's local
+/// ServingRuntime identically (workers per node, batching, pacing);
+/// `dse` configures every node's DseEngine (and the coordinator's
+/// assembly engine, whose memo is always enabled — it is the union cache).
+struct FleetOptions {
+  std::size_t nodes = 1;  ///< FleetNode count (the transport adds one
+                          ///< coordinator endpoint on rank `nodes`).
+  FleetPartition partition;
+  serve::ServingOptions serving;
+  core::DseEngine::Options dse;
+
+  /// Throws std::invalid_argument on zero nodes, an invalid serving
+  /// config, or a partition pin whose rank is >= nodes.
+  void validate() const;
+};
+
+/// A model in the fleet zoo: the serve-layer registration plus the fleet's
+/// parallelism mode. A model-parallel model is replicated on every node and
+/// its final Dense layer is split column-wise (halo exchange at the
+/// boundary); it bypasses micro-batching and executes one request at a
+/// time on its owner. See model_parallel.hpp for the layer constraints.
+struct FleetModel {
+  serve::ServedModel served;
+  bool model_parallel = false;
+};
+
+/// Per-node telemetry snapshot.
+struct FleetNodeStats {
+  std::uint32_t rank = 0;
+  serve::ServingStats serving;        ///< Local runtime counters (dp models).
+  std::size_t mp_requests = 0;        ///< Model-parallel requests executed as owner.
+  std::size_t halo_tiles_served = 0;  ///< Boundary tiles computed for peers.
+  std::size_t dse_evaluations = 0;    ///< Evaluator calls paid in the last run_dse.
+};
+
+/// Fleet-wide telemetry snapshot.
+struct FleetStats {
+  std::size_t requests = 0;  ///< Requests routed by the coordinator.
+  std::vector<FleetNodeStats> nodes;
+  TransportStats transport;
+};
+
+/// A distributed DSE run: the assembled result (bit-identical to a
+/// single-engine DseEngine::run over the same sweep) plus the per-node
+/// split of the evaluation work.
+struct FleetDseResult {
+  core::DseResult result;
+  std::vector<std::size_t> node_evaluations;  ///< Evaluator calls by rank.
+
+  /// Total evaluator calls paid across the fleet for this run (0 on a warm
+  /// re-run — the merged memo already covered the grid).
+  [[nodiscard]] std::size_t total_evaluations() const noexcept {
+    std::size_t total = 0;
+    for (const std::size_t n : node_evaluations) total += n;
+    return total;
+  }
+};
+
+}  // namespace xl::fleet

@@ -1,0 +1,124 @@
+#include "fleet/model_parallel.hpp"
+
+#include <stdexcept>
+
+#include "dnn/dense.hpp"
+#include "numerics/matrix.hpp"
+#include "serve/serve_types.hpp"
+
+namespace xl::fleet {
+
+using dnn::LayerKind;
+using dnn::Tensor;
+using numerics::Matrix;
+
+std::pair<std::size_t, std::size_t> HaloPlan::tile_range(
+    std::uint32_t tile, std::uint32_t tiles) const {
+  if (tiles == 0 || tile >= tiles) {
+    throw std::invalid_argument("HaloPlan: tile index out of range");
+  }
+  const std::size_t base = out_features / tiles;
+  const std::size_t remainder = out_features % tiles;
+  const std::size_t begin =
+      static_cast<std::size_t>(tile) * base +
+      std::min<std::size_t>(tile, remainder);
+  const std::size_t width = base + (tile < remainder ? 1 : 0);
+  return {begin, begin + width};
+}
+
+HaloPlan make_halo_plan(dnn::Network& network) {
+  std::size_t accelerated = 0;
+  std::size_t last_accelerated = network.layer_count();
+  for (std::size_t i = 0; i < network.layer_count(); ++i) {
+    const LayerKind kind = network.layer(i).kind_id();
+    if (kind == LayerKind::kDense || kind == LayerKind::kConv) {
+      ++accelerated;
+      last_accelerated = i;
+    }
+  }
+  if (accelerated == 0) {
+    throw std::invalid_argument(
+        "model_parallel: network has no accelerated layer to split");
+  }
+  if (network.layer(last_accelerated).kind_id() != LayerKind::kDense) {
+    throw std::invalid_argument(
+        "model_parallel: the last accelerated layer must be Dense "
+        "(column-splitting a Conv is not supported)");
+  }
+  auto& dense = static_cast<dnn::Dense&>(network.layer(last_accelerated));
+  HaloPlan plan;
+  plan.boundary_layer = last_accelerated;
+  plan.in_features = dense.in_features();
+  plan.out_features = dense.out_features();
+  plan.accelerated_trunk_layers = accelerated - 1;
+  return plan;
+}
+
+ModelParallelWorker::ModelParallelWorker(const serve::ServedModel& model,
+                                         const core::VdpSimOptions& vdp)
+    : network_(model.factory()) {
+  serve::copy_parameters(*model.prototype, network_);
+  engine_ = std::make_unique<core::PhotonicInferenceEngine>(network_, vdp);
+  plan_ = make_halo_plan(network_);
+}
+
+Tensor ModelParallelWorker::run_trunk(const Tensor& input) {
+  // Boot-state reset: every request sees the canonical effect timeline, the
+  // same contract AcceleratorShard::execute applies per micro-batch.
+  engine_->engine().reset_effects();
+  return engine_->infer_range(input, 0, plan_.boundary_layer);
+}
+
+Tensor ModelParallelWorker::run_tile(const Tensor& boundary,
+                                     std::size_t col_begin, std::size_t col_end,
+                                     bool fast_forward) {
+  if (boundary.rank() != 2 || boundary.dim(1) != plan_.in_features) {
+    throw std::invalid_argument("model_parallel: boundary shape mismatch");
+  }
+  if (col_begin >= col_end || col_end > plan_.out_features) {
+    throw std::invalid_argument("model_parallel: tile columns out of range");
+  }
+  if (fast_forward) {
+    // Land on the owner's simulated instant: boot state plus one thermal dt
+    // per accelerated trunk layer, stepped one layer at a time (the thermal
+    // stage integrates per step, so n steps of dt != one step of n*dt).
+    engine_->engine().reset_effects();
+    const double dt = engine_->engine().options().effects.thermal_stage.dt_us;
+    for (std::size_t i = 0; i < plan_.accelerated_trunk_layers; ++i) {
+      engine_->engine().advance_effects(dt);
+    }
+  }
+  auto& dense = static_cast<dnn::Dense&>(network_.layer(plan_.boundary_layer));
+  const std::size_t batch = boundary.dim(0);
+  const std::size_t in = plan_.in_features;
+  const std::size_t width = col_end - col_begin;
+
+  Matrix x(batch, in);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t i = 0; i < in; ++i) x(b, i) = boundary.at2(b, i);
+  }
+  // The weight-row slice: photonic_matmul treats every output row of W
+  // independently (normalization, drift, keyed noise), so these rows get
+  // exactly the bits the full boundary GEMM would compute for them.
+  Matrix w(width, in);
+  for (std::size_t r = 0; r < width; ++r) {
+    for (std::size_t i = 0; i < in; ++i) {
+      w(r, i) = dense.weights().at2(col_begin + r, i);
+    }
+  }
+  const Matrix y = engine_->engine().photonic_matmul(x, w);
+  Tensor out({batch, width});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t r = 0; r < width; ++r) {
+      out.at2(b, r) = static_cast<float>(y(b, r) + dense.bias()[col_begin + r]);
+    }
+  }
+  return out;
+}
+
+Tensor ModelParallelWorker::run_tail(const Tensor& stitched) {
+  return engine_->infer_range(stitched, plan_.boundary_layer + 1,
+                              network_.layer_count());
+}
+
+}  // namespace xl::fleet

@@ -1,0 +1,132 @@
+#include "fleet/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xl::fleet {
+
+InProcFabric::InProcFabric(std::uint32_t world_size) : world_size_(world_size) {
+  if (world_size == 0) {
+    throw std::invalid_argument("InProcFabric: world_size must be >= 1");
+  }
+  boxes_.reserve(world_size);
+  for (std::uint32_t i = 0; i < world_size; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+  gather_slots_.resize(world_size);
+}
+
+std::unique_ptr<Transport> InProcFabric::make_endpoint(std::uint32_t rank) {
+  return std::make_unique<InProcTransport>(*this, rank);
+}
+
+TransportStats InProcFabric::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void InProcFabric::deliver(std::uint32_t source, Message message) {
+  if (message.header.dest >= world_size_) {
+    throw std::invalid_argument("InProcFabric: dest rank out of range");
+  }
+  message.header.source = source;
+  message.header.magic = kMagic;
+  message.header.version = kWireVersion;
+  message.header.payload_bytes = message.payload.size();
+  // Round-trip the header through the canonical byte layout on every send:
+  // the in-proc fabric could hand the struct over directly, but pushing it
+  // through encode/decode means each frame exercises exactly the bytes a
+  // socket transport would emit — protocol drift fails immediately, not at
+  // socket-transport time.
+  message.header = decode_header(encode_header(message.header));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.frames += 1;
+    stats_.payload_bytes += message.payload.size();
+    if (message.header.channel == Channel::kHaloRequest ||
+        message.header.channel == Channel::kHaloReply) {
+      stats_.halo_frames += 1;
+      stats_.halo_bytes += message.payload.size();
+    }
+    if (message.header.type == FrameType::kDseMemoDelta ||
+        message.header.type == FrameType::kDseMemoMerged) {
+      stats_.dse_bytes += message.payload.size();
+    }
+  }
+  Mailbox& box = *boxes_[message.header.dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.frames.push_back(std::move(message));
+  }
+  // notify_all, not _one: multiple threads of one rank wait on different
+  // (source, channel) filters, and only the matching waiter may consume.
+  box.arrived.notify_all();
+}
+
+Message InProcFabric::receive(std::uint32_t rank, std::uint32_t source,
+                              Channel channel) {
+  if (rank >= world_size_) {
+    throw std::invalid_argument("InProcFabric: recv rank out of range");
+  }
+  Mailbox& box = *boxes_[rank];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.frames.begin(); it != box.frames.end(); ++it) {
+      if (it->header.channel != channel) continue;
+      if (source != kAnySource && it->header.source != source) continue;
+      Message out = std::move(*it);
+      box.frames.erase(it);
+      return out;
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+void InProcFabric::enter_barrier() {
+  std::unique_lock<std::mutex> lock(collective_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_waiting_ == world_size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    collective_cv_.notify_all();
+    return;
+  }
+  collective_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+std::vector<std::vector<std::uint8_t>> InProcFabric::gather(
+    std::uint32_t rank, std::vector<std::uint8_t> payload) {
+  std::unique_lock<std::mutex> lock(collective_mutex_);
+  const std::uint64_t generation = gather_generation_;
+  gather_slots_[rank] = std::move(payload);
+  if (++gather_contributed_ == world_size_) {
+    gather_ready_ = std::move(gather_slots_);
+    gather_slots_.assign(world_size_, {});
+    gather_contributed_ = 0;
+    ++gather_generation_;
+    collective_cv_.notify_all();
+  } else {
+    // The next round cannot complete (and overwrite gather_ready_) until
+    // every rank has left this one — each must call gather() again — so
+    // copying under the lock after the generation tick is race-free.
+    collective_cv_.wait(lock, [&] { return gather_generation_ != generation; });
+  }
+  return gather_ready_;
+}
+
+InProcTransport::InProcTransport(InProcFabric& fabric, std::uint32_t rank)
+    : fabric_(fabric), rank_(rank) {
+  if (rank >= fabric.world_size()) {
+    throw std::invalid_argument("InProcTransport: rank out of range");
+  }
+}
+
+void InProcTransport::send(Message message) {
+  fabric_.deliver(rank_, std::move(message));
+}
+
+Message InProcTransport::recv(std::uint32_t source, Channel channel) {
+  return fabric_.receive(rank_, source, channel);
+}
+
+}  // namespace xl::fleet

@@ -1,0 +1,141 @@
+// Transport — the fleet's message fabric abstraction.
+//
+// A Transport is one endpoint of an N-endpoint fabric: it can send typed
+// frames to any rank, selectively receive by (source, channel), and join
+// fabric-wide collectives (barrier / allgather). The interface is shaped
+// like an MPI communicator on purpose (rank / world_size / point-to-point /
+// collectives, in the Qlattice GeometryNode / get_comm() layering spirit):
+// the InProcTransport here routes frames through shared in-process
+// mailboxes, and a socket or MPI transport can implement the same five
+// virtuals against the identical wire format (wire.hpp pins the bytes)
+// without touching any fleet code above it.
+//
+// Selective receive is the deadlock-safety primitive: each fleet thread
+// blocks on exactly one channel, so frames for other threads of the same
+// rank are never stolen and never block the channel they belong to.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fleet/wire.hpp"
+
+namespace xl::fleet {
+
+/// One typed frame in flight: decoded header + raw payload bytes.
+struct Message {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Fabric-wide traffic counters (snapshot; see InProcFabric::stats).
+struct TransportStats {
+  std::uint64_t frames = 0;        ///< Frames delivered, all channels.
+  std::uint64_t payload_bytes = 0; ///< Payload bytes delivered, all channels.
+  std::uint64_t halo_frames = 0;   ///< kHaloRequest + kHaloReply frames.
+  std::uint64_t halo_bytes = 0;    ///< Activation-tile payload bytes.
+  std::uint64_t dse_bytes = 0;     ///< Memo delta/merge payload bytes.
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual std::uint32_t rank() const = 0;
+  [[nodiscard]] virtual std::uint32_t world_size() const = 0;
+
+  /// Deliver `message` to `message.header.dest`. The transport stamps
+  /// source, magic/version, and payload_bytes; the caller sets type,
+  /// channel, dest, and sequence. Thread-safe.
+  virtual void send(Message message) = 0;
+
+  /// Block until a frame from `source` (kAnySource for any rank) on
+  /// `channel` is available, and return it. Frames on other channels — or
+  /// from other sources when a specific one is named — are left queued for
+  /// their own receiver. Per-(source, channel) FIFO order is preserved.
+  [[nodiscard]] virtual Message recv(std::uint32_t source, Channel channel) = 0;
+
+  /// Block until every endpoint of the fabric has entered the barrier.
+  virtual void barrier() = 0;
+
+  /// Contribute `payload` and block until every endpoint contributed;
+  /// returns all payloads indexed by rank (identical on every endpoint).
+  [[nodiscard]] virtual std::vector<std::vector<std::uint8_t>> allgather(
+      std::vector<std::uint8_t> payload) = 0;
+};
+
+/// Shared state of an N-endpoint in-process fabric: per-rank mailboxes and
+/// the collective rendezvous. Create once, then make_endpoint(rank) for
+/// each participant (coordinator + nodes). Thread-safe throughout.
+class InProcFabric {
+ public:
+  explicit InProcFabric(std::uint32_t world_size);
+
+  [[nodiscard]] std::uint32_t world_size() const noexcept { return world_size_; }
+
+  /// Endpoint for `rank` (callable once per rank in a well-formed fleet;
+  /// endpoints share the fabric and must not outlive it).
+  [[nodiscard]] std::unique_ptr<Transport> make_endpoint(std::uint32_t rank);
+
+  [[nodiscard]] TransportStats stats() const;
+
+ private:
+  friend class InProcTransport;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> frames;
+  };
+
+  void deliver(std::uint32_t source, Message message);
+  [[nodiscard]] Message receive(std::uint32_t rank, std::uint32_t source,
+                                Channel channel);
+  void enter_barrier();
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> gather(
+      std::uint32_t rank, std::vector<std::uint8_t> payload);
+
+  const std::uint32_t world_size_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  std::mutex collective_mutex_;
+  std::condition_variable collective_cv_;
+  std::uint64_t barrier_generation_ = 0;
+  std::uint32_t barrier_waiting_ = 0;
+  std::uint64_t gather_generation_ = 0;
+  std::uint32_t gather_contributed_ = 0;
+  std::vector<std::vector<std::uint8_t>> gather_slots_;
+  std::vector<std::vector<std::uint8_t>> gather_ready_;
+
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+/// One endpoint of an InProcFabric.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(InProcFabric& fabric, std::uint32_t rank);
+
+  [[nodiscard]] std::uint32_t rank() const override { return rank_; }
+  [[nodiscard]] std::uint32_t world_size() const override {
+    return fabric_.world_size();
+  }
+  void send(Message message) override;
+  [[nodiscard]] Message recv(std::uint32_t source, Channel channel) override;
+  void barrier() override { fabric_.enter_barrier(); }
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> allgather(
+      std::vector<std::uint8_t> payload) override {
+    return fabric_.gather(rank_, std::move(payload));
+  }
+
+ private:
+  InProcFabric& fabric_;
+  const std::uint32_t rank_;
+};
+
+}  // namespace xl::fleet

@@ -64,6 +64,22 @@ void RequestQueue::close() {
   not_full_.notify_all();
 }
 
+std::vector<PendingRequest> RequestQueue::close_and_drain() {
+  std::vector<PendingRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    drained.reserve(queue_.size());
+    while (!queue_.empty()) {
+      drained.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  return drained;
+}
+
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;

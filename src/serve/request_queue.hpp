@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/serve_types.hpp"
 
@@ -62,6 +63,14 @@ class RequestQueue {
   /// Close the queue: push() starts failing, poppers drain the backlog and
   /// then observe kClosed / nullopt.
   void close();
+
+  /// Atomically close the queue AND claim the entire undispatched backlog.
+  /// After this returns, every request the queue ever accepted is either
+  /// (a) already popped by a batcher (it will complete normally) or
+  /// (b) in the returned vector (the runtime fails its promise with
+  /// ShutdownError) — exactly one of the two, so no request is ever
+  /// silently dropped or double-resolved at shutdown.
+  [[nodiscard]] std::vector<PendingRequest> close_and_drain();
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t size() const;

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +49,18 @@ struct InferResult {
   std::size_t coalesced_requests = 0; ///< Requests sharing that micro-batch.
   double queue_us = 0.0;              ///< Admission -> dispatch wall time.
   double service_us = 0.0;            ///< Dispatch -> completion wall time.
+};
+
+/// Thrown through the future of every request that was accepted by submit()
+/// but still queued — never dispatched into a micro-batch — when
+/// ServingRuntime::stop() runs. The shutdown contract: in-flight
+/// micro-batches complete normally; undispatched requests fail fast with
+/// this error instead of being silently dropped with the runtime. Callers
+/// that stop() while holding unresolved futures must be prepared to catch
+/// it (fleet nodes translate it into an error frame for the coordinator).
+class ShutdownError : public std::runtime_error {
+ public:
+  explicit ShutdownError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Upper bound on queue deadlines (1000 s): far beyond any sane batching

@@ -102,11 +102,21 @@ void ServingRuntime::stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (!started_ || stopping_) return;  // Never started, or already stopped.
   stopping_ = true;
-  queue_.close();  // Workers drain the backlog, then observe nullopt.
+  // Close admission and claim the undispatched backlog in one atomic step:
+  // every accepted request is now either inside a micro-batch (a worker
+  // finishes it normally below) or in `orphans` — exactly one of the two.
+  std::vector<PendingRequest> orphans = queue_.close_and_drain();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Fail the orphans only after the workers are gone, so a completed future
+  // always means "executed" and a ShutdownError always means "never ran".
+  for (PendingRequest& pending : orphans) {
+    pending.promise.set_exception(std::make_exception_ptr(ShutdownError(
+        "ServingRuntime: stop() before request for '" + pending.request.model +
+        "' was dispatched")));
+  }
 }
 
 void ServingRuntime::worker_loop(AcceleratorShard& shard) {

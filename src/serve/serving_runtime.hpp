@@ -60,7 +60,8 @@ class ServingRuntime {
   ServingRuntime(const ServingRuntime&) = delete;
   ServingRuntime& operator=(const ServingRuntime&) = delete;
 
-  /// Joins workers (draining the backlog first).
+  /// Calls stop(): in-flight micro-batches complete, still-queued requests
+  /// fail with ShutdownError.
   ~ServingRuntime();
 
   /// Register a model before start(). The prototype network must outlive
@@ -83,8 +84,10 @@ class ServingRuntime {
   [[nodiscard]] std::future<InferResult> submit(const std::string& model,
                                                 dnn::Tensor input);
 
-  /// Stop accepting requests, drain the backlog, join the workers.
-  /// Idempotent; called by the destructor.
+  /// Stop accepting requests and join the workers. Requests already claimed
+  /// into a micro-batch complete normally; requests still queued (never
+  /// dispatched) have their futures failed with ShutdownError — nothing is
+  /// silently dropped. Idempotent; called by the destructor.
   void stop();
 
   [[nodiscard]] bool started() const noexcept { return started_; }

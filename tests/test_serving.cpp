@@ -389,6 +389,51 @@ TEST(ServingRuntime, ValidatesOptionsAndSubmissions) {
                std::runtime_error);
 }
 
+// Shutdown contract: requests still queued when stop() runs must have their
+// futures completed with ShutdownError — never silently dropped — while the
+// claimed in-flight micro-batch completes normally.
+TEST(ServingRuntimeTest, StopFailsQueuedRequestsWithShutdownError) {
+  dnn::Network prototype = make_proxy();
+  ServingOptions options;
+  options.workers = 1;
+  options.max_batch = 1;  // No coalescing: one request per micro-batch.
+  options.deadline_us = 0.0;
+  // Hardware-time pacing occupies the lone worker for ~0.2 s per request,
+  // so everything submitted behind the in-flight one is still queued when
+  // stop() runs.
+  options.pace_hardware_time = true;
+  options.pace_scale = 2e7;
+  auto runtime = make_runtime(prototype, options);
+  runtime->start();
+
+  const dnn::Dataset data = proxy_dataset(8);
+  std::vector<std::future<InferResult>> futures;
+  futures.push_back(runtime->submit("proxy", dnn::batch_images(data, 0, 1)));
+  // Give the worker time to claim the first request into its micro-batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (std::size_t i = 1; i < 8; ++i) {
+    futures.push_back(runtime->submit("proxy", dnn::batch_images(data, i, 1)));
+  }
+  runtime->stop();
+
+  std::size_t completed = 0;
+  std::size_t shutdown = 0;
+  for (auto& future : futures) {
+    try {
+      const InferResult result = future.get();  // Must never hang or break.
+      EXPECT_EQ(result.logits.dim(0), 1u);
+      ++completed;
+    } catch (const ShutdownError& e) {
+      EXPECT_NE(std::string(e.what()).find("stop()"), std::string::npos);
+      ++shutdown;
+    }
+  }
+  // Every future resolved exactly one way: executed, or failed-at-shutdown.
+  EXPECT_EQ(completed + shutdown, futures.size());
+  EXPECT_GE(completed, 1u) << "the claimed in-flight request must complete";
+  EXPECT_GE(shutdown, 1u) << "the undispatched backlog must fail loudly";
+}
+
 TEST(ModelRepository, ReplicatesWeightsExactly) {
   dnn::Network prototype = make_proxy(/*seed=*/77);
   ModelRepository repo;

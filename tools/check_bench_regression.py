@@ -21,6 +21,7 @@ Exit status: 0 on pass, 1 on any gated regression or malformed input.
 import argparse
 import json
 import math
+import os
 import sys
 
 SCALAR_SUFFIX = "_Scalar"
@@ -78,9 +79,16 @@ def main():
         print("error: no BM_Kernel*_Scalar/_Dispatch pairs in", args.current)
         return 1
 
+    # A missing baseline is a skip, not a failure: new benches land before
+    # their first committed baseline, and the gate must not block that PR.
     baseline = {}
     if args.baseline:
-        baseline = pair_speedups(load_runs(args.baseline))
+        if os.path.exists(args.baseline):
+            baseline = pair_speedups(load_runs(args.baseline))
+        else:
+            print(f"skip: baseline '{args.baseline}' not found; "
+                  "reporting speedups without a regression gate "
+                  "(commit the baseline to enable gating)")
 
     print(f"{'kernel':<28} {'scalar ns':>12} {'dispatch ns':>12} "
           f"{'speedup':>8} {'baseline':>9} {'status':>8}")
