@@ -20,8 +20,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "core/vdp_simulator.hpp"
+#include "numerics/aligned.hpp"
+#include "numerics/arena.hpp"
 #include "numerics/matrix.hpp"
 #include "photonics/bank_lut.hpp"
 
@@ -33,6 +37,35 @@ struct BatchedVdpStats {
   std::size_t dot_products = 0;   ///< Output elements simulated.
   std::size_t macs = 0;           ///< Multiply-accumulates simulated.
   std::size_t max_batch_rows = 0; ///< Largest activation batch seen.
+};
+
+/// Weight-side operand of a planned GEMM, packed once at plan-compile time:
+/// per-output DAC scales, quantized imprint detunings, and the sign/zero
+/// tables the hot loop folds activation signs against. Packing hoists the
+/// entire weight-quantization pass out of the per-request path.
+struct PackedGemmWeights {
+  std::size_t outputs = 0;
+  std::size_t k = 0;
+  numerics::Vector sw;             ///< Per-output row scale (row_abs_max).
+  numerics::AlignedVector det;     ///< outputs * k imprint detunings.
+  std::vector<unsigned char> neg;  ///< Weight sign bits.
+  std::vector<unsigned char> zero; ///< Exact-zero weight flags.
+};
+
+/// Caller-owned cache of the arm transmission tables one planned GEMM
+/// consumes (photonics::MrBankTransferLut::build_carry_table/
+/// build_idle_table). The tables depend only on the packed weights and the
+/// rendered effect frame — never on activations — and a frame is a pure
+/// function of the pipeline's simulated time, so the engine revalidates by
+/// time stamp: under the serving contract (one reset_effects per
+/// micro-batch) every layer executes at the same simulated time on every
+/// batch and the Lorentzian division pass runs once, not once per call.
+/// Spans are carved from the plan arena: carry holds outputs *
+/// gemm_table_elems(k) doubles, idle gemm_table_elems(k).
+struct GemmTableCache {
+  std::span<double> carry;
+  std::span<double> idle;
+  double stamp = -1.0;  ///< Pipeline time of the cached frame; < 0 = empty.
 };
 
 class BatchedVdpEngine {
@@ -51,6 +84,57 @@ class BatchedVdpEngine {
   /// Exact electronic reference for the same GEMM shape (tiled kernel).
   [[nodiscard]] static numerics::Matrix exact_matmul(const numerics::Matrix& x,
                                                      const numerics::Matrix& w);
+
+  /// Quantize a float row-major (outputs x k) weight matrix into the packed
+  /// form consumed by the caller-provided-output photonic_matmul overload.
+  /// The pack reproduces the Matrix overload's weight pass exactly (same
+  /// row_abs_max kernel, same detune/sign/zero tables), so planned GEMMs are
+  /// bit-identical to the legacy path.
+  [[nodiscard]] PackedGemmWeights pack_weights(const float* w, std::size_t outputs,
+                                               std::size_t k) const;
+
+  /// Planned photonic Y = X * W^T with a caller-provided output buffer.
+  ///
+  /// Contract (the zero-allocation hot path):
+  ///   * `x` is row-major (batch x k) float activations; `y` must hold
+  ///     batch * outputs doubles and is fully overwritten.
+  ///   * Transient activation tables (sx, a_mag, x_neg) come from `workspace`
+  ///     via a mark/rewind pair — the arena's steady-state usage is flat and
+  ///     no heap allocation occurs once thread scratch is warm (see
+  ///     warm_thread_scratch); size the arena with matmul_workspace_bytes.
+  ///   * `tables` holds this GEMM's arm-transmission tables (idle sized
+  ///     gemm_table_elems(k), carry sized outputs * gemm_table_elems(k)).
+  ///     The engine revalidates the cache against the current effect frame's
+  ///     time stamp and rebuilds only on mismatch — under the serving
+  ///     contract (reset_effects per micro-batch) the Lorentzian division
+  ///     pass runs once per plan lifetime, not once per call.
+  ///   * `y`, `workspace`, and `tables` must not alias `x`; calls on the
+  ///     same engine must not overlap (the per-thread scratch pool is
+  ///     engine-owned).
+  ///   * Bit-identity: for identical operand values this computes exactly
+  ///     the bytes of the Matrix overload — plans change where bytes live
+  ///     and when tables are built, never what is computed.
+  void photonic_matmul(const float* x, std::size_t batch, std::size_t k,
+                       const PackedGemmWeights& w, double* y,
+                       numerics::Arena& workspace, GemmTableCache& tables);
+
+  /// Upper bound of the arena bytes one planned photonic_matmul call bumps
+  /// transiently: the activation tables (sx, a_mag, x_neg). ExecutionPlan
+  /// reserves this per GEMM step so the steady state never regrows the
+  /// arena. Table storage is separate and persistent — see gemm_table_elems.
+  [[nodiscard]] std::size_t matmul_workspace_bytes(std::size_t batch,
+                                                   std::size_t k) const;
+
+  /// Elements of one arm-transmission table for a k-element operand under
+  /// this engine's crosstalk configuration. A GemmTableCache for a
+  /// (k, outputs) GEMM needs gemm_table_elems(k) idle doubles plus
+  /// outputs * gemm_table_elems(k) carry doubles.
+  [[nodiscard]] std::size_t gemm_table_elems(std::size_t k) const;
+
+  /// Pre-size the per-thread vdp_dot scratch (and sign-fold rows) for
+  /// operand length `max_k`, so the first planned matmul after plan compile
+  /// is already allocation-free. Serial; call outside the hot path.
+  void warm_thread_scratch(std::size_t max_k);
 
   [[nodiscard]] const VdpSimOptions& options() const noexcept { return opts_; }
   /// Precomputed transfer tables (shared kernel with VdpSimulator).
@@ -78,9 +162,21 @@ class BatchedVdpEngine {
   void reset_stats() noexcept { stats_ = BatchedVdpStats{}; }
 
  private:
+  /// Per-OpenMP-thread reusable buffers for the planned GEMM path. Heap
+  /// pointers (not values) so entries never move when the pool grows and
+  /// false sharing between threads is avoided.
+  struct ThreadScratch {
+    xl::photonics::VdpScratch scratch;
+    std::vector<unsigned char> neg;  ///< Folded-sign row (>= k entries).
+  };
+
+  /// Grow the pool to the current OpenMP thread budget; returns it.
+  std::vector<std::unique_ptr<ThreadScratch>>& thread_pool();
+
   VdpSimOptions opts_;
   VdpSimulator sim_;  ///< Owns the grid + LUT; also the scalar fallback.
   BatchedVdpStats stats_;
+  std::vector<std::unique_ptr<ThreadScratch>> thread_scratch_;
 };
 
 }  // namespace xl::core

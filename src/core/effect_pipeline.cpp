@@ -209,6 +209,12 @@ EffectPipeline::EffectPipeline(const VdpSimOptions& opts)
     stages_.push_back(std::make_unique<NoiseEffectStage>(config_.noise_stage));
   }
   view_.noise_seed = numerics::hash_combine(config_.seed, kNoiseSeedTag);
+
+  stage_frames_.resize(stages_.size());
+  for (EffectFrame& sf : stage_frames_) {
+    sf.ring_drift_nm.resize(opts.mrs_per_bank, 0.0);
+  }
+  stage_dirty_since_reset_.assign(stages_.size(), 0);
   rebuild();
 }
 
@@ -217,10 +223,27 @@ EffectPipeline::EffectPipeline(EffectPipeline&&) noexcept = default;
 EffectPipeline& EffectPipeline::operator=(EffectPipeline&&) noexcept = default;
 
 void EffectPipeline::rebuild() {
+  for (std::size_t i = 0; i < stages_.size(); ++i) render_stage(i);
+  combine();
+}
+
+void EffectPipeline::render_stage(std::size_t idx) {
+  EffectFrame& sf = stage_frames_[idx];
+  std::fill(sf.ring_drift_nm.begin(), sf.ring_drift_nm.end(), 0.0);
+  sf.noise_std = 0.0;
+  stages_[idx]->apply(sf);
+}
+
+void EffectPipeline::combine() {
   std::fill(frame_.ring_drift_nm.begin(), frame_.ring_drift_nm.end(), 0.0);
   frame_.noise_std = 0.0;
   frame_.crosstalk = crosstalk_base_;
-  for (const auto& stage : stages_) stage->apply(frame_);
+  for (const EffectFrame& sf : stage_frames_) {
+    for (std::size_t i = 0; i < frame_.ring_drift_nm.size(); ++i) {
+      frame_.ring_drift_nm[i] += sf.ring_drift_nm[i];
+    }
+    frame_.noise_std += sf.noise_std;
+  }
 
   const bool drift = config_.thermal || config_.fpv;
   view_.ring_drift_nm =
@@ -233,16 +256,34 @@ void EffectPipeline::advance(double dt_us) {
   if (dt_us <= 0.0) {
     throw std::invalid_argument("EffectPipeline::advance: dt_us must be > 0");
   }
+  advanced_since_reset_ = true;
   bool dirty = false;
-  for (const auto& stage : stages_) dirty = stage->advance(dt_us) || dirty;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i]->advance(dt_us)) {
+      stage_dirty_since_reset_[i] = 1;
+      render_stage(i);
+      dirty = true;
+    }
+  }
   time_us_ += dt_us;
-  if (dirty) rebuild();
+  if (dirty) combine();
 }
 
 void EffectPipeline::reset() {
+  // Serving resets the pipeline before every micro-batch; when no advance()
+  // landed since the last reset the frame already holds the t = 0 render and
+  // the whole call is a branch.
+  if (!advanced_since_reset_) return;
   for (const auto& stage : stages_) stage->reset();
   time_us_ = 0.0;
-  rebuild();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stage_dirty_since_reset_[i] != 0) {
+      render_stage(i);
+      stage_dirty_since_reset_[i] = 0;
+    }
+  }
+  combine();
+  advanced_since_reset_ = false;
 }
 
 std::vector<std::string> EffectPipeline::stage_names() const {

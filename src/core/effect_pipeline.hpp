@@ -110,6 +110,11 @@ class EffectPipeline {
   }
   [[nodiscard]] double time_us() const noexcept { return time_us_; }
 
+  /// True when any stage evolves with simulated time (thermal wander); a
+  /// static pipeline renders one frame at boot and never changes it, so its
+  /// rendered frame is independent of time_us().
+  [[nodiscard]] bool time_dependent() const noexcept { return time_dependent_; }
+
   /// Current per-ring drift (thermal + fpv), for tests and reports.
   [[nodiscard]] const std::vector<double>& ring_drift_nm() const noexcept {
     return frame_.ring_drift_nm;
@@ -117,12 +122,28 @@ class EffectPipeline {
   [[nodiscard]] double noise_std() const noexcept { return frame_.noise_std; }
 
  private:
+  /// Re-render every stage frame and combine (boot-time full render).
   void rebuild();
+  /// Re-render one stage's cached frame from a zeroed state.
+  void render_stage(std::size_t idx);
+  /// Sum the cached stage frames into frame_ in stage order. Addition order
+  /// matches the historical single-frame render exactly (each stage's apply()
+  /// adds onto an exact-zero base either way), so the combined frame is
+  /// bit-identical to a from-scratch rebuild.
+  void combine();
 
   EffectConfig config_;
   EffectFrame frame_;
   photonics::VdpEffects view_;
   std::vector<std::unique_ptr<EffectStage>> stages_;
+  // Incremental rendering: each stage renders into its own persistent frame;
+  // advance() re-renders only the stages that reported change, and reset()
+  // after an advance re-renders only the stages that changed since the last
+  // reset (a reset with no intervening advance is a no-op). Static stages
+  // (fpv, noise) are rendered exactly once, at construction.
+  std::vector<EffectFrame> stage_frames_;
+  std::vector<unsigned char> stage_dirty_since_reset_;
+  bool advanced_since_reset_ = false;
   EffectStage* thermal_ = nullptr;  ///< Borrowed from stages_ (telemetry).
   bool crosstalk_base_ = true;      ///< model_crosstalk AND crosstalk stage.
   bool time_dependent_ = false;

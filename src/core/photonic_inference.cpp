@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/execution_plan.hpp"
 #include "dnn/conv2d.hpp"
 #include "dnn/dense.hpp"
 #include "dnn/im2col.hpp"
@@ -21,6 +22,31 @@ using numerics::Matrix;
 PhotonicInferenceEngine::PhotonicInferenceEngine(dnn::Network& network,
                                                  const VdpSimOptions& options)
     : network_(network), engine_(options) {}
+
+// Out of line: ExecutionPlan is incomplete in the header.
+PhotonicInferenceEngine::~PhotonicInferenceEngine() = default;
+
+ExecutionPlan& PhotonicInferenceEngine::prepare_plan(const Shape& sample_shape,
+                                                     std::size_t max_batch) {
+  plan_ = std::make_unique<ExecutionPlan>(*this, sample_shape, max_batch);
+  return *plan_;
+}
+
+void PhotonicInferenceEngine::invalidate_plan() noexcept { plan_.reset(); }
+
+void PhotonicInferenceEngine::infer_views(std::span<const RowViewIn> inputs,
+                                          std::span<const RowViewOut> outputs) {
+  if (plan_ == nullptr) {
+    throw std::logic_error("PhotonicInference: infer_views without a compiled plan");
+  }
+  std::size_t total = 0;
+  for (const RowViewIn& v : inputs) total += v.rows;
+  if (total > plan_->max_batch()) {
+    const Shape shape = plan_->sample_shape();  // Copy: prepare_plan replaces plan_.
+    prepare_plan(shape, total);
+  }
+  plan_->execute(inputs, outputs);
+}
 
 void PhotonicInferenceEngine::set_eval_batch_size(std::size_t n) {
   if (n == 0) throw std::invalid_argument("PhotonicInference: zero batch size");
@@ -106,6 +132,37 @@ Tensor PhotonicInferenceEngine::run_conv_photonic(const Tensor& input, Conv2d& l
 }
 
 Tensor PhotonicInferenceEngine::infer_batch(const Tensor& batch) {
+  if (plan_enabled_ && !track_layer_error_) {
+    if (batch.rank() < 2 || batch.dim(0) == 0) {
+      throw std::invalid_argument(
+          "PhotonicInference: batch must have rank >= 2 and N >= 1");
+    }
+    const std::size_t rows = batch.dim(0);
+    // Recompile when the sample shape changed or the batch outgrew the plan;
+    // steady-state traffic with a stable shape reuses the cached plan.
+    const auto sample_matches = [&]() {
+      if (plan_ == nullptr) return false;
+      const Shape& planned = plan_->sample_shape();
+      if (planned.size() != batch.rank()) return false;
+      for (std::size_t d = 1; d < planned.size(); ++d) {
+        if (planned[d] != batch.dim(d)) return false;
+      }
+      return true;
+    };
+    if (!sample_matches()) {
+      prepare_plan(batch.shape(), rows);
+    } else if (rows > plan_->max_batch()) {
+      const Shape shape = plan_->sample_shape();
+      prepare_plan(shape, rows);
+    }
+    Shape out_shape = plan_->output_sample_shape();
+    out_shape[0] = rows;
+    Tensor out(out_shape);
+    const RowViewIn in{batch.data(), rows};
+    const RowViewOut ov{out.data(), rows};
+    plan_->execute({&in, 1}, {&ov, 1});
+    return out;
+  }
   return infer_range(batch, 0, network_.layer_count());
 }
 

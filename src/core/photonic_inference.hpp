@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/batched_vdp_engine.hpp"
@@ -33,6 +35,23 @@ class Conv2d;
 }  // namespace xl::dnn
 
 namespace xl::core {
+
+class ExecutionPlan;
+
+/// Non-owning view of one caller-held block of input samples (row-major,
+/// `rows` consecutive samples). Planned execution gathers a micro-batch
+/// straight from these views — no intermediate Tensor per request.
+struct RowViewIn {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+};
+
+/// Destination view paired 1:1 with a RowViewIn: the corresponding output
+/// rows are scattered straight into the caller's buffer.
+struct RowViewOut {
+  float* data = nullptr;
+  std::size_t rows = 0;
+};
 
 struct PhotonicInferenceStats {
   std::size_t photonic_dot_products = 0;
@@ -68,10 +87,40 @@ class PhotonicInferenceEngine {
   /// `network` must outlive the engine. Layers outside the accelerated set
   /// (kConv/kDense) run electronically via their own forward().
   PhotonicInferenceEngine(dnn::Network& network, const VdpSimOptions& options = {});
+  ~PhotonicInferenceEngine();
 
   /// Photonic logits for a whole batch (batch dimension N >= 1). Every
-  /// accelerated layer issues one photonic GEMM over the batch.
+  /// accelerated layer issues one photonic GEMM over the batch. When planned
+  /// execution is enabled (set_plan_enabled) and no per-layer error tracking
+  /// is on, the batch routes through the cached ExecutionPlan — bit-identical
+  /// output, zero steady-state heap allocation inside the engine.
   [[nodiscard]] dnn::Tensor infer_batch(const dnn::Tensor& batch);
+
+  /// Enable routing of infer_batch / infer_views through a cached
+  /// ExecutionPlan (off by default; serving turns it on per shard engine).
+  /// Mutating the network's weights afterwards requires invalidate_plan().
+  void set_plan_enabled(bool enabled) noexcept { plan_enabled_ = enabled; }
+  [[nodiscard]] bool plan_enabled() const noexcept { return plan_enabled_; }
+
+  /// Compile (or recompile) the plan for (sample_shape, max_batch) and
+  /// return it. sample_shape's batch dimension is ignored (treated as 1).
+  ExecutionPlan& prepare_plan(const dnn::Shape& sample_shape, std::size_t max_batch);
+
+  /// Drop the cached plan (required after mutating layer weights/topology;
+  /// the next planned call recompiles).
+  void invalidate_plan() noexcept;
+
+  /// The cached plan, or nullptr when none is compiled.
+  [[nodiscard]] const ExecutionPlan* plan() const noexcept { return plan_.get(); }
+
+  /// Planned inference over caller-held row views: inputs are gathered from
+  /// `inputs` and logits scattered to the paired `outputs` with no
+  /// intermediate tensors. Requires a compiled plan (prepare_plan); the plan
+  /// recompiles automatically when the total row count exceeds its max
+  /// batch. Effects advance exactly as infer_batch does; bit-identical
+  /// logits to the legacy path.
+  void infer_views(std::span<const RowViewIn> inputs,
+                   std::span<const RowViewOut> outputs);
 
   /// Run only the layer range [begin, end) of the network on `batch`
   /// (end is clamped to layer_count()). The fleet's model-parallel path
@@ -113,7 +162,11 @@ class PhotonicInferenceEngine {
   /// experiment arms).
   [[nodiscard]] BatchedVdpEngine& engine() noexcept { return engine_; }
 
+  /// The network this engine executes (same reference passed at construction).
+  [[nodiscard]] dnn::Network& network() noexcept { return network_; }
+
  private:
+  friend class ExecutionPlan;  ///< Plans accrue the same stats counters.
   [[nodiscard]] dnn::Tensor run_dense_photonic(const dnn::Tensor& input,
                                                dnn::Dense& layer);
   [[nodiscard]] dnn::Tensor run_conv_photonic(const dnn::Tensor& input,
@@ -125,6 +178,8 @@ class PhotonicInferenceEngine {
   PhotonicInferenceStats stats_;
   bool track_layer_error_ = false;
   std::size_t eval_batch_ = 16;
+  bool plan_enabled_ = false;
+  std::unique_ptr<ExecutionPlan> plan_;  ///< Cached compiled plan (or null).
 };
 
 }  // namespace xl::core

@@ -6,13 +6,27 @@
 
 namespace xl::dnn {
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-  cached_input_ = input;
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  // The input copy exists only for backward(); inference skips it (and
+  // clears any stale cache so a later backward() fails loudly).
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
   Tensor out = input;
   for (std::size_t i = 0; i < out.numel(); ++i) {
     if (out[i] < 0.0F) out[i] = 0.0F;
   }
   return out;
+}
+
+void ReLU::eval_into(const Shape& /*input_shape*/, std::span<const float> input,
+                     std::span<float> output) {
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float v = input[i];
+    output[i] = v < 0.0F ? 0.0F : v;
+  }
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
@@ -24,13 +38,24 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+Tensor Sigmoid::forward(const Tensor& input, bool training) {
   Tensor out = input;
   for (std::size_t i = 0; i < out.numel(); ++i) {
     out[i] = 1.0F / (1.0F + std::exp(-out[i]));
   }
-  cached_output_ = out;
+  if (training) {
+    cached_output_ = out;
+  } else {
+    cached_output_ = Tensor();
+  }
   return out;
+}
+
+void Sigmoid::eval_into(const Shape& /*input_shape*/,
+                        std::span<const float> input, std::span<float> output) {
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = 1.0F / (1.0F + std::exp(-input[i]));
+  }
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
@@ -43,11 +68,20 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+Tensor Tanh::forward(const Tensor& input, bool training) {
   Tensor out = input;
   for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
-  cached_output_ = out;
+  if (training) {
+    cached_output_ = out;
+  } else {
+    cached_output_ = Tensor();
+  }
   return out;
+}
+
+void Tanh::eval_into(const Shape& /*input_shape*/, std::span<const float> input,
+                     std::span<float> output) {
+  for (std::size_t i = 0; i < input.size(); ++i) output[i] = std::tanh(input[i]);
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
@@ -67,7 +101,13 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
 }
 
 Tensor Dropout::forward(const Tensor& input, bool training) {
-  if (!training || rate_ == 0.0) {
+  if (!training) {
+    // Pure identity at inference: no mask allocation, no scaling. A stale
+    // training mask is dropped so backward() after an inference pass throws.
+    mask_.clear();
+    return input;
+  }
+  if (rate_ == 0.0) {
     mask_.assign(input.numel(), 1.0F);
     return input;
   }

@@ -18,6 +18,9 @@ class ReLU : public Layer {
     return input_shape;
   }
   [[nodiscard]] bool is_activation() const override { return true; }
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
  private:
   Tensor cached_input_;
@@ -33,6 +36,9 @@ class Sigmoid : public Layer {
     return input_shape;
   }
   [[nodiscard]] bool is_activation() const override { return true; }
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
  private:
   Tensor cached_output_;
@@ -48,6 +54,9 @@ class Tanh : public Layer {
     return input_shape;
   }
   [[nodiscard]] bool is_activation() const override { return true; }
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
  private:
   Tensor cached_output_;
@@ -66,6 +75,8 @@ class Dropout : public Layer {
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override {
     return input_shape;
   }
+  /// Identity at inference (inverted dropout scales at train time only).
+  [[nodiscard]] bool inference_identity() const noexcept override { return true; }
 
  private:
   double rate_;

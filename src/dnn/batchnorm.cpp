@@ -15,7 +15,8 @@ BatchNorm::BatchNorm(std::size_t features, double momentum, double epsilon)
       dgamma_({features}),
       dbeta_({features}),
       running_mean_(features, 0.0),
-      running_var_(features, 1.0) {
+      running_var_(features, 1.0),
+      inference_inv_std_(features, 0.0) {
   if (features == 0) throw std::invalid_argument("BatchNorm: zero features");
   if (momentum < 0.0 || momentum >= 1.0) {
     throw std::invalid_argument("BatchNorm: momentum in [0, 1)");
@@ -52,8 +53,26 @@ void BatchNorm::for_each(const Shape& shape, Fn&& fn) const {
 
 Tensor BatchNorm::forward(const Tensor& input, bool training) {
   (void)output_shape(input.shape());  // Validates.
+
+  if (!training) {
+    // Inference is a per-feature affine from the running statistics: no
+    // batch-statistic vectors are built and no backward caches are written
+    // (stale ones are dropped so a later backward() fails loudly).
+    cached_input_ = Tensor();
+    cached_training_ = false;
+    for (std::size_t f = 0; f < features_; ++f) {
+      inference_inv_std_[f] = 1.0 / std::sqrt(running_var_[f] + epsilon_);
+    }
+    Tensor out = input;
+    for_each(input.shape(), [&](std::size_t f, std::size_t i) {
+      const double norm = (input[i] - running_mean_[f]) * inference_inv_std_[f];
+      out[i] = static_cast<float>(norm * gamma_[f] + beta_[f]);
+    });
+    return out;
+  }
+
   cached_input_ = input;
-  cached_training_ = training;
+  cached_training_ = true;
 
   const std::size_t per_feature = input.numel() / features_;
   batch_mean_.assign(features_, 0.0);
@@ -61,21 +80,16 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
 
   std::vector<double> mean(features_, 0.0);
   std::vector<double> var(features_, 0.0);
-  if (training) {
-    for_each(input.shape(), [&](std::size_t f, std::size_t i) { mean[f] += input[i]; });
-    for (std::size_t f = 0; f < features_; ++f) mean[f] /= static_cast<double>(per_feature);
-    for_each(input.shape(), [&](std::size_t f, std::size_t i) {
-      const double d = input[i] - mean[f];
-      var[f] += d * d;
-    });
-    for (std::size_t f = 0; f < features_; ++f) {
-      var[f] /= static_cast<double>(per_feature);
-      running_mean_[f] = momentum_ * running_mean_[f] + (1.0 - momentum_) * mean[f];
-      running_var_[f] = momentum_ * running_var_[f] + (1.0 - momentum_) * var[f];
-    }
-  } else {
-    mean = running_mean_;
-    var = running_var_;
+  for_each(input.shape(), [&](std::size_t f, std::size_t i) { mean[f] += input[i]; });
+  for (std::size_t f = 0; f < features_; ++f) mean[f] /= static_cast<double>(per_feature);
+  for_each(input.shape(), [&](std::size_t f, std::size_t i) {
+    const double d = input[i] - mean[f];
+    var[f] += d * d;
+  });
+  for (std::size_t f = 0; f < features_; ++f) {
+    var[f] /= static_cast<double>(per_feature);
+    running_mean_[f] = momentum_ * running_mean_[f] + (1.0 - momentum_) * mean[f];
+    running_var_[f] = momentum_ * running_var_[f] + (1.0 - momentum_) * var[f];
   }
   for (std::size_t f = 0; f < features_; ++f) {
     batch_mean_[f] = mean[f];
@@ -88,6 +102,17 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
     out[i] = static_cast<float>(norm * gamma_[f] + beta_[f]);
   });
   return out;
+}
+
+void BatchNorm::eval_into(const Shape& input_shape, std::span<const float> input,
+                          std::span<float> output) {
+  for (std::size_t f = 0; f < features_; ++f) {
+    inference_inv_std_[f] = 1.0 / std::sqrt(running_var_[f] + epsilon_);
+  }
+  for_each(input_shape, [&](std::size_t f, std::size_t i) {
+    const double norm = (input[i] - running_mean_[f]) * inference_inv_std_[f];
+    output[i] = static_cast<float>(norm * gamma_[f] + beta_[f]);
+  });
 }
 
 Tensor BatchNorm::backward(const Tensor& grad_output) {

@@ -21,6 +21,9 @@ class BatchNorm : public Layer {
   [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kOther; }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
   [[nodiscard]] std::size_t features() const noexcept { return features_; }
   Tensor& gamma() noexcept { return gamma_; }
@@ -46,11 +49,16 @@ class BatchNorm : public Layer {
   std::vector<double> running_mean_;
   std::vector<double> running_var_;
 
-  // Cached forward state for backward.
+  // Cached forward state for backward (written only when training).
   Tensor cached_input_;
   std::vector<double> batch_mean_;
   std::vector<double> batch_inv_std_;
   bool cached_training_ = false;
+
+  // Preallocated 1/sqrt(running_var + eps) table so inference passes (and
+  // eval_into) never allocate. Refreshed from the running stats on each use
+  // because training updates them in place.
+  std::vector<double> inference_inv_std_;
 };
 
 }  // namespace xl::dnn

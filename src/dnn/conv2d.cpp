@@ -42,9 +42,15 @@ Shape Conv2d::output_shape(const Shape& input_shape) const {
           out_extent(input_shape[3])};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& input, bool training) {
   const Shape out_shape = output_shape(input.shape());
-  cached_input_ = input;
+  // The input copy exists only for backward(); inference skips it (and
+  // clears any stale cache so a later backward() fails loudly).
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
 
   const bool qat = quant_ != nullptr && quant_->weights_enabled();
   const Tensor* w = &w_;

@@ -22,12 +22,18 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, xl::numerics::Rn
   }
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+Tensor Dense::forward(const Tensor& input, bool training) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Dense::forward: expected (N, " + std::to_string(in_) +
                                 "), got " + shape_to_string(input.shape()));
   }
-  cached_input_ = input;
+  // The input copy exists only for backward(); inference skips it (and
+  // clears any stale cache so a later backward() fails loudly).
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
 
   const bool qat = quant_ != nullptr && quant_->weights_enabled();
   const Tensor* w = &w_;

@@ -9,6 +9,9 @@
 // (Section IV-C.1's lowering, batched).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "dnn/conv2d.hpp"
 
 namespace xl::dnn {
@@ -31,5 +34,32 @@ struct Im2colShape {
 /// Lower an NCHW input tensor to its (rows x cols) patch matrix (rank-2
 /// Tensor). Out-of-bounds taps (zero padding) contribute exact zeros.
 [[nodiscard]] Tensor im2col(const Tensor& input, const Conv2dConfig& cfg);
+
+/// Precomputed gather map for im2col over a single sample (batch = 1 basis).
+///
+/// `src[i]` holds the flat (C, H, W) sample index feeding patch element `i`,
+/// or -1 for a zero-padding tap. Because the row order is (n, oy, ox) with n
+/// outermost and every sample is laid out identically, the one-sample map
+/// covers any batch: sample n's patch block is the same gather applied to
+/// `input + n * sample_numel`. Compiled once per (shape, config) by
+/// core::ExecutionPlan so the serving hot path never re-derives tap indices.
+struct Im2colPlan {
+  Im2colShape shape;         ///< Basis shape with batch == 1.
+  std::size_t sample_numel = 0;  ///< C * H * W of one input sample.
+  std::vector<std::int32_t> src;  ///< rows * cols entries; -1 = padding tap.
+};
+
+/// Build the gather map for one sample of `sample_shape` (rank-4, batch dim
+/// ignored / treated as 1) under `cfg`. Throws like im2col_shape, plus
+/// std::invalid_argument when a sample exceeds int32 indexing.
+[[nodiscard]] Im2colPlan plan_im2col(const Shape& sample_shape,
+                                     const Conv2dConfig& cfg);
+
+/// Apply the gather for ONE sample: fills `out` (rows * cols floats for the
+/// batch-1 basis) from `sample` (sample_numel floats). Never allocates;
+/// bit-identical to the corresponding block of im2col() because padding taps
+/// write the same exact 0.0f and real taps copy the same float.
+void im2col_gather(const Im2colPlan& plan, const float* sample,
+                   float* out) noexcept;
 
 }  // namespace xl::dnn

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,36 @@ class Layer {
   /// True when the layer output is an activation the network should fake-
   /// quantize during QAT (nonlinearities and pooling outputs).
   [[nodiscard]] virtual bool is_activation() const { return false; }
+
+  // --- zero-allocation inference protocol (core::ExecutionPlan) -------------
+  //
+  // A compiled execution plan classifies each layer once and then runs the
+  // steady state without Tensor construction: identity layers become shape-
+  // only views, eval_into layers compute straight into plan-owned arena
+  // buffers, and everything else falls back to the allocating forward().
+
+  /// True when forward(input, false) returns the input data unchanged (only
+  /// the shape may differ, e.g. Flatten, inference-mode Dropout). A plan
+  /// turns such layers into zero-copy views.
+  [[nodiscard]] virtual bool inference_identity() const noexcept { return false; }
+
+  /// True when eval_into() is implemented.
+  [[nodiscard]] virtual bool supports_eval_into() const noexcept { return false; }
+
+  /// Inference-mode forward into a caller-provided buffer. Contract:
+  ///   * `output` receives exactly the data forward(input, false) would
+  ///     return, bit for bit (output size = numel of output_shape(in_shape));
+  ///   * no heap allocation and no training-state mutation (backward-facing
+  ///     caches are untouched — backward() after eval_into() is invalid);
+  ///   * `input`/`output` must not alias.
+  /// Base implementation throws std::logic_error (check supports_eval_into).
+  virtual void eval_into(const Shape& input_shape, std::span<const float> input,
+                         std::span<float> output) {
+    (void)input_shape;
+    (void)input;
+    (void)output;
+    throw std::logic_error(kind() + ": eval_into not supported");
+  }
 
  protected:
   const QuantizationSpec* quant_ = nullptr;  ///< Owned by the Network.

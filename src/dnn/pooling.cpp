@@ -28,11 +28,17 @@ Shape MaxPool2d::output_shape(const Shape& input_shape) const {
   return pooled_shape(input_shape, window_, stride_, "MaxPool2d");
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_shape_ = input.shape();
   Tensor out(out_shape);
-  argmax_.assign(out.numel(), 0);
+  // The argmax map exists only for backward(); at inference it is cleared so
+  // a stale map from an earlier training pass can never be routed through.
+  if (training) {
+    argmax_.assign(out.numel(), 0);
+  } else {
+    argmax_.clear();
+  }
 
   const std::size_t batch = input.dim(0);
   const std::size_t channels = input.dim(1);
@@ -58,12 +64,43 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
             }
           }
           out[flat_out] = best;
-          argmax_[flat_out] = best_idx;
+          if (training) argmax_[flat_out] = best_idx;
         }
       }
     }
   }
   return out;
+}
+
+void MaxPool2d::eval_into(const Shape& input_shape, std::span<const float> input,
+                          std::span<float> output) {
+  // Extents computed inline (no Shape construction): eval_into must not
+  // allocate. The plan validated the shape at compile time.
+  const std::size_t batch = input_shape[0];
+  const std::size_t channels = input_shape[1];
+  const std::size_t h_in = input_shape[2];
+  const std::size_t w_in = input_shape[3];
+  const std::size_t h_out = (h_in - window_) / stride_ + 1;
+  const std::size_t w_out = (w_in - window_) / stride_ + 1;
+  std::size_t flat_out = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox, ++flat_out) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = input[((n * channels + c) * h_in + iy) * w_in + ix];
+              if (v > best) best = v;
+            }
+          }
+          output[flat_out] = best;
+        }
+      }
+    }
+  }
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
@@ -122,6 +159,37 @@ Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
     }
   }
   return out;
+}
+
+void AvgPool2d::eval_into(const Shape& input_shape, std::span<const float> input,
+                          std::span<float> output) {
+  // Extents computed inline (no Shape construction): eval_into must not
+  // allocate. Accumulation order matches forward() exactly.
+  const std::size_t batch = input_shape[0];
+  const std::size_t channels = input_shape[1];
+  const std::size_t h_in = input_shape[2];
+  const std::size_t w_in = input_shape[3];
+  const std::size_t h_out = (h_in - window_) / stride_ + 1;
+  const std::size_t w_out = (w_in - window_) / stride_ + 1;
+  const float inv_area = 1.0F / static_cast<float>(window_ * window_);
+  std::size_t flat_out = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox, ++flat_out) {
+          float acc = 0.0F;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              acc += input[((n * channels + c) * h_in + iy) * w_in + ix];
+            }
+          }
+          output[flat_out] = acc * inv_area;
+        }
+      }
+    }
+  }
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_output) {

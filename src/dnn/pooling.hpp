@@ -20,6 +20,9 @@ class MaxPool2d : public Layer {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] bool is_activation() const override { return true; }
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
   [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
@@ -42,6 +45,9 @@ class AvgPool2d : public Layer {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] bool is_activation() const override { return true; }
+  [[nodiscard]] bool supports_eval_into() const noexcept override { return true; }
+  void eval_into(const Shape& input_shape, std::span<const float> input,
+                 std::span<float> output) override;
 
  private:
   std::size_t window_;

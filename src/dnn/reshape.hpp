@@ -12,6 +12,10 @@ class Flatten : public Layer {
   [[nodiscard]] std::string kind() const override { return "flatten"; }
   [[nodiscard]] LayerKind kind_id() const noexcept override { return LayerKind::kOther; }
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+  /// Row-major flatten does not move bytes: a plan treats it as a pure
+  /// shape change (the cached shape stays backward-compatible because
+  /// planned execution never calls forward()).
+  [[nodiscard]] bool inference_identity() const noexcept override { return true; }
 
  private:
   Shape cached_input_shape_;

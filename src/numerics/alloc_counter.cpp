@@ -1,0 +1,123 @@
+// Counting replacements for the global allocation functions. See the header
+// for the opt-in linking model. All variants bottom out in std::malloc /
+// std::aligned_alloc and std::free, so plain and sized deletes are
+// interchangeable and ASan still sees a consistent malloc/free pairing.
+#include "numerics/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace xl::numerics::allocs {
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_total{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) {
+    size = align;
+  }
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+}  // namespace
+
+void set_counting(bool enabled) noexcept {
+  g_counting.store(enabled, std::memory_order_relaxed);
+}
+
+bool counting() noexcept { return g_counting.load(std::memory_order_relaxed); }
+
+void reset() noexcept { g_total.store(0, std::memory_order_relaxed); }
+
+std::uint64_t total() noexcept {
+  return g_total.load(std::memory_order_relaxed);
+}
+
+}  // namespace xl::numerics::allocs
+
+namespace {
+void* throw_if_null(void* p) {
+  if (p == nullptr) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return throw_if_null(xl::numerics::allocs::counted_alloc(size));
+}
+
+void* operator new[](std::size_t size) {
+  return throw_if_null(xl::numerics::allocs::counted_alloc(size));
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return throw_if_null(xl::numerics::allocs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align)));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return throw_if_null(xl::numerics::allocs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align)));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return xl::numerics::allocs::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return xl::numerics::allocs::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return xl::numerics::allocs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return xl::numerics::allocs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,37 @@
+// Heap-allocation counting harness for the zero-allocation contract.
+//
+// Referencing any function in xl::numerics::allocs pulls in the translation
+// unit (alloc_counter.cpp) that REPLACES the global operator new/delete
+// family with counting versions. Static-library link semantics make this
+// opt-in per binary: test_hotpath and bench_hotpath reference the API and get
+// the interposer; every other binary links the stock allocator. The
+// replacements forward to std::malloc / std::aligned_alloc / std::free, so
+// they compose with ASan's malloc interception.
+//
+// Usage:
+//   allocs::reset();
+//   allocs::set_counting(true);
+//   ... hot path ...
+//   allocs::set_counting(false);
+//   assert(allocs::total() == 0);
+//
+// Counting is process-global and uses relaxed atomics — cheap enough to
+// leave enabled across a timed region, precise enough for an exact-zero
+// assertion on a single-threaded steady state.
+#pragma once
+
+#include <cstdint>
+
+namespace xl::numerics::allocs {
+
+/// Enable/disable counting of operator-new calls (deletes are never counted).
+void set_counting(bool enabled) noexcept;
+[[nodiscard]] bool counting() noexcept;
+
+/// Zero the counter.
+void reset() noexcept;
+
+/// Number of operator-new calls observed while counting was enabled.
+[[nodiscard]] std::uint64_t total() noexcept;
+
+}  // namespace xl::numerics::allocs

@@ -1,0 +1,146 @@
+#include "numerics/arena.hpp"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+namespace xl::numerics {
+
+namespace {
+constexpr std::size_t kBlockAlign = 64;
+
+std::size_t round_up(std::size_t bytes, std::size_t align) {
+  return (bytes + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+void* Arena::block_alloc(std::size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{kBlockAlign});
+}
+
+void Arena::block_free(void* p) noexcept {
+  ::operator delete(p, std::align_val_t{kBlockAlign});
+}
+
+Arena::Arena(std::size_t capacity_bytes) {
+  if (capacity_bytes > 0) {
+    append_block(capacity_bytes);
+    stats_.regrows = 0;  // The initial block is not a regrow.
+  }
+}
+
+Arena::~Arena() {
+  for (Block& b : blocks_) {
+    block_free(b.data);
+  }
+}
+
+void Arena::reserve(std::size_t bytes) {
+  if (stats_.used_bytes != 0) {
+    throw std::logic_error("Arena::reserve: arena is not empty");
+  }
+  if (bytes <= stats_.capacity_bytes && blocks_.size() <= 1) {
+    return;
+  }
+  for (Block& b : blocks_) {
+    block_free(b.data);
+  }
+  blocks_.clear();
+  cur_ = 0;
+  stats_.capacity_bytes = 0;
+  append_block(std::max(bytes, stats_.high_water_bytes));
+  stats_.regrows = 0;
+}
+
+void Arena::append_block(std::size_t min_bytes) {
+  const std::size_t prev = blocks_.empty() ? 0 : blocks_.front().size;
+  const std::size_t size = round_up(std::max(min_bytes, prev), kBlockAlign);
+  Block b;
+  b.data = block_alloc(size);
+  b.size = size;
+  b.used = 0;
+  blocks_.push_back(b);
+  cur_ = blocks_.size() - 1;
+  stats_.capacity_bytes += size;
+  ++stats_.regrows;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0 || align > kBlockAlign) {
+    throw std::invalid_argument("Arena::allocate: bad alignment");
+  }
+  if (bytes == 0) {
+    bytes = 1;  // Keep returned pointers distinct.
+  }
+  while (true) {
+    if (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      const std::size_t offset = round_up(b.used, align);
+      if (offset + bytes <= b.size) {
+        b.used = offset + bytes;
+        ++stats_.allocations;
+        refresh_used();
+        return static_cast<unsigned char*>(b.data) + offset;
+      }
+      // Try the next block (an empty overflow block kept from a previous
+      // epoch), resetting its bump position.
+      if (cur_ + 1 < blocks_.size()) {
+        ++cur_;
+        blocks_[cur_].used = 0;
+        continue;
+      }
+    }
+    append_block(bytes);
+  }
+}
+
+Arena::Marker Arena::mark() const noexcept {
+  if (blocks_.empty()) {
+    return {};
+  }
+  return {cur_, blocks_[cur_].used};
+}
+
+void Arena::rewind(const Marker& m) {
+  if (blocks_.empty()) {
+    return;
+  }
+  const std::size_t block = std::min(m.block, blocks_.size() - 1);
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  blocks_[block].used = std::min(m.used, blocks_[block].size);
+  cur_ = block;
+  refresh_used();
+}
+
+void Arena::reset() {
+  ++stats_.resets;
+  if (blocks_.size() > 1) {
+    // Coalesce so the next epoch of identical allocations fits in one block.
+    const std::size_t total = stats_.capacity_bytes;
+    for (Block& b : blocks_) {
+      block_free(b.data);
+    }
+    blocks_.clear();
+    stats_.capacity_bytes = 0;
+    append_block(total);
+    stats_.regrows = 0;
+  }
+  for (Block& b : blocks_) {
+    b.used = 0;
+  }
+  cur_ = 0;
+  stats_.used_bytes = 0;
+}
+
+void Arena::refresh_used() noexcept {
+  std::size_t used = 0;
+  for (const Block& b : blocks_) {
+    used += b.used;
+  }
+  stats_.used_bytes = used;
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes, used);
+}
+
+}  // namespace xl::numerics

@@ -1,0 +1,108 @@
+// Bump-pointer arena workspace for the zero-allocation inference hot path.
+//
+// An Arena owns one or more 64-byte-aligned memory blocks and hands out
+// monotonically bumped sub-allocations. The intended discipline (see
+// core/execution_plan.hpp) is: a compiled ExecutionPlan carves its fixed
+// activation/workspace buffers once at compile time, then per-request scratch
+// (activation tables, GEMM outputs) is marked/rewound around each engine
+// call — so the steady state performs zero heap allocations.
+//
+// Exhaustion is handled by *regrowing*: when an allocation does not fit, the
+// arena appends an overflow block (counted in ArenaStats::regrows) instead of
+// failing, so a mis-sized plan stays correct and merely loses the zero-alloc
+// property until the next reset() coalesces all blocks into one. Outstanding
+// pointers stay valid across a regrow — old blocks are never freed until
+// reset().
+//
+// Thread safety: none. One arena per shard/engine, driven by one worker
+// thread at a time (the serving runtime's shard ownership model).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace xl::numerics {
+
+/// Telemetry of one arena (exposed by benches/tests via the plan).
+struct ArenaStats {
+  std::size_t capacity_bytes = 0;    ///< Summed block capacity.
+  std::size_t used_bytes = 0;        ///< Currently bumped bytes.
+  std::size_t high_water_bytes = 0;  ///< Max used_bytes ever observed.
+  std::size_t allocations = 0;       ///< allocate() calls served.
+  std::size_t resets = 0;            ///< reset() calls.
+  std::size_t regrows = 0;           ///< Overflow blocks appended.
+};
+
+class Arena {
+ public:
+  Arena() = default;
+  /// Arena with an initial block of `capacity_bytes` (rounded up to 64).
+  explicit Arena(std::size_t capacity_bytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Grow the primary block to at least `bytes`. Only legal while the arena
+  /// is empty (used_bytes == 0): existing sub-allocations would dangle.
+  /// Throws std::logic_error otherwise.
+  void reserve(std::size_t bytes);
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two <= 64; every
+  /// block is 64-byte aligned, so larger alignments are not supported —
+  /// throws std::invalid_argument). Never returns nullptr: on exhaustion an
+  /// overflow block is appended (ArenaStats::regrows). The memory is
+  /// uninitialized.
+  void* allocate(std::size_t bytes, std::size_t align = 64);
+
+  /// Typed convenience: `count` default-uninitialized elements of a
+  /// trivially-destructible T.
+  template <typename T>
+  [[nodiscard]] std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return {static_cast<T*>(allocate(count * sizeof(T), alignof(T))), count};
+  }
+
+  /// LIFO rewind point (see mark()/rewind()).
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  /// Snapshot the bump position; rewind(m) frees (logically) everything
+  /// allocated after mark(). Overflow blocks appended in between are kept
+  /// empty for reuse, so rewinding never touches the heap.
+  [[nodiscard]] Marker mark() const noexcept;
+  void rewind(const Marker& m);
+
+  /// Rewind everything and coalesce: if overflow blocks exist, all blocks
+  /// are replaced by one block of the summed capacity, so the next epoch of
+  /// identical allocations fits without regrowing.
+  void reset();
+
+  [[nodiscard]] const ArenaStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return stats_.capacity_bytes;
+  }
+
+ private:
+  struct Block {
+    void* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static void* block_alloc(std::size_t bytes);
+  static void block_free(void* p) noexcept;
+  void append_block(std::size_t min_bytes);
+  void refresh_used() noexcept;
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;  ///< Block currently being bumped.
+  ArenaStats stats_;
+};
+
+}  // namespace xl::numerics

@@ -80,6 +80,41 @@ double arm_sum_xtalk_scalar(const double* a, const double* detune,
   return sum;
 }
 
+double arm_pair_diag_tbl_scalar(const double* a, const unsigned char* sel,
+                                const double* carry, const double* idle,
+                                std::size_t len) {
+  double pos = 0.0;
+  double neg = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double tp = sel[i] ? idle[i] : carry[i];
+    const double tn = sel[i] ? carry[i] : idle[i];
+    pos += a[i] * tp;
+    neg += a[i] * tn;
+  }
+  return pos - neg;
+}
+
+double arm_pair_xtalk_tbl_scalar(const double* a, const unsigned char* sel,
+                                 const double* carry, const double* idle,
+                                 std::size_t len) {
+  double pos = 0.0;
+  double neg = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    double pp = a[i];
+    if (pp == 0.0) continue;  // 0 * T == 0 for every finite T.
+    double pn = pp;
+    for (std::size_t j = 0; j < len; ++j) {
+      const double c = carry[j * len + i];
+      const double d = idle[j * len + i];
+      pp *= sel[j] ? d : c;
+      pn *= sel[j] ? c : d;
+    }
+    pos += pp;
+    neg += pn;
+  }
+  return pos - neg;
+}
+
 void hash_gaussian_keys_scalar(const std::uint64_t* keys, std::size_t n,
                                double* out) {
   for (std::size_t i = 0; i < n; ++i) out[i] = hash_gaussian(keys[i]);
@@ -94,8 +129,10 @@ void hash_gaussian_n_scalar(std::uint64_t key, std::uint64_t base_counter,
 }
 
 constexpr KernelTable kScalarTable = {
-    gemm_row_panels_scalar, abs_max_scalar,     arm_sum_diag_scalar,
-    arm_sum_xtalk_scalar,   hash_gaussian_keys_scalar, hash_gaussian_n_scalar,
+    gemm_row_panels_scalar,   abs_max_scalar,
+    arm_sum_diag_scalar,      arm_sum_xtalk_scalar,
+    arm_pair_diag_tbl_scalar, arm_pair_xtalk_tbl_scalar,
+    hash_gaussian_keys_scalar, hash_gaussian_n_scalar,
     "scalar",
 };
 

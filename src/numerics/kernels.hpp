@@ -71,6 +71,31 @@ struct KernelTable {
                           const double* sep, std::size_t sep_stride,
                           const double* delta_sq, double full, std::size_t len);
 
+  /// Fused balanced-PD arm sums over precomputed ring transmissions, no
+  /// crosstalk. `carry[i]`/`idle[i]` hold ring i's transmission when it
+  /// carries the weight vs sits idle, each computed with arm_sum_diag's
+  /// exact expression; sel[i] says the weight went to the negative arm.
+  /// Returns pos - neg for
+  ///   pos = sum_i a[i] * (sel[i] ? idle[i] : carry[i])
+  ///   neg = sum_i a[i] * (sel[i] ? carry[i] : idle[i])
+  /// with both sums accumulated in index order — bit-identical to two
+  /// arm_sum_diag calls on the corresponding detune vectors, in one pass.
+  double (*arm_pair_diag_tbl)(const double* a, const unsigned char* sel,
+                              const double* carry, const double* idle,
+                              std::size_t len);
+
+  /// Fused arm sums with crosstalk. Tables are column-major per ring:
+  /// t[j*len + i] is ring j's transmission at channel i, sel[j] picks the
+  /// arm assignment for ring j (lane-uniform across channels):
+  ///   pos_i = a[i] * prod_j (sel[j] ? idle : carry)[j*len + i]
+  ///   neg_i = a[i] * prod_j (sel[j] ? carry : idle)[j*len + i]
+  /// Returns sum_i pos_i - sum_i neg_i with the same a[i] == 0 skip,
+  /// sequential per-channel j-products, and index-order sums as two
+  /// arm_sum_xtalk calls — one table pass instead of two.
+  double (*arm_pair_xtalk_tbl)(const double* a, const unsigned char* sel,
+                               const double* carry, const double* idle,
+                               std::size_t len);
+
   /// Bulk standard-normal draws from explicit keys:
   ///   out[i] == hash_gaussian(keys[i]) bit for bit.
   void (*hash_gaussian_keys)(const std::uint64_t* keys, std::size_t n,

@@ -182,6 +182,96 @@ double arm_sum_xtalk_avx2(const double* a, const double* detune,
   return sum;
 }
 
+double arm_pair_diag_tbl_avx2(const double* a, const unsigned char* sel,
+                              const double* carry, const double* idle,
+                              std::size_t len) {
+  double pos = 0.0;
+  double neg = 0.0;
+  double bufp[4];
+  double bufn[4];
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    // Selects are resolved in scalar code; the lane arithmetic is the single
+    // mul the scalar loop performs on the identical table values.
+    const __m256d tp = _mm256_set_pd(sel[i + 3] ? idle[i + 3] : carry[i + 3],
+                                     sel[i + 2] ? idle[i + 2] : carry[i + 2],
+                                     sel[i + 1] ? idle[i + 1] : carry[i + 1],
+                                     sel[i + 0] ? idle[i + 0] : carry[i + 0]);
+    const __m256d tn = _mm256_set_pd(sel[i + 3] ? carry[i + 3] : idle[i + 3],
+                                     sel[i + 2] ? carry[i + 2] : idle[i + 2],
+                                     sel[i + 1] ? carry[i + 1] : idle[i + 1],
+                                     sel[i + 0] ? carry[i + 0] : idle[i + 0]);
+    const __m256d av = _mm256_loadu_pd(a + i);
+    store4(bufp, _mm256_mul_pd(av, tp));
+    store4(bufn, _mm256_mul_pd(av, tn));
+    pos += bufp[0];
+    pos += bufp[1];
+    pos += bufp[2];
+    pos += bufp[3];
+    neg += bufn[0];
+    neg += bufn[1];
+    neg += bufn[2];
+    neg += bufn[3];
+  }
+  for (; i < len; ++i) {
+    pos += a[i] * (sel[i] ? idle[i] : carry[i]);
+    neg += a[i] * (sel[i] ? carry[i] : idle[i]);
+  }
+  return pos - neg;
+}
+
+double arm_pair_xtalk_tbl_avx2(const double* a, const unsigned char* sel,
+                               const double* carry, const double* idle,
+                               std::size_t len) {
+  double pos = 0.0;
+  double neg = 0.0;
+  double bufp[4];
+  double bufn[4];
+  std::size_t i0 = 0;
+  for (; i0 + 4 <= len; i0 += 4) {
+    // Lanes = 4 channels; ring j's column-major table slice t[j*len + i0..]
+    // is a contiguous 4-lane load, sel[j] is lane-uniform, and both arm
+    // products share the loads.
+    __m256d pp = _mm256_loadu_pd(a + i0);
+    __m256d pn = pp;
+    for (std::size_t j = 0; j < len; ++j) {
+      const __m256d c = _mm256_loadu_pd(carry + j * len + i0);
+      const __m256d d = _mm256_loadu_pd(idle + j * len + i0);
+      if (sel[j]) {
+        pp = _mm256_mul_pd(pp, d);
+        pn = _mm256_mul_pd(pn, c);
+      } else {
+        pp = _mm256_mul_pd(pp, c);
+        pn = _mm256_mul_pd(pn, d);
+      }
+    }
+    store4(bufp, pp);
+    store4(bufn, pn);
+    // Scalar index order, honoring the a[i] == 0 skip (the lane computed a
+    // harmless all-zero product; transmissions are finite so 0 * T == 0).
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      if (a[i0 + lane] != 0.0) {
+        pos += bufp[lane];
+        neg += bufn[lane];
+      }
+    }
+  }
+  for (; i0 < len; ++i0) {
+    double pp = a[i0];
+    if (pp == 0.0) continue;
+    double pn = pp;
+    for (std::size_t j = 0; j < len; ++j) {
+      const double c = carry[j * len + i0];
+      const double d = idle[j * len + i0];
+      pp *= sel[j] ? d : c;
+      pn *= sel[j] ? c : d;
+    }
+    pos += pp;
+    neg += pn;
+  }
+  return pos - neg;
+}
+
 // --- counter-keyed gaussian sampler ----------------------------------------
 
 // 64-bit lane arithmetic AVX2 lacks natively: a*b mod 2^64 from 32x32->64
@@ -276,8 +366,10 @@ void hash_gaussian_n_avx2(std::uint64_t key, std::uint64_t base_counter,
 }
 
 constexpr KernelTable kAvx2Table = {
-    gemm_row_panels_avx2,  abs_max_avx2,          arm_sum_diag_avx2,
-    arm_sum_xtalk_avx2,    hash_gaussian_keys_avx2, hash_gaussian_n_avx2,
+    gemm_row_panels_avx2,   abs_max_avx2,
+    arm_sum_diag_avx2,      arm_sum_xtalk_avx2,
+    arm_pair_diag_tbl_avx2, arm_pair_xtalk_tbl_avx2,
+    hash_gaussian_keys_avx2, hash_gaussian_n_avx2,
     "avx2",
 };
 

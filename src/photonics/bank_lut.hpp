@@ -119,6 +119,43 @@ class MrBankTransferLut {
                                bool crosstalk, VdpScratch& scratch,
                                const VdpEffects* effects) const;
 
+  /// Doubles one arm-transmission table occupies for a `total`-element
+  /// operand: per bank_size() chunk, len^2 with crosstalk (every ring j
+  /// attenuates every channel i) or len without (on-channel ring only).
+  [[nodiscard]] std::size_t arm_table_elems(std::size_t total,
+                                            bool crosstalk) const noexcept;
+
+  /// Fill the transmission table of an all-idle arm (every ring parked on
+  /// resonance, shifted only by drift) for a `total`-element operand:
+  /// `out` holds arm_table_elems(total, crosstalk) doubles, column-major per
+  /// chunk (out[j*len + i] = ring j's transmission at channel i) with
+  /// crosstalk, per-ring otherwise. Weight-independent: one idle table
+  /// serves every output row of a GEMM under the same frozen effects.
+  void build_idle_table(std::size_t total, bool crosstalk,
+                        const VdpEffects* effects, double* out) const;
+
+  /// Same layout, for the arm carrying the imprint detunings `detune` (the
+  /// dp/dn value a ring takes when it holds the weight). Every factor is
+  /// computed with the arm-sum kernels' exact expression, so table-driven
+  /// sums are bit-identical to the direct ones.
+  void build_carry_table(std::span<const double> detune, bool crosstalk,
+                         const VdpEffects* effects, double* out) const;
+
+  /// vdp_dot over prebuilt transmission tables: `carry`/`idle` were filled
+  /// by build_carry_table(detune, ...)/build_idle_table under the same
+  /// frozen effects, and `neg[k]` selects per ring which arm carries the
+  /// weight — the positive arm reads carry where neg is 0 and idle where it
+  /// is 1, the negative arm the opposite. Drift is already baked into the
+  /// tables; `effects` supplies only the PD-noise model (keyed on the same
+  /// operand spans). Bit-identical to the effects overload of vdp_dot.
+  [[nodiscard]] double vdp_dot_tbl(std::span<const double> a_mag,
+                                   std::span<const double> detune,
+                                   std::span<const unsigned char> neg,
+                                   bool crosstalk, VdpScratch& scratch,
+                                   const VdpEffects* effects,
+                                   const double* carry,
+                                   const double* idle) const;
+
   /// Eq. (8) row sums phi_i = sum_{j != i} phi(i, j) under unit input power,
   /// precomputed once per bank (the Section V-B noise floor).
   [[nodiscard]] const std::vector<double>& crosstalk_row_sums() const noexcept {
@@ -129,6 +166,10 @@ class MrBankTransferLut {
   }
 
  private:
+  /// Drift pointer from an effects view, validated against the bank size
+  /// (nullptr when absent); shared by vdp_dot and the table builders.
+  [[nodiscard]] const double* drift_ptr(const VdpEffects* effects) const;
+
   std::size_t n_ = 0;
   UniformQuantizer quant_;
   double t_min_ = 0.0;   ///< Transmission at exact resonance.

@@ -38,6 +38,9 @@ void ModelRepository::add(ServedModel model) {
     throw std::invalid_argument(
         "ModelRepository: input_shape must be a per-sample shape with dim 0 == 1");
   }
+  if (model.output_shape.empty()) {
+    model.output_shape = model.prototype->output_shape(model.input_shape);
+  }
   if (model.spec.layers.empty()) {
     model.spec.layers = model.prototype->export_specs(model.input_shape);
   }

@@ -24,6 +24,10 @@ struct ServedModel {
   dnn::Network* prototype = nullptr;        ///< Weight source; caller-owned.
   std::function<dnn::Network()> factory;    ///< Architecture replica builder.
   dnn::Shape input_shape;                   ///< Per-sample shape, dim 0 = 1.
+  /// Per-sample output (logits) shape, dim 0 = 1; derived from the prototype
+  /// via Network::output_shape when left empty. submit() uses it to
+  /// preallocate each request's result tensor off the worker hot path.
+  dnn::Shape output_shape;
   /// Analytical workload shape for hardware-time pacing; synthesized from
   /// the prototype's export_specs when left empty.
   dnn::ModelSpec spec;

@@ -24,6 +24,10 @@ namespace xl::serve {
 struct PendingRequest {
   InferRequest request;
   std::promise<InferResult> promise;
+  /// Pre-built result: submit() allocates the (rows, classes) logits tensor
+  /// on the caller's thread, so the worker hot path only writes into it
+  /// (planned execution scatters logits straight here) and moves it out.
+  InferResult result;
   Clock::time_point enqueued_at{};
   std::uint64_t sequence = 0;  ///< Admission order ticket.
 

@@ -91,6 +91,12 @@ std::future<InferResult> ServingRuntime::submit(const std::string& model,
   PendingRequest pending;
   pending.request.model = model;
   pending.request.input = std::move(input);
+  // Preallocate the result logits on the submitter's thread: the worker hot
+  // path (planned execution) scatters straight into this tensor and moves
+  // the result out, so steady-state workers never touch the heap for it.
+  dnn::Shape out_shape = entry.output_shape;
+  out_shape[0] = rows;
+  pending.result.logits = dnn::Tensor(out_shape);
   std::future<InferResult> future = pending.promise.get_future();
   if (!queue_.push(std::move(pending))) {
     throw std::runtime_error("ServingRuntime: queue closed during submit()");

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/execution_plan.hpp"
 #include "core/scheduler.hpp"
 
 namespace xl::serve {
@@ -28,12 +29,23 @@ AcceleratorShard::AcceleratorShard(std::size_t id, const ModelRepository& models
     shard_model->network = models.replicate(name);
     shard_model->engine = std::make_unique<core::PhotonicInferenceEngine>(
         shard_model->network, vdp);
+    if (options_.use_execution_plan) {
+      // Compile the plan eagerly (weight packing, im2col index maps, arena
+      // sizing) so no worker thread ever pays the compilation cost.
+      shard_model->engine->set_plan_enabled(true);
+      shard_model->engine->prepare_plan(models.find(name).input_shape,
+                                        options_.max_batch);
+    }
     if (options_.pace_hardware_time) {
       shard_model->mapping =
           core::map_model(models.find(name).spec, options_.architecture);
     }
     models_.emplace(name, std::move(shard_model));
   }
+  // A micro-batch holds at most max_batch requests (each carries >= 1 row).
+  in_views_.reserve(options_.max_batch);
+  out_views_.reserve(options_.max_batch);
+  latency_scratch_.reserve(options_.max_batch);
 }
 
 double AcceleratorShard::paced_service_us(const std::string& model, std::size_t rows) {
@@ -59,27 +71,61 @@ void AcceleratorShard::execute(MicroBatch&& batch) {
     }
     ShardModel& entry = *it->second;
 
-    // Coalesce: stack every request's rows into one (rows, ...) tensor. All
-    // requests were shape-checked against the model at submit().
-    const dnn::Tensor& head = batch.requests.front().request.input;
-    dnn::Shape shape = head.shape();
-    shape[0] = batch.rows;
-    dnn::Tensor coalesced(shape);
-    const std::size_t row_numel = head.numel() / head.dim(0);
-    std::size_t row = 0;
-    for (const PendingRequest& pending : batch.requests) {
-      const dnn::Tensor& input = pending.request.input;
-      std::memcpy(coalesced.data() + row * row_numel, input.data(),
-                  input.numel() * sizeof(float));
-      row += pending.rows();
-    }
-
     // Canonical effect timeline: every micro-batch starts from the boot
     // (t = 0) pipeline state. Combined with the engine's row-independent
     // GEMM and operand-keyed noise, per-sample logits are therefore
     // invariant to batch composition, shard assignment, and worker count.
     entry.engine->engine().reset_effects();
-    const dnn::Tensor logits = entry.engine->infer_batch(coalesced);
+
+    if (options_.use_execution_plan) {
+      // Planned path: the cached ExecutionPlan gathers request rows straight
+      // from each request's input tensor and scatters logits straight into
+      // its preallocated result tensor — no coalesced copy, no per-request
+      // logits allocation, zero engine-side heap traffic after warm-up.
+      const core::ExecutionPlan* plan = entry.engine->plan();
+      in_views_.clear();
+      out_views_.clear();
+      for (PendingRequest& pending : batch.requests) {
+        const std::size_t k = pending.rows();
+        if (pending.result.logits.numel() != k * plan->output_numel()) {
+          // submit() normally preallocates; cover direct-injected requests.
+          dnn::Shape out_shape = plan->output_sample_shape();
+          out_shape[0] = k;
+          pending.result.logits = dnn::Tensor(out_shape);
+        }
+        in_views_.push_back({pending.request.input.data(), k});
+        out_views_.push_back({pending.result.logits.data(), k});
+      }
+      entry.engine->infer_views(in_views_, out_views_);
+    } else {
+      // Legacy path: stack every request's rows into one (rows, ...) tensor,
+      // run the batched forward pass, and split the logits back per request.
+      // All requests were shape-checked against the model at submit().
+      const dnn::Tensor& head = batch.requests.front().request.input;
+      dnn::Shape shape = head.shape();
+      shape[0] = batch.rows;
+      dnn::Tensor coalesced(shape);
+      const std::size_t row_numel = head.numel() / head.dim(0);
+      std::size_t row = 0;
+      for (const PendingRequest& pending : batch.requests) {
+        const dnn::Tensor& input = pending.request.input;
+        std::memcpy(coalesced.data() + row * row_numel, input.data(),
+                    input.numel() * sizeof(float));
+        row += pending.rows();
+      }
+      const dnn::Tensor logits = entry.engine->infer_batch(coalesced);
+      const std::size_t classes = logits.dim(1);
+      row = 0;
+      for (PendingRequest& pending : batch.requests) {
+        const std::size_t k = pending.rows();
+        if (pending.result.logits.numel() != k * classes) {
+          pending.result.logits = dnn::Tensor({k, classes});
+        }
+        std::memcpy(pending.result.logits.data(), logits.data() + row * classes,
+                    k * classes * sizeof(float));
+        row += k;
+      }
+    }
 
     // The shard is occupied for at least the simulated hardware makespan of
     // this batch (hardware-time pacing; no-op when disabled).
@@ -92,26 +138,17 @@ void AcceleratorShard::execute(MicroBatch&& batch) {
 
     const Clock::time_point completed_at = Clock::now();
     const double service_us = elapsed_us(dispatched_at, completed_at);
-    const std::size_t classes = logits.dim(1);
 
-    ShardStats delta;
-    delta.latencies.reserve(batch.requests.size());
-    row = 0;
+    latency_scratch_.clear();
     for (PendingRequest& pending : batch.requests) {
-      const std::size_t k = pending.rows();
-      InferResult result;
-      result.logits = dnn::Tensor({k, classes});
-      std::memcpy(result.logits.data(), logits.data() + row * classes,
-                  k * classes * sizeof(float));
-      result.shard_id = id_;
-      result.batch_rows = batch.rows;
-      result.coalesced_requests = batch.requests.size();
-      result.queue_us = elapsed_us(pending.enqueued_at, dispatched_at);
-      result.service_us = service_us;
-      delta.latencies.emplace_back(pending.sequence,
-                                   elapsed_us(pending.enqueued_at, completed_at));
-      pending.promise.set_value(std::move(result));
-      row += k;
+      pending.result.shard_id = id_;
+      pending.result.batch_rows = batch.rows;
+      pending.result.coalesced_requests = batch.requests.size();
+      pending.result.queue_us = elapsed_us(pending.enqueued_at, dispatched_at);
+      pending.result.service_us = service_us;
+      latency_scratch_.emplace_back(pending.sequence,
+                                    elapsed_us(pending.enqueued_at, completed_at));
+      pending.promise.set_value(std::move(pending.result));
     }
 
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -122,7 +159,7 @@ void AcceleratorShard::execute(MicroBatch&& batch) {
     if (batch.rows < stats_.batch_rows_histogram.size()) {
       stats_.batch_rows_histogram[batch.rows] += 1;
     }
-    for (auto& latency : delta.latencies) {
+    for (auto& latency : latency_scratch_) {
       stats_.latencies.push_back(latency);
     }
     // Re-sum the engine counters (written only by this worker thread) into

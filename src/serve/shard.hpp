@@ -50,10 +50,15 @@ class AcceleratorShard {
   AcceleratorShard(std::size_t id, const ModelRepository& models,
                    const core::VdpSimOptions& vdp, const ServingOptions& options);
 
-  /// Execute one micro-batch end to end: coalesce the request tensors,
-  /// reset the engine's effect pipeline to boot state, run the batched
-  /// photonic forward pass, split the logits back per request, and fulfill
-  /// every promise (values on success, the thrown exception otherwise).
+  /// Execute one micro-batch end to end: reset the engine's effect pipeline
+  /// to boot state, run the batched photonic forward pass, deliver the
+  /// per-request logits, and fulfill every promise (values on success, the
+  /// thrown exception otherwise). With use_execution_plan the batch runs
+  /// through the engine's cached ExecutionPlan over row views — request
+  /// inputs are gathered and logits scattered straight into each request's
+  /// preallocated result tensor, with no coalesced copy and no per-request
+  /// allocation; otherwise the legacy coalesce + infer_batch + split path
+  /// runs. Both paths produce bit-identical logits.
   void execute(MicroBatch&& batch);
 
   /// Race-free copy of this shard's counters (callable while serving).
@@ -78,6 +83,14 @@ class AcceleratorShard {
   const ServingOptions options_;
   /// Heap-pinned so the engine's Network& stays valid for the shard's life.
   std::map<std::string, std::unique_ptr<ShardModel>> models_;
+
+  /// Persistent planned-execution scratch (worker-thread only; reserved to
+  /// max_batch at construction so execute() never reallocates them): row
+  /// views mapping request tensors straight into the plan, and the
+  /// (sequence, latency) pairs staged before the stats lock.
+  std::vector<core::RowViewIn> in_views_;
+  std::vector<core::RowViewOut> out_views_;
+  std::vector<std::pair<std::uint64_t, double>> latency_scratch_;
 
   mutable std::mutex stats_mutex_;
   ShardStats stats_;

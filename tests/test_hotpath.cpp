@@ -1,0 +1,452 @@
+// Hot-path tests: the ExecutionPlan bit-identity contract (planned execution
+// produces exactly the bytes of the legacy infer_batch path across effect
+// sets, batch shapes, and serving worker counts), the Arena workspace
+// semantics (alignment, mark/rewind, exhaustion regrow, reset coalescing),
+// the training-gated activation caches, and the zero-allocation steady state
+// measured through the operator-new interposer.
+//
+// The ASan+UBSan CI job runs this binary (sanitize matrix covers the arena
+// and the interposed allocator paths).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "core/effects.hpp"
+#include "core/execution_plan.hpp"
+#include "core/photonic_inference.hpp"
+#include "dnn/activations.hpp"
+#include "dnn/batchnorm.hpp"
+#include "dnn/conv2d.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/models.hpp"
+#include "dnn/pooling.hpp"
+#include "dnn/reshape.hpp"
+#include "numerics/alloc_counter.hpp"
+#include "numerics/arena.hpp"
+#include "numerics/rng.hpp"
+#include "serve/serving_runtime.hpp"
+
+namespace xl {
+namespace {
+
+using core::PhotonicInferenceEngine;
+using core::RowViewIn;
+using core::RowViewOut;
+using core::VdpSimOptions;
+using dnn::Shape;
+using dnn::Tensor;
+
+// ---------------------------------------------------------------------------
+// Fixtures: deterministic networks covering every planned layer kind.
+// ---------------------------------------------------------------------------
+
+/// Untrained (seeded) Table I proxy MLP: Flatten + Dense stack.
+dnn::Network make_mlp(unsigned seed = 21) {
+  numerics::Rng rng(seed);
+  return dnn::build_table1_proxy_mlp(rng);
+}
+
+/// Small CNN exercising every layer the plan compiles: Conv (padded and
+/// unpadded), BatchNorm, ReLU/Sigmoid/Tanh, MaxPool, AvgPool, Flatten,
+/// Dropout (inference identity), Dense.
+dnn::Network make_cnn(unsigned seed = 7) {
+  numerics::Rng rng(seed);
+  dnn::Network net;
+  net.emplace<dnn::Conv2d>(dnn::Conv2dConfig{2, 3, 3, 1, 1}, rng);  // (3,8,8)
+  net.emplace<dnn::BatchNorm>(3);
+  net.emplace<dnn::ReLU>();
+  net.emplace<dnn::MaxPool2d>(2);  // (3,4,4)
+  net.emplace<dnn::AvgPool2d>(2);  // (3,2,2)
+  net.emplace<dnn::Conv2d>(dnn::Conv2dConfig{3, 4, 3, 1, 1}, rng);  // (4,2,2)
+  net.emplace<dnn::Sigmoid>();
+  net.emplace<dnn::Flatten>();  // 16
+  net.emplace<dnn::Dropout>(0.5, /*seed=*/11);
+  net.emplace<dnn::Dense>(16, 8, rng);
+  net.emplace<dnn::Tanh>();
+  net.emplace<dnn::Dense>(8, 5, rng);
+  return net;
+}
+
+const Shape kCnnSample = {1, 2, 8, 8};
+
+/// Deterministic batch of `rows` samples for `sample_shape`.
+Tensor make_batch(const Shape& sample_shape, std::size_t rows, unsigned seed) {
+  Shape shape = sample_shape;
+  shape[0] = rows;
+  Tensor x(shape);
+  numerics::Rng rng(seed);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+/// Feed identical training batches through both networks so BatchNorm
+/// running statistics are non-trivial AND identical across the pair.
+void warm_batchnorm(dnn::Network& a, dnn::Network& b, const Shape& sample_shape) {
+  for (unsigned pass = 0; pass < 3; ++pass) {
+    const Tensor x = make_batch(sample_shape, 4, 100 + pass);
+    Tensor ya = x;
+    Tensor yb = x;
+    for (std::size_t i = 0; i < a.layer_count(); ++i) ya = a.layer(i).forward(ya, true);
+    for (std::size_t i = 0; i < b.layer_count(); ++i) yb = b.layer(i).forward(yb, true);
+  }
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)));
+}
+
+const char* const kEffectSets[] = {"none",  "thermal",   "fpv",
+                                   "noise", "crosstalk", "all"};
+
+VdpSimOptions vdp_with(const char* effects) {
+  VdpSimOptions vdp;
+  vdp.effects = core::EffectConfig::parse(effects);
+  return vdp;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: planned infer_batch == legacy infer_batch.
+// ---------------------------------------------------------------------------
+
+void check_plan_bit_identity(dnn::Network legacy_net, dnn::Network planned_net,
+                             const Shape& sample_shape, const char* effects) {
+  const VdpSimOptions vdp = vdp_with(effects);
+  PhotonicInferenceEngine legacy(legacy_net, vdp);
+  PhotonicInferenceEngine planned(planned_net, vdp);
+  planned.set_plan_enabled(true);
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    const Tensor x = make_batch(sample_shape, rows, 42 + static_cast<unsigned>(rows));
+    legacy.engine().reset_effects();
+    planned.engine().reset_effects();
+    // Two calls without an effects reset in between: the second batch runs
+    // on an advanced thermal timeline, so plan reuse (not just the first
+    // compile) is held to the bit-identity contract.
+    for (unsigned call = 0; call < 2; ++call) {
+      const Tensor want = legacy.infer_batch(x);
+      const Tensor got = planned.infer_batch(x);
+      expect_bit_identical(want, got);
+    }
+  }
+  // Planned execution accrues exactly the legacy engine counters.
+  EXPECT_EQ(legacy.stats().photonic_matmuls, planned.stats().photonic_matmuls);
+  EXPECT_EQ(legacy.stats().photonic_dot_products, planned.stats().photonic_dot_products);
+  EXPECT_EQ(legacy.stats().photonic_macs, planned.stats().photonic_macs);
+  EXPECT_EQ(legacy.stats().samples_inferred, planned.stats().samples_inferred);
+  EXPECT_EQ(legacy.stats().batches_inferred, planned.stats().batches_inferred);
+}
+
+TEST(ExecutionPlan, MlpBitIdenticalAcrossEffectSets) {
+  for (const char* effects : kEffectSets) {
+    SCOPED_TRACE(effects);
+    check_plan_bit_identity(make_mlp(), make_mlp(), {1, 1, 12, 12}, effects);
+  }
+}
+
+TEST(ExecutionPlan, CnnBitIdenticalAcrossEffectSets) {
+  for (const char* effects : kEffectSets) {
+    SCOPED_TRACE(effects);
+    dnn::Network legacy_net = make_cnn();
+    dnn::Network planned_net = make_cnn();
+    warm_batchnorm(legacy_net, planned_net, kCnnSample);
+    check_plan_bit_identity(std::move(legacy_net), std::move(planned_net),
+                            kCnnSample, effects);
+  }
+}
+
+TEST(ExecutionPlan, CompilesEveryLayerWithoutFallback) {
+  dnn::Network net = make_cnn();
+  PhotonicInferenceEngine engine(net);
+  const core::ExecutionPlan& plan = engine.prepare_plan(kCnnSample, 8);
+  EXPECT_EQ(plan.stats().fallback_layers, 0U);
+  EXPECT_EQ(plan.stats().planned_layers, net.layer_count());
+  EXPECT_EQ(plan.max_batch(), 8U);
+  EXPECT_EQ(plan.sample_numel(), 2U * 8U * 8U);
+  EXPECT_EQ(plan.output_numel(), 5U);
+}
+
+// ---------------------------------------------------------------------------
+// infer_views: multi-view scatter/gather and recompile-on-growth.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutionPlan, SplitViewsMatchCoalescedBatch) {
+  dnn::Network legacy_net = make_mlp();
+  dnn::Network planned_net = make_mlp();
+  const Shape sample = {1, 1, 12, 12};
+  const VdpSimOptions vdp = vdp_with("all");
+  PhotonicInferenceEngine legacy(legacy_net, vdp);
+  PhotonicInferenceEngine planned(planned_net, vdp);
+  planned.prepare_plan(sample, 8);
+
+  const Tensor x = make_batch(sample, 8, 3);
+  const Tensor want = legacy.infer_batch(x);
+  const std::size_t sample_numel = x.numel() / 8;
+  const std::size_t classes = want.dim(1);
+
+  // Rows 0..7 split across three requests (3 + 2 + 3), each with its own
+  // output buffer — the serving shard's planned layout.
+  std::vector<float> out0(3 * classes);
+  std::vector<float> out1(2 * classes);
+  std::vector<float> out2(3 * classes);
+  const RowViewIn in[] = {{x.data(), 3},
+                          {x.data() + 3 * sample_numel, 2},
+                          {x.data() + 5 * sample_numel, 3}};
+  const RowViewOut out[] = {{out0.data(), 3}, {out1.data(), 2}, {out2.data(), 3}};
+  planned.infer_views(in, out);
+
+  EXPECT_EQ(0, std::memcmp(out0.data(), want.data(), out0.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(out1.data(), want.data() + 3 * classes,
+                           out1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(out2.data(), want.data() + 5 * classes,
+                           out2.size() * sizeof(float)));
+}
+
+TEST(ExecutionPlan, RecompilesWhenBatchOutgrowsPlan) {
+  dnn::Network legacy_net = make_mlp();
+  dnn::Network planned_net = make_mlp();
+  const Shape sample = {1, 1, 12, 12};
+  PhotonicInferenceEngine legacy(legacy_net);
+  PhotonicInferenceEngine planned(planned_net);
+  planned.prepare_plan(sample, 2);
+
+  const Tensor x = make_batch(sample, 5, 9);
+  const Tensor want = legacy.infer_batch(x);
+  std::vector<float> got(want.numel());
+  const RowViewIn in{x.data(), 5};
+  const RowViewOut out{got.data(), 5};
+  planned.infer_views({&in, 1}, {&out, 1});
+
+  ASSERT_NE(planned.plan(), nullptr);
+  EXPECT_GE(planned.plan()->max_batch(), 5U);
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(), got.size() * sizeof(float)));
+}
+
+TEST(ExecutionPlan, InferViewsWithoutPlanThrows) {
+  dnn::Network net = make_mlp();
+  PhotonicInferenceEngine engine(net);
+  const RowViewIn in{nullptr, 0};
+  const RowViewOut out{nullptr, 0};
+  EXPECT_THROW(engine.infer_views({&in, 1}, {&out, 1}), std::logic_error);
+}
+
+TEST(ExecutionPlan, InferBatchRecompilesOnSampleShapeChange) {
+  dnn::Network net = make_mlp();
+  PhotonicInferenceEngine planned(net);
+  planned.set_plan_enabled(true);
+  // Flatten + Dense accept both the image shape and its pre-flattened form;
+  // switching shapes must recompile instead of feeding a stale plan.
+  const Tensor image = make_batch({1, 1, 12, 12}, 2, 4);
+  const Tensor first = planned.infer_batch(image);
+  Tensor flat({2, 144});
+  std::memcpy(flat.data(), image.data(), flat.numel() * sizeof(float));
+  planned.engine().reset_effects();
+  const Tensor second = planned.infer_batch(flat);
+  expect_bit_identical(first, second);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state (engine level).
+// ---------------------------------------------------------------------------
+
+TEST(ExecutionPlan, SteadyStateMakesNoHeapAllocations) {
+  dnn::Network net = make_cnn();
+  dnn::Network scratch = make_cnn();
+  warm_batchnorm(net, scratch, kCnnSample);
+  PhotonicInferenceEngine planned(net, vdp_with("all"));
+  planned.prepare_plan(kCnnSample, 8);
+
+  const Tensor x = make_batch(kCnnSample, 8, 17);
+  std::vector<float> out(8 * 5);
+  const RowViewIn in_view{x.data(), 8};
+  const RowViewOut out_view{out.data(), 8};
+
+  // Warm-up: first execution may touch lazily grown OpenMP/thread scratch.
+  planned.engine().reset_effects();
+  planned.infer_views({&in_view, 1}, {&out_view, 1});
+
+  const std::size_t regrows_before = planned.plan()->arena_stats().regrows;
+  numerics::allocs::reset();
+  numerics::allocs::set_counting(true);
+  for (unsigned iter = 0; iter < 10; ++iter) {
+    planned.engine().reset_effects();
+    planned.infer_views({&in_view, 1}, {&out_view, 1});
+  }
+  numerics::allocs::set_counting(false);
+
+  EXPECT_EQ(numerics::allocs::total(), 0U);
+  EXPECT_EQ(planned.plan()->arena_stats().regrows, regrows_before);
+}
+
+// ---------------------------------------------------------------------------
+// Serving: planned path == legacy path, across worker counts.
+// ---------------------------------------------------------------------------
+
+std::vector<Tensor> serve_trace(bool use_plan, std::size_t workers,
+                                const std::vector<Tensor>& trace) {
+  dnn::Network prototype = make_mlp();
+  serve::ServingOptions options;
+  options.workers = workers;
+  options.max_batch = 8;
+  options.deadline_us = 200.0;
+  options.use_execution_plan = use_plan;
+  VdpSimOptions vdp = vdp_with("thermal,noise");
+  serve::ServingRuntime runtime(vdp, options);
+  serve::ServedModel model = serve::table1_proxy_served_model(prototype);
+  runtime.register_model(std::move(model));
+  runtime.start();
+  std::vector<std::future<serve::InferResult>> futures;
+  futures.reserve(trace.size());
+  for (const Tensor& input : trace) {
+    futures.push_back(runtime.submit("table1-proxy-mlp", input));
+  }
+  std::vector<Tensor> results;
+  results.reserve(trace.size());
+  for (auto& future : futures) results.push_back(future.get().logits);
+  runtime.stop();
+  return results;
+}
+
+TEST(ServingHotPath, PlannedLogitsBitIdenticalToLegacyAcrossWorkers) {
+  const dnn::Dataset data =
+      dnn::generate_classification(dnn::table1_proxy_task(), 64, /*salt=*/3);
+  const std::vector<Tensor> trace = serve::make_mixed_size_trace(data, 24, 4);
+  const std::vector<Tensor> legacy = serve_trace(false, 1, trace);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE(workers);
+    const std::vector<Tensor> planned = serve_trace(true, workers, trace);
+    ASSERT_EQ(planned.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      expect_bit_identical(legacy[i], planned[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndCounted) {
+  numerics::Arena arena(1024);
+  EXPECT_EQ(arena.stats().capacity_bytes, 1024U);
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0U);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.stats().allocations, 3U);
+  EXPECT_GE(arena.stats().used_bytes, 12U);
+  EXPECT_EQ(arena.stats().regrows, 0U);
+  EXPECT_THROW(arena.allocate(1, 128), std::invalid_argument);
+}
+
+TEST(Arena, MarkRewindRestoresBumpPosition) {
+  numerics::Arena arena(256);
+  (void)arena.make_span<double>(4);
+  const numerics::Arena::Marker marker = arena.mark();
+  const std::size_t used = arena.stats().used_bytes;
+  (void)arena.make_span<float>(16);
+  EXPECT_GT(arena.stats().used_bytes, used);
+  arena.rewind(marker);
+  EXPECT_EQ(arena.stats().used_bytes, used);
+  // The rewound region is handed out again.
+  const std::span<float> again = arena.make_span<float>(16);
+  EXPECT_EQ(again.size(), 16U);
+}
+
+TEST(Arena, ExhaustionRegrowsAndKeepsOldPointersValid) {
+  numerics::Arena arena(64);
+  const std::span<float> first = arena.make_span<float>(16);  // Fills block 0.
+  first[0] = 1.0F;
+  first[15] = 2.0F;
+  const std::span<float> second = arena.make_span<float>(64);  // Must regrow.
+  EXPECT_EQ(arena.stats().regrows, 1U);
+  second[63] = 3.0F;
+  // The original block was not freed or moved by the regrow.
+  EXPECT_EQ(first[0], 1.0F);
+  EXPECT_EQ(first[15], 2.0F);
+  EXPECT_GE(arena.stats().capacity_bytes, 64U + 64U * sizeof(float));
+}
+
+TEST(Arena, ResetCoalescesOverflowBlocks) {
+  numerics::Arena arena(64);
+  (void)arena.make_span<float>(16);
+  (void)arena.make_span<float>(64);  // Overflow block.
+  ASSERT_EQ(arena.stats().regrows, 1U);
+  const std::size_t capacity = arena.stats().capacity_bytes;
+  arena.reset();
+  EXPECT_EQ(arena.stats().used_bytes, 0U);
+  EXPECT_EQ(arena.stats().resets, 1U);
+  // One coalesced block of the summed capacity: the regrow debt is cleared
+  // and the same allocation epoch now fits without regrowing again.
+  EXPECT_EQ(arena.stats().regrows, 0U);
+  EXPECT_EQ(arena.stats().capacity_bytes, capacity);
+  (void)arena.make_span<float>(16);
+  (void)arena.make_span<float>(64);
+  EXPECT_EQ(arena.stats().regrows, 0U);
+}
+
+TEST(Arena, ReserveRequiresEmptyArena) {
+  numerics::Arena arena(64);
+  arena.reserve(256);
+  EXPECT_GE(arena.stats().capacity_bytes, 256U);
+  (void)arena.allocate(8);
+  EXPECT_THROW(arena.reserve(512), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Training-gated activation caches.
+// ---------------------------------------------------------------------------
+
+TEST(TrainingGatedCaches, InferenceForwardLeavesNoBackwardState) {
+  numerics::Rng rng(3);
+  dnn::Conv2d conv(dnn::Conv2dConfig{1, 2, 3, 1, 1}, rng);
+  dnn::Dense dense(8, 4, rng);
+  dnn::ReLU relu;
+  dnn::BatchNorm bn(2);
+  dnn::MaxPool2d pool(2);
+
+  const Tensor image = make_batch({1, 1, 4, 4}, 2, 5);
+  const Tensor row = make_batch({1, 8}, 2, 6);
+
+  // Training forward arms backward...
+  Tensor conv_out = conv.forward(image, true);
+  (void)conv.backward(conv_out);
+  Tensor dense_out = dense.forward(row, true);
+  (void)dense.backward(dense_out);
+
+  // ...inference forward clears the cache, so a stale backward fails loudly.
+  conv_out = conv.forward(image, false);
+  EXPECT_THROW((void)conv.backward(conv_out), std::logic_error);
+  dense_out = dense.forward(row, false);
+  EXPECT_THROW((void)dense.backward(dense_out), std::logic_error);
+  const Tensor relu_out = relu.forward(row, false);
+  EXPECT_THROW((void)relu.backward(relu_out), std::logic_error);
+  const Tensor bn_out = bn.forward(conv.forward(image, false), false);
+  EXPECT_THROW((void)bn.backward(bn_out), std::logic_error);
+  const Tensor pool_out = pool.forward(image, false);
+  EXPECT_THROW((void)pool.backward(pool_out), std::logic_error);
+}
+
+TEST(TrainingGatedCaches, InferenceForwardMatchesTraininglessLegacy) {
+  // The gating is observable only through backward(); forward values at
+  // inference must be unchanged. BatchNorm is the interesting case: its
+  // inference branch was rewritten around a preallocated inv-std table.
+  numerics::Rng rng(4);
+  dnn::BatchNorm bn(3);
+  const Tensor x = make_batch({1, 3, 4, 4}, 2, 8);
+  (void)bn.forward(x, true);  // Non-trivial running stats.
+  const Tensor once = bn.forward(x, false);
+  const Tensor twice = bn.forward(x, false);
+  expect_bit_identical(once, twice);
+}
+
+}  // namespace
+}  // namespace xl

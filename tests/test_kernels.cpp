@@ -126,6 +126,118 @@ TEST(KernelParity, ArmSumXtalk) {
   }
 }
 
+// Transmission at detuning d for ring j's linewidth, the exact expression
+// the fused table kernels consume (photonics::MrBankTransferLut builds its
+// tables with the same one).
+double lorentzian_t(double d, double delta_sq, double full) {
+  return 1.0 - full * delta_sq / (d * d + delta_sq);
+}
+
+TEST(KernelParity, ArmPairDiagTbl) {
+  Rng rng(909);
+  const KernelTable& s = scalar_table();
+  const KernelTable& a = active_table();
+  for (std::size_t len = 0; len <= 35; ++len) {
+    const auto av = random_vec(rng, len, 0.0, 1.0, 0.2);
+    const auto carry = random_vec(rng, len, 0.2, 1.0);
+    const auto idle = random_vec(rng, len, 0.2, 1.0);
+    std::vector<unsigned char> sel(len);
+    for (auto& sb : sel) sb = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_EQ(
+        s.arm_pair_diag_tbl(av.data(), sel.data(), carry.data(), idle.data(), len),
+        a.arm_pair_diag_tbl(av.data(), sel.data(), carry.data(), idle.data(), len))
+        << "len=" << len;
+  }
+}
+
+TEST(KernelParity, ArmPairXtalkTbl) {
+  Rng rng(1010);
+  const KernelTable& s = scalar_table();
+  const KernelTable& a = active_table();
+  for (std::size_t len = 0; len <= 23; ++len) {
+    const auto av = random_vec(rng, len, 0.0, 1.0, 0.25);
+    const auto carry = random_vec(rng, len * len, 0.2, 1.0);
+    const auto idle = random_vec(rng, len * len, 0.2, 1.0);
+    std::vector<unsigned char> sel(len);
+    for (auto& sb : sel) sb = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_EQ(s.arm_pair_xtalk_tbl(av.data(), sel.data(), carry.data(),
+                                   idle.data(), len),
+              a.arm_pair_xtalk_tbl(av.data(), sel.data(), carry.data(),
+                                   idle.data(), len))
+        << "len=" << len;
+  }
+}
+
+// The fused pair kernels must equal the two arm_sum calls they replace when
+// the tables hold the Lorentzian transmissions the arm sums would compute:
+// carry = ring at its imprint detuning, idle = ring parked on resonance, and
+// sel routes each ring's carry value to the arm the folded sign puts it on.
+TEST(KernelParity, ArmPairDiagTblMatchesArmSumDifference) {
+  Rng rng(1111);
+  const KernelTable& s = scalar_table();
+  const double full = 0.968;
+  for (std::size_t len = 1; len <= 19; ++len) {
+    const auto av = random_vec(rng, len, 0.0, 1.0, 0.2);
+    const auto det_carry = random_vec(rng, len, 0.0, 0.2);
+    const auto det_idle = random_vec(rng, len, -0.05, 0.05);
+    const auto dsq = random_vec(rng, len, 1e-4, 2e-2);
+    std::vector<unsigned char> sel(len);
+    for (auto& sb : sel) sb = rng.bernoulli(0.5) ? 1 : 0;
+    std::vector<double> carry(len);
+    std::vector<double> idle(len);
+    std::vector<double> dpos(len);
+    std::vector<double> dneg(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      carry[i] = lorentzian_t(det_carry[i], dsq[i], full);
+      idle[i] = lorentzian_t(det_idle[i], dsq[i], full);
+      dpos[i] = sel[i] ? det_idle[i] : det_carry[i];
+      dneg[i] = sel[i] ? det_carry[i] : det_idle[i];
+    }
+    const double pair = s.arm_pair_diag_tbl(av.data(), sel.data(), carry.data(),
+                                            idle.data(), len);
+    const double two_arms =
+        s.arm_sum_diag(av.data(), dpos.data(), dsq.data(), full, len) -
+        s.arm_sum_diag(av.data(), dneg.data(), dsq.data(), full, len);
+    EXPECT_EQ(pair, two_arms) << "len=" << len;
+  }
+}
+
+TEST(KernelParity, ArmPairXtalkTblMatchesArmSumDifference) {
+  Rng rng(1212);
+  const KernelTable& s = scalar_table();
+  const double full = 0.968;
+  for (std::size_t len = 1; len <= 16; ++len) {
+    const auto av = random_vec(rng, len, 0.0, 1.0, 0.25);
+    const auto det_carry = random_vec(rng, len, 0.0, 0.2);
+    const auto det_idle = random_vec(rng, len, -0.05, 0.05);
+    const auto dsq = random_vec(rng, len, 1e-4, 2e-2);
+    const auto sep = random_vec(rng, len * len, -3.0, 3.0);
+    std::vector<unsigned char> sel(len);
+    for (auto& sb : sel) sb = rng.bernoulli(0.5) ? 1 : 0;
+    // Column-major tables, t[j * len + i]: channel i through ring j.
+    std::vector<double> carry(len * len);
+    std::vector<double> idle(len * len);
+    std::vector<double> dpos(len);
+    std::vector<double> dneg(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      for (std::size_t i = 0; i < len; ++i) {
+        const double sep_ij = sep[i * len + j];
+        carry[j * len + i] = lorentzian_t(sep_ij + det_carry[j], dsq[j], full);
+        idle[j * len + i] = lorentzian_t(sep_ij + det_idle[j], dsq[j], full);
+      }
+      dpos[j] = sel[j] ? det_idle[j] : det_carry[j];
+      dneg[j] = sel[j] ? det_carry[j] : det_idle[j];
+    }
+    const double pair = s.arm_pair_xtalk_tbl(av.data(), sel.data(), carry.data(),
+                                             idle.data(), len);
+    const double two_arms = s.arm_sum_xtalk(av.data(), dpos.data(), sep.data(),
+                                            len, dsq.data(), full, len) -
+                            s.arm_sum_xtalk(av.data(), dneg.data(), sep.data(),
+                                            len, dsq.data(), full, len);
+    EXPECT_EQ(pair, two_arms) << "len=" << len;
+  }
+}
+
 TEST(KernelParity, HashGaussianKeys) {
   Rng rng(505);
   const KernelTable& s = scalar_table();

@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
-"""Scalar-vs-dispatch speedup report + regression gate for the kernel benches.
+"""Speedup / metric regression gate for the committed bench JSONs.
 
-Reads a google-benchmark JSON file (BENCH_micro_kernels.json), pairs every
-``BM_Kernel<Name>_Scalar`` row with its ``BM_Kernel<Name>_Dispatch`` twin run
-on identical inputs, and prints a speedup table plus the geometric mean.
+Two input shapes are recognized automatically:
 
-Gating compares *speedup ratios* against a committed baseline JSON, not
-absolute times: CI runners and dev machines differ wildly in clocks, but the
-scalar and dispatch rows of one run share the machine, so their ratio is the
-portable signal. A kernel fails the gate when its speedup drops more than
+* **Kernel mode** — a google-benchmark JSON (BENCH_micro_kernels.json).
+  Pairs every ``BM_Kernel<Name>_Scalar`` row with its
+  ``BM_Kernel<Name>_Dispatch`` twin run on identical inputs and prints a
+  speedup table plus the geometric mean.
+
+* **Metrics mode** — a bench JSON carrying a top-level ``"metrics"`` object
+  of machine-portable numbers (BENCH_hotpath.json, BENCH_serving.json).
+  Each metric is compared against the committed baseline's value with a
+  per-metric delta column. Metrics whose name contains ``alloc`` are
+  **hard-gated to zero** regardless of baseline — one steady-state heap
+  allocation per request is a correctness failure, not a slowdown.
+
+Gating always compares *ratios or counts from one machine's run* against the
+baseline's, never absolute times: CI runners and dev machines differ wildly
+in clocks, but the rows of one run share the machine, so their ratio is the
+portable signal. A value fails the gate when it drops more than
 ``--threshold`` (default 10%) below the baseline's.
 
 Usage:
   check_bench_regression.py CURRENT.json [--baseline BASELINE.json]
                             [--threshold 0.10]
+
+A missing baseline file reports without gating (exit 0) so a new bench can
+land before its first committed baseline — except the hard-zero alloc gate,
+which always bites.
 
 Exit status: 0 on pass, 1 on any gated regression or malformed input.
 """
@@ -65,14 +79,82 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def load_metrics(path):
+    """Top-level "metrics" object of a bench JSON; {} when absent."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics", {})
+    return {k: float(v) for k, v in metrics.items()
+            if isinstance(v, (int, float))}
+
+
+def check_metrics(args):
+    """Gate a "metrics"-style bench JSON; returns the process exit status."""
+    current = load_metrics(args.current)
+    if not current:
+        print("error: no usable 'metrics' object in", args.current)
+        return 1
+
+    baseline = {}
+    if args.baseline:
+        if os.path.exists(args.baseline):
+            baseline = load_metrics(args.baseline)
+        else:
+            print(f"skip: baseline '{args.baseline}' not found; "
+                  "reporting metrics without a regression gate "
+                  "(commit the baseline to enable gating)")
+
+    print(f"{'metric':<40} {'current':>10} {'baseline':>10} "
+          f"{'delta':>8} {'status':>10}")
+    failures = 0
+    for name in sorted(current):
+        value = current[name]
+        base = baseline.get(name)
+        status = "ok"
+        delta_txt = "-"
+        if base is not None and base != 0.0:
+            delta = (value - base) / abs(base)
+            delta_txt = f"{delta:+.1%}"
+            # Higher is better for every ratio metric; allocs are handled by
+            # the hard-zero gate below, not by the relative threshold.
+            if "alloc" not in name and value < base * (1.0 - args.threshold):
+                status = "REGRESSED"
+                failures += 1
+        if "alloc" in name and value != 0.0:
+            status = "NONZERO"
+            failures += 1
+        base_txt = f"{base:.3f}" if base is not None else "-"
+        print(f"{name:<40} {value:>10.3f} {base_txt:>10} "
+              f"{delta_txt:>8} {status:>10}")
+
+    if baseline:
+        for name in sorted(set(baseline) - set(current)):
+            print(f"warning: baseline metric '{name}' missing from current run")
+    if failures:
+        print(f"FAIL: {failures} metric(s) regressed (threshold "
+              f"{args.threshold:.0%}; alloc metrics hard-gated to zero)")
+        return 1
+    print("PASS: no metric regression"
+          + (f" (threshold {args.threshold:.0%})" if baseline else
+             " (no baseline provided; alloc hard-zero gate only)"))
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="BENCH_micro_kernels.json from this run")
+    ap.add_argument("current",
+                    help="bench JSON from this run (google-benchmark kernel "
+                         "pairs, or a 'metrics'-carrying bench JSON)")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline JSON to gate against")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="allowed fractional speedup drop vs baseline")
     args = ap.parse_args()
+
+    with open(args.current, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "metrics" in doc and "benchmarks" not in doc:
+        return check_metrics(args)
 
     current = pair_speedups(load_runs(args.current))
     if not current:
