@@ -15,6 +15,10 @@
 // trained MLP on the photonic datapath with the thermal stage at each pitch,
 // with and without TED.
 //
+// The workload definition — pitch axis, MR bank size, proxy recipe and
+// sample budget — lives in scenarios/bench-fig4.ini ([x-fig4] extension
+// section); this binary is a thin sweep driver over it.
+//
 // Emits BENCH_fig4_thermal_crosstalk.json (like bench_backend_matrix) so the
 // trajectory is tracked across PRs.
 #include <cstdio>
@@ -26,6 +30,7 @@
 #include "core/effect_pipeline.hpp"
 #include "dnn/models.hpp"
 #include "dnn/network.hpp"
+#include "scenario/scenario.hpp"
 #include "thermal/crosstalk_matrix.hpp"
 #include "thermal/heat_solver.hpp"
 
@@ -33,9 +38,10 @@ namespace {
 
 using namespace xl;
 
-core::VdpSimOptions thermal_options(double pitch_um, bool use_ted) {
+core::VdpSimOptions thermal_options(std::size_t bank, double pitch_um,
+                                    bool use_ted) {
   core::VdpSimOptions opts;
-  opts.mrs_per_bank = 10;  // "a block of 10 fabricated MRs".
+  opts.mrs_per_bank = bank;  // "a block of 10 fabricated MRs".
   opts.effects.thermal = true;
   opts.effects.thermal_stage.pitch_um = pitch_um;
   opts.effects.thermal_stage.use_ted = use_ted;
@@ -47,23 +53,37 @@ core::VdpSimOptions thermal_options(double pitch_um, bool use_ted) {
 int main(int argc, char** argv) {
   const std::string out_path =
       argc > 1 ? argv[1] : "BENCH_fig4_thermal_crosstalk.json";
-  const std::vector<double> pitches{1.0, 2.0, 3.0, 4.0,  5.0,  6.0,
-                                    8.0, 10.0, 12.0, 16.0, 20.0};
+
+  // Workload definition: scenarios/bench-fig4.ini. The scenario proper is
+  // the corpus golden's cheap functional run (validated here); the [x-fig4]
+  // extension section carries this bench's sweep axes.
+  const scenario::ScenarioDocument doc = scenario::ScenarioDocument::parse_file(
+      scenario::scenario_path("bench-fig4"));
+  (void)scenario::ScenarioSpec::parse(doc);
+  scenario::SectionReader sweep(doc, "x-fig4");
+  const std::vector<double> pitches = sweep.get_double_list(
+      "pitches", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0});
+  const std::size_t bank = sweep.get_size("bank", 10);
+  const std::size_t samples = sweep.get_size("samples", 64);
+  const std::size_t train_epochs = sweep.get_size("train_epochs", 20);
+  sweep.finish();
+
   const thermal::CouplingModelConfig kernel;  // Calibrated decay 2.4 um.
 
   std::printf("=== Fig. 4: phase crosstalk & TO tuning power vs MR pitch ===\n");
-  std::printf("(EffectPipeline thermal stage, bank of 10 MRs, FPV-drawn targets)\n\n");
+  std::printf("(EffectPipeline thermal stage, bank of %zu MRs, FPV-drawn targets)\n\n",
+              bank);
 
   // The cross-layer consequence: the shared Table I proxy MLP evaluated on
   // the functional datapath with the thermal stage at each pitch (through
   // the facade) — same model and training recipe as
   // crosslight_cli --backend functional.
-  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp();
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
   const double float_acc = proxy.float_accuracy;
 
   api::JsonWriter writer;
   writer.field("bench", "fig4_thermal_crosstalk");
-  writer.field("bank", std::size_t{10});
+  writer.field("bank", bank);
   writer.field("float_test_accuracy", float_acc);
 
   std::printf("%-9s %-12s %-14s %-16s %-10s %-10s\n", "pitch_um", "xtalk_ratio",
@@ -75,15 +95,15 @@ int main(int argc, char** argv) {
   for (double pitch : pitches) {
     // One thermal stage per pitch: the boot solve's telemetry carries the
     // Fig. 4 quantities for both drive modes.
-    const core::EffectPipeline pipeline(thermal_options(pitch, true));
+    const core::EffectPipeline pipeline(thermal_options(bank, pitch, true));
     const core::ThermalTelemetry& t = *pipeline.thermal_telemetry();
 
     double acc[2] = {0.0, 0.0};
     for (int mode = 0; mode < 2; ++mode) {
       const bool use_ted = mode == 0;
       api::SimConfig cfg;
-      cfg.vdp = thermal_options(pitch, use_ted);
-      cfg.functional_samples = 64;
+      cfg.vdp = thermal_options(bank, pitch, use_ted);
+      cfg.functional_samples = samples;
       api::Session session(cfg);
       acc[mode] =
           session.evaluate_functional("functional", {}, proxy.net, proxy.test)

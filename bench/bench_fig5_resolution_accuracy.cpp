@@ -13,11 +13,16 @@
 // reproduced *shape*: accuracy is stable at high resolution, collapses below
 // ~4 bits, and non-idealities cost additional effective bits.
 //
+// The workload definition — resolution axis, sample budget, per-model
+// training recipes — lives in scenarios/bench-fig5.ini ([x-fig5] extension
+// section); this binary is a thin sweep driver over it.
+//
 // Emits BENCH_fig5_resolution_accuracy.json (like bench_backend_matrix).
 //
 // Runtime note: trains 4 reduced models and runs 4 x 8 x 2 photonic
 // accuracy evaluations — a couple of minutes, the slowest binary in bench/.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -31,12 +36,14 @@
 #include "dnn/reshape.hpp"
 #include "dnn/trainer.hpp"
 #include "numerics/rng.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
 using namespace xl;
 
-const std::vector<int> kBits{1, 2, 3, 4, 6, 8, 12, 16};
+// Resolution axis, set from [x-fig5] in main before any sweep runs.
+std::vector<int> kBits{1, 2, 3, 4, 6, 8, 12, 16};
 
 struct SweepResult {
   std::string name;
@@ -85,6 +92,28 @@ SweepResult sweep_model(const std::string& name, dnn::Network& net,
 int main(int argc, char** argv) {
   const std::string out_path =
       argc > 1 ? argv[1] : "BENCH_fig5_resolution_accuracy.json";
+
+  // Workload definition: scenarios/bench-fig5.ini. The scenario proper is
+  // the corpus golden's cheap functional run (validated here); the [x-fig5]
+  // extension section carries the resolution axis and per-model recipes
+  // (zoo order: lenet5, cnn_cifar10, cnn_stl10, siamese probe).
+  const scenario::ScenarioDocument doc = scenario::ScenarioDocument::parse_file(
+      scenario::scenario_path("bench-fig5"));
+  (void)scenario::ScenarioSpec::parse(doc);
+  scenario::SectionReader sweep(doc, "x-fig5");
+  kBits = sweep.get_int_list("bits", kBits);
+  const std::size_t samples = sweep.get_size("samples", 24);
+  const std::vector<std::size_t> epochs =
+      sweep.get_size_list("epochs", {4, 5, 4, 16});
+  const std::vector<double> rates =
+      sweep.get_double_list("learning_rates", {3e-3, 3e-3, 3e-3, 5e-3});
+  sweep.finish();
+  if (epochs.size() != 4 || rates.size() != 4) {
+    std::fprintf(stderr, "error: [x-fig5] epochs / learning_rates need one "
+                         "entry per Table I model (4)\n");
+    return 1;
+  }
+
   std::printf("=== Fig. 5: accuracy vs datapath resolution (functional, xl::api) ===\n");
   std::printf("(reduced Table I models; ideal vs thermal+fpv+noise pipeline)\n\n");
 
@@ -96,7 +125,8 @@ int main(int argc, char** argv) {
     const dnn::Dataset test = dnn::generate_classification(spec, 96, 1);
     numerics::Rng rng(1234 + 1);
     dnn::Network net = dnn::build_lenet5(rng);
-    results.push_back(sweep_model("SignMNIST-like", net, train, test, 4, 24));
+    results.push_back(
+        sweep_model("SignMNIST-like", net, train, test, epochs[0], samples, rates[0]));
   }
   {  // Model 2: reduced CIFAR CNN on a 16x16 CIFAR10-like task.
     dnn::SyntheticSpec spec = dnn::cifar10_like();
@@ -106,7 +136,8 @@ int main(int argc, char** argv) {
     const dnn::Dataset test = dnn::generate_classification(spec, 96, 1);
     numerics::Rng rng(1234 + 2);
     dnn::Network net = dnn::build_reduced_cifar_cnn(rng);
-    results.push_back(sweep_model("CIFAR10-like", net, train, test, 5, 24));
+    results.push_back(
+        sweep_model("CIFAR10-like", net, train, test, epochs[1], samples, rates[1]));
   }
   {  // Model 3: reduced STL CNN on a 24x24 STL10-like task.
     const dnn::SyntheticSpec spec = dnn::stl10_like(24);
@@ -114,7 +145,8 @@ int main(int argc, char** argv) {
     const dnn::Dataset test = dnn::generate_classification(spec, 96, 1);
     numerics::Rng rng(1234 + 3);
     dnn::Network net = dnn::build_reduced_stl_cnn(rng);
-    results.push_back(sweep_model("STL10-like", net, train, test, 4, 24));
+    results.push_back(
+        sweep_model("STL10-like", net, train, test, epochs[2], samples, rates[2]));
   }
   {  // Model 4 probe: MLP on Omniglot-like statistics (the siamese pair task
      // has no classifier-accuracy analogue on the functional backend).
@@ -129,7 +161,8 @@ int main(int argc, char** argv) {
     net.emplace<dnn::Dense>(256, 48, rng);
     net.emplace<dnn::ReLU>();
     net.emplace<dnn::Dense>(48, spec.classes, rng);
-    results.push_back(sweep_model("Omniglot-like", net, train, test, 16, 24, 5e-3));
+    results.push_back(
+        sweep_model("Omniglot-like", net, train, test, epochs[3], samples, rates[3]));
   }
 
   api::JsonWriter writer;

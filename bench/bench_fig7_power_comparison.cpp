@@ -1,28 +1,30 @@
 // Fig. 7 reproduction: power consumption of the four CrossLight variants vs
 // the photonic baselines (DEAP-CNN, Holylight) and electronic platforms.
-// All rows come from iterating the api backend registry.
+// The workload — model zoo, architecture, and photonic backend order — is
+// the paper-repro scenario; electronic reference rows still come from
+// iterating the api backend registry.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
-#include "dnn/models.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace xl;
-  const auto models = dnn::table1_models();
-  api::Session session;
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(scenario::scenario_path("paper-repro"));
+  const auto models = spec.model_zoo();
+  api::Session session(spec.config);
 
   std::printf("=== Fig. 7: power consumption comparison (4-model average) ===\n\n");
   std::printf("%-16s %-12s %s\n", "Platform", "Power [W]", "Breakdown / source");
 
   // Simulated photonic rows: baselines first, then the CrossLight variants
-  // (registration order matches the paper's Fig. 7 grouping).
+  // (the scenario's backend order matches the paper's Fig. 7 grouping).
   std::vector<std::string> baselines_first;
   std::vector<std::string> crosslight;
-  for (const std::string& name : session.backends()) {
-    const auto caps = session.backend(name).capabilities();
-    if (!caps.analytical || caps.needs_network) continue;
+  for (const std::string& name : spec.backends) {
     if (name.rfind("crosslight:", 0) == 0) {
       crosslight.push_back(name);
     } else {

@@ -1,17 +1,20 @@
 // Fig. 8 reproduction: per-model energy-per-bit of the photonic DNN
-// accelerators (DEAP-CNN, Holylight, four CrossLight variants), iterating
-// the api backend registry instead of hand-wiring each engine.
+// accelerators (DEAP-CNN, Holylight, four CrossLight variants). The
+// workload — model zoo, architecture, and backend row order — is the
+// paper-repro scenario instead of hand-wiring each engine.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
-#include "dnn/models.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace xl;
-  const auto models = dnn::table1_models();
-  api::Session session;
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(scenario::scenario_path("paper-repro"));
+  const auto models = spec.model_zoo();
+  api::Session session(spec.config);
 
   struct Row {
     std::string name;
@@ -20,19 +23,9 @@ int main() {
   };
   std::vector<Row> rows;
 
-  // Baselines first, then CrossLight variants — registration order already
-  // matches the paper's row order.
-  std::vector<std::string> ordered;
-  for (const std::string& name : session.backends()) {
-    const auto caps = session.backend(name).capabilities();
-    if (!caps.analytical || caps.needs_network) continue;
-    if (name.rfind("crosslight:", 0) != 0) ordered.push_back(name);
-  }
-  for (const std::string& name : session.backends()) {
-    if (name.rfind("crosslight:", 0) == 0) ordered.push_back(name);
-  }
-
-  for (const std::string& name : ordered) {
+  // Baselines first, then CrossLight variants — the scenario's backend
+  // order already matches the paper's row order.
+  for (const std::string& name : spec.backends) {
     Row row;
     for (const auto& result : session.evaluate_all(name, models)) {
       row.name = result.report.accelerator;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "dnn/models.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   std::printf("=== Table I: Models and datasets considered for evaluation ===\n\n");
@@ -13,7 +14,10 @@ int main() {
               "CONV layers", "FC layers", "Params (ours)", "Params (paper)", "Delta",
               "Dataset");
 
-  const auto models = xl::dnn::table1_models();
+  // The zoo selection comes from the paper-repro scenario (models = table1).
+  const auto models =
+      xl::scenario::ScenarioSpec::load(xl::scenario::scenario_path("paper-repro"))
+          .model_zoo();
   for (int i = 0; i < 4; ++i) {
     const auto& m = models[static_cast<std::size_t>(i)];
     const auto ours = m.total_parameters();

@@ -11,13 +11,17 @@
 
 #include "api/api.hpp"
 #include "baselines/electronic.hpp"
-#include "dnn/models.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace xl;
-  const auto models = dnn::table1_models();
+  // Workload (model zoo, architecture, photonic row order) from the
+  // paper-repro scenario; electronic rows from the registry as before.
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(scenario::scenario_path("paper-repro"));
+  const auto models = spec.model_zoo();
   const auto paper_rows = baselines::paper_photonic_rows();
-  api::Session session;
+  api::Session session(spec.config);
 
   const auto paper_of = [&](const std::string& name) {
     for (const auto& r : paper_rows) {
@@ -38,17 +42,9 @@ int main() {
   }
 
   // Simulated photonic rows in the paper's order: baselines, then variants
-  // (that is the registry's registration order).
+  // (the scenario's backend order).
   std::vector<std::pair<std::string, core::AcceleratorSummary>> photonic;
-  for (const std::string& name : session.backends()) {
-    const auto caps = session.backend(name).capabilities();
-    if (!caps.analytical || caps.needs_network || name.rfind("crosslight:", 0) == 0) {
-      continue;
-    }
-    photonic.emplace_back(name, session.summarize(name, models));
-  }
-  for (const std::string& name : session.backends()) {
-    if (name.rfind("crosslight:", 0) != 0) continue;
+  for (const std::string& name : spec.backends) {
     photonic.emplace_back(name, session.summarize(name, models));
   }
 

@@ -1,8 +1,9 @@
-// Command-line evaluation tool over the xl::api facade: evaluate any Table I
-// model on any registered backend, with machine-readable output.
+// Command-line evaluation tool over the xl::api facade and the xl::scenario
+// workload DSL: evaluate any Table I model on any registered backend, or run
+// a declarative scenario file end to end, with machine-readable output.
 //
 // Usage:
-//   crosslight_cli [--list-backends]
+//   crosslight_cli [--scenario <name|file.ini>] [--list-backends]
 //                  [--model 1..4] [--backend <name>]
 //                  [--variant base|base_ted|opt|opt_ted]   (legacy alias for
 //                                                           --backend crosslight:<v>)
@@ -15,41 +16,26 @@
 //                  [--deadline-us <us>] [--requests <n>]
 //                  [--fleet-nodes <n>] [--partition <spec>]
 //
-// --serve runs the xl::serve demo: the trained proxy MLP is registered on a
-// ServingRuntime built from the session config (so --effects selects the
-// shard datapath), a burst trace of --requests mixed-size requests is
-// submitted, and the runtime's latency/batching/throughput telemetry is
-// reported. Results are bit-identical for any --workers count (see the
-// determinism contract in src/serve/serving_runtime.hpp).
+// --scenario loads a workload definition from scenarios/<name>.ini (or an
+// explicit path; $XL_SCENARIO_DIR overrides the corpus directory) and every
+// other flag becomes an override layered on top of the file — so
+// `--scenario flash-crowd --workers 8` replays the declared workload on a
+// wider shard pool. Without --scenario the flags assemble the same
+// ScenarioSpec from its defaults; either way one ScenarioRunner executes
+// the spec, and --json emits its normalized report (deterministic fields
+// outside the "timing" object — see tools/check_scenario_golden.py).
 //
-// --fleet-nodes routes the same replay through xl::fleet instead: a
-// FleetCoordinator partitions the zoo across <n> nodes (each node runs its
-// own ServingRuntime with --workers shards), the proxy is registered twice —
-// once data-parallel, once model-parallel (final Dense layer split
-// column-wise across the fleet with halo exchange) — and the trace
-// alternates between the two. --partition picks the ownership map
-// ("round_robin", "hash", or explicit "model=rank[,...]" pins); logits are
-// bit-identical for every node count and partition map (the fleet
-// determinism contract, see src/fleet/coordinator.hpp).
-//
-// --dse runs the Fig. 6 design-space exploration (parallel DseEngine) over
-// the Table I zoo for the selected crosslight:* backend's variant, printing
-// the ranked points, the (fps, epb, area, power) Pareto front, and engine
-// statistics; --budget tightens the area envelope, --top-k limits the
-// ranking (the text table defaults to 10, --json emits every point unless
-// --top-k is given), --serial disables OpenMP (results are bit-identical
-// either way).
-//
-// The functional backend executes a quickly trained Table I proxy MLP on the
-// simulated analog datapath, with the non-ideality pipeline selected by
-// --effects (a comma-separated subset of thermal,fpv,noise,crosstalk, plus
-// the shorthands all | none | ideal | nocrosstalk).
+// Mode selection: [scenario].mode from the file, overridden by --serve /
+// --dse / --fleet-nodes. The functional path is selected (as before) by a
+// backend whose capabilities need a real network; plain analytical
+// evaluation keeps its detailed single-model report (with --schedule pool
+// utilization).
 //
 // Examples:
 //   crosslight_cli --list-backends
 //   crosslight_cli --model 3 --backend crosslight:opt_ted
-//   crosslight_cli --model 1 --backend deap_cnn --json
-//   crosslight_cli --model 4 --N 30 --K 200 --json
+//   crosslight_cli --scenario paper-repro --json
+//   crosslight_cli --scenario flash-crowd --workers 8
 //   crosslight_cli --backend functional --effects thermal,fpv,noise --json
 //   crosslight_cli --dse --budget 25 --top-k 5 --json
 //   crosslight_cli --serve --workers 4 --max-batch 8 --effects noise --json
@@ -59,27 +45,19 @@
 #include <cstring>
 #include <string>
 
-#include <future>
-#include <vector>
-
 #include "api/api.hpp"
 #include "core/scheduler.hpp"
-#include "dnn/datasets.hpp"
-#include "dnn/loss.hpp"
 #include "dnn/models.hpp"
-#include "dnn/network.hpp"
-#include "dnn/trainer.hpp"
-#include "fleet/fleet.hpp"
-#include "numerics/rng.hpp"
-#include "serve/serving_runtime.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/serve_types.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: crosslight_cli [--list-backends] [--model 1..4]\n"
-               "                      [--backend name] [--variant "
-               "base|base_ted|opt|opt_ted]\n"
+               "usage: crosslight_cli [--scenario name|file.ini] [--list-backends]\n"
+               "                      [--model 1..4] [--backend name]\n"
+               "                      [--variant base|base_ted|opt|opt_ted]\n"
                "                      [--N size] [--K size] [--n count] [--m count]\n"
                "                      [--resolution bits] [--schedule] [--json]\n"
                "                      [--effects thermal,fpv,noise|all|none|ideal]\n"
@@ -120,6 +98,17 @@ std::string backend_for_variant(const std::string& s) {
   return "crosslight:" + s;
 }
 
+// The Table I model token of a --model number, for ScenarioSpec::models.
+const char* model_token(int model_no) {
+  switch (model_no) {
+    case 1: return "lenet5";
+    case 2: return "cnn_cifar10";
+    case 3: return "cnn_stl10";
+    case 4: return "siamese";
+    default: throw std::invalid_argument("--model must be 1..4");
+  }
+}
+
 int list_backends(xl::api::Session& session, bool json) {
   xl::api::JsonWriter writer;
   if (json) writer.begin_array("backends");
@@ -148,103 +137,35 @@ int list_backends(xl::api::Session& session, bool json) {
   return 0;
 }
 
-// Functional evaluation: train the shared Table I proxy MLP and run it on
-// the simulated analog datapath through the facade, with the configured
-// effect pipeline. The functional accuracy is always the proxy MLP's; the
-// --model choice only selects which Table I workload the analytical
-// reference metrics ride along for.
-int run_functional(xl::api::Session& session, const std::string& backend_name,
-                   int model_no, bool json, std::size_t train_epochs) {
-  using namespace xl;
-  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
+// --- human-readable views over a ScenarioOutcome -----------------------------
+// The runner executed the spec and already holds every structured result;
+// these printers only format. --json instead prints outcome.json verbatim.
 
-  const auto models = dnn::table1_models();
-  const auto& model = models[static_cast<std::size_t>(model_no - 1)];
-  const api::EvalResult result =
-      session.evaluate_functional(backend_name, model, proxy.net, proxy.test);
-  const auto& fn = result.functional;
-  const core::EffectConfig effects = session.config().vdp.effective_effects();
-
-  if (json) {
-    api::JsonWriter writer;
-    writer.field("backend", backend_name);
-    writer.field("functional_model", "table1-proxy-mlp");
-    api::write_effect_config(writer, effects);
-    writer.field("float_test_accuracy", proxy.float_accuracy);
-    writer.begin_object("functional");
-    writer.field("accuracy", fn.accuracy);
-    writer.field("samples", fn.samples);
-    writer.field("photonic_matmuls", fn.stats.photonic_matmuls);
-    writer.field("photonic_dot_products", fn.stats.photonic_dot_products);
-    writer.field("photonic_macs", fn.stats.photonic_macs);
-    writer.end_object();
-    if (result.has_report) {
-      writer.begin_object("analytical_reference");
-      writer.field("model", model.name);
-      writer.field("fps", result.report.perf.fps);
-      writer.field("power_w", result.report.power.total_w());
-      writer.field("epb_pj_per_bit", result.epb_pj());
-      writer.end_object();
-    }
-    std::fputs(writer.finish().c_str(), stdout);
-  } else {
-    std::printf("Table I proxy MLP on %s (effects: %s)\n", backend_name.c_str(),
-                fn.effects.c_str());
-    std::printf("  float acc  : %.3f\n", proxy.float_accuracy);
+void print_functional(const xl::scenario::ScenarioSpec& spec,
+                      const xl::scenario::ScenarioOutcome& outcome) {
+  const std::string effects = spec.config.vdp.effective_effects().summary();
+  for (const auto& row : outcome.functional) {
+    const auto& fn = row.result.functional;
+    std::printf("Table I proxy MLP on %s (effects: %s)\n", row.backend.c_str(),
+                effects.c_str());
+    std::printf("  float acc  : %.3f\n", outcome.float_accuracy);
     std::printf("  photonic   : %.3f (%zu samples)\n", fn.accuracy, fn.samples);
-    std::printf("  GEMMs      : %zu (%zu dots, %zu MACs)\n", fn.stats.photonic_matmuls,
-                fn.stats.photonic_dot_products, fn.stats.photonic_macs);
-    if (result.has_report) {
+    std::printf("  GEMMs      : %zu (%zu dots, %zu MACs)\n",
+                fn.stats.photonic_matmuls, fn.stats.photonic_dot_products,
+                fn.stats.photonic_macs);
+    if (row.result.has_report) {
       std::printf("  analytical : %s @ %.0f FPS, %.2f W, %.4f pJ/bit\n",
-                  model.name.c_str(), result.report.perf.fps,
-                  result.report.power.total_w(), result.epb_pj());
+                  row.model.c_str(), row.result.report.perf.fps,
+                  row.result.report.power.total_w(), row.result.epb_pj());
     }
   }
-  return 0;
 }
 
-// Fig. 6 design-space exploration through the facade: the parallel
-// DseEngine walks config.dse over the Table I zoo, streaming the ranked
-// points, Pareto front, and flagged degenerate candidates.
-int run_dse_cli(xl::api::Session& session, bool json, std::size_t top_k, bool serial) {
+void print_dse(const xl::scenario::ScenarioSpec& spec,
+               const xl::scenario::ScenarioOutcome& outcome, bool top_k_set) {
   using namespace xl;
-  core::DseEngine::Options options;
-  options.parallel = !serial;
-  const core::DseSweep& sweep = session.config().dse;
-  const core::DseResult result = session.run_dse(sweep, dnn::table1_models(), options);
+  const core::DseResult& result = outcome.dse;
   const core::DsePoint& best = result.best();
-
-  if (json) {
-    api::JsonWriter writer;
-    writer.begin_object("sweep");
-    writer.field("variant", core::variant_name(sweep.variant_axis().front()));
-    writer.field("max_area_mm2", sweep.max_area_mm2);
-    writer.field("grid_candidates", result.stats.grid_candidates);
-    writer.end_object();
-    api::write_dse_stats(writer, result.stats);
-    writer.begin_object("best");
-    writer.field("N", best.conv_unit_size);
-    writer.field("K", best.fc_unit_size);
-    writer.field("n", best.conv_units);
-    writer.field("m", best.fc_units);
-    writer.field("fps_per_epb", best.fps_per_epb());
-    writer.field("area_mm2", best.area_mm2);
-    writer.end_object();
-    const std::size_t shown = (top_k > 0 && top_k < result.points.size())
-                                  ? top_k
-                                  : result.points.size();
-    api::write_dse_points(
-        writer, "points",
-        std::vector<core::DsePoint>(result.points.begin(),
-                                    result.points.begin() + static_cast<long>(shown)));
-    api::write_pareto_front(writer, result);
-    if (!result.rejected.empty()) {
-      api::write_dse_points(writer, "rejected", result.rejected);
-    }
-    std::fputs(writer.finish().c_str(), stdout);
-    return 0;
-  }
-
   std::printf("DSE over %zu candidates (%zu admitted, %zu area-filtered): "
               "%zu evaluations, %zu cache hits\n\n",
               result.stats.grid_candidates,
@@ -253,9 +174,10 @@ int run_dse_cli(xl::api::Session& session, bool json, std::size_t top_k, bool se
               result.stats.cache_hits);
   std::printf("%-2s %-4s %-4s %-4s %-4s %-12s %-12s %-9s %-9s %-12s\n", "", "N", "K",
               "n", "m", "avg FPS", "avg EPB pJ", "area mm2", "power W", "FPS/EPB");
-  const std::size_t shown = (top_k > 0 && top_k < result.points.size())
-                                ? top_k
-                                : result.points.size();
+  // Text default: top 10 (machine consumers get every point via --json).
+  const std::size_t top_k = top_k_set ? spec.dse_top_k : 10;
+  const std::size_t shown =
+      (top_k > 0 && top_k < result.points.size()) ? top_k : result.points.size();
   for (std::size_t i = 0; i < shown; ++i) {
     const core::DsePoint& p = result.points[i];
     std::printf("%-2s %-4zu %-4zu %-4zu %-4zu %-12.0f %-12.4f %-9.1f %-9.1f %-12.3e\n",
@@ -273,202 +195,84 @@ int run_dse_cli(xl::api::Session& session, bool json, std::size_t top_k, bool se
   std::printf("Best FPS/EPB: (N, K, n, m) = (%zu, %zu, %zu, %zu), area %.1f mm2\n",
               best.conv_unit_size, best.fc_unit_size, best.conv_units, best.fc_units,
               best.area_mm2);
-  return 0;
 }
 
-// xl::serve demo: register the trained proxy MLP on a runtime built from
-// the session config, replay a burst trace of mixed-size requests, and
-// report the serving telemetry. Logits are bit-identical for any worker
-// count, so served accuracy equals the direct functional-path accuracy for
-// the same samples.
-int run_serve(xl::api::Session& session, bool json, std::size_t workers,
-              std::size_t max_batch, double deadline_us, std::size_t requests,
-              std::size_t train_epochs) {
+void print_serve(const xl::scenario::ScenarioSpec& spec,
+                 const xl::scenario::ScenarioOutcome& outcome) {
   using namespace xl;
-  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
-
-  serve::ServingOptions options;
-  options.workers = workers;
-  options.max_batch = max_batch;
-  options.deadline_us = deadline_us;
-  auto runtime = session.serve(options);
-  runtime->register_model(serve::table1_proxy_served_model(proxy.net));
-  runtime->start();
-
-  // Burst replay of the canonical mixed-size trace (1..4 samples, capped at
-  // max_batch) cycled over the held-out test set.
-  std::vector<std::pair<std::size_t, std::size_t>> slices;  // (start, rows).
-  const std::vector<dnn::Tensor> trace =
-      serve::make_mixed_size_trace(proxy.test, requests, max_batch, &slices);
-  const auto t0 = serve::Clock::now();
-  std::vector<std::future<serve::InferResult>> futures;
-  futures.reserve(requests);
-  for (const dnn::Tensor& input : trace) {
-    futures.push_back(runtime->submit("table1-proxy-mlp", input));
-  }
-
-  double correct = 0.0;
-  std::size_t samples = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    const serve::InferResult result = futures[i].get();
-    const auto [start, rows] = slices[i];
-    correct += static_cast<double>(rows) *
-               dnn::accuracy(result.logits,
-                             dnn::batch_labels(proxy.test, start, rows));
-    samples += rows;
-  }
-  const double wall_us =
-      std::chrono::duration<double, std::micro>(serve::Clock::now() - t0).count();
-  runtime->stop();
-  const serve::ServingStats stats = runtime->stats();
-  const double accuracy = correct / static_cast<double>(samples);
-  const double fps = wall_us > 0.0 ? static_cast<double>(samples) * 1e6 / wall_us : 0.0;
-
-  if (json) {
-    api::JsonWriter writer;
-    writer.field("mode", "serve");
-    writer.field("model", "table1-proxy-mlp");
-    writer.field("workers", workers);
-    writer.field("max_batch", max_batch);
-    writer.field("deadline_us", deadline_us);
-    api::write_effect_config(writer, session.config().vdp.effective_effects());
-    writer.field("wall_us", wall_us);
-    writer.field("achieved_fps", fps);
-    writer.field("served_accuracy", accuracy);
-    api::write_serving_stats(writer, "serving", stats);
-    std::fputs(writer.finish().c_str(), stdout);
-  } else {
-    std::printf("Serving table1-proxy-mlp on %zu shard(s), max batch %zu, "
-                "deadline %.0f us\n",
-                workers, max_batch, deadline_us);
-    std::printf("  requests   : %zu (%zu samples, %zu micro-batches, mean %.2f "
-                "rows/batch)\n",
-                stats.requests, stats.samples, stats.batches, stats.mean_batch_rows());
-    const auto [p50, p99] = serve::latency_p50_p99_us(stats.latency_us);
-    std::printf("  latency    : p50 %.0f us, p99 %.0f us\n", p50, p99);
-    std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", fps, wall_us * 1e-3);
-    std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", accuracy,
-                session.config().vdp.effective_effects().summary().c_str());
-  }
-  return 0;
+  const serve::ServingStats& stats = outcome.serving_stats;
+  std::printf("Serving table1-proxy-mlp on %zu shard(s), max batch %zu, "
+              "deadline %.0f us\n",
+              spec.serving.workers, spec.serving.max_batch, spec.serving.deadline_us);
+  if (spec.tenants > 1) std::printf("  tenants    : %zu\n", spec.tenants);
+  std::printf("  requests   : %zu (%zu samples, %zu micro-batches, mean %.2f "
+              "rows/batch)\n",
+              stats.requests, stats.samples, stats.batches, stats.mean_batch_rows());
+  const auto [p50, p99] = serve::latency_p50_p99_us(stats.latency_us);
+  std::printf("  latency    : p50 %.0f us, p99 %.0f us\n", p50, p99);
+  std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", outcome.achieved_fps,
+              outcome.wall_us * 1e-3);
+  std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", outcome.served_accuracy,
+              spec.config.vdp.effective_effects().summary().c_str());
 }
 
-// xl::fleet demo: the same burst replay, routed through a FleetCoordinator.
-// The proxy is registered twice — data-parallel (owned by one node's local
-// runtime) and model-parallel (replicated fleet-wide, final Dense layer
-// split column-wise with halo exchange) — and the trace alternates between
-// the two, so every fleet code path carries traffic. Both registrations
-// share one prototype, so served accuracy is scored exactly as in --serve.
-int run_fleet(xl::api::Session& session, bool json, std::size_t nodes,
-              const std::string& partition_spec, std::size_t workers,
-              std::size_t max_batch, double deadline_us, std::size_t requests,
-              std::size_t train_epochs) {
+void print_fleet(const xl::scenario::ScenarioSpec& spec,
+                 const xl::scenario::ScenarioOutcome& outcome) {
   using namespace xl;
-  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(train_epochs);
-
-  fleet::FleetOptions options;
-  options.nodes = nodes;
-  options.partition = fleet::FleetPartition::parse(partition_spec);
-  options.serving.workers = workers;
-  options.serving.max_batch = max_batch;
-  options.serving.deadline_us = deadline_us;
-  auto coordinator = session.fleet(options);
-
-  serve::ServedModel dp = serve::table1_proxy_served_model(proxy.net);
-  serve::ServedModel mp = serve::table1_proxy_served_model(proxy.net);
-  mp.name += "-mp";
-  coordinator->register_model({dp, /*model_parallel=*/false});
-  coordinator->register_model({std::move(mp), /*model_parallel=*/true});
-  coordinator->start();
-
-  std::vector<std::pair<std::size_t, std::size_t>> slices;  // (start, rows).
-  const std::vector<dnn::Tensor> trace =
-      serve::make_mixed_size_trace(proxy.test, requests, max_batch, &slices);
-  const auto t0 = serve::Clock::now();
-  std::vector<std::future<serve::InferResult>> futures;
-  futures.reserve(requests);
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    futures.push_back(coordinator->submit(
-        i % 2 == 0 ? "table1-proxy-mlp" : "table1-proxy-mlp-mp", trace[i]));
+  const fleet::FleetStats& stats = outcome.fleet_stats;
+  std::printf("Fleet of %zu node(s) (%s partition), %zu worker(s)/node, "
+              "max batch %zu\n",
+              spec.fleet_nodes, spec.fleet_partition.c_str(), spec.serving.workers,
+              spec.serving.max_batch);
+  std::printf("  requests   : %zu routed (%zu samples)\n", stats.requests,
+              outcome.served_samples);
+  for (const fleet::FleetNodeStats& node : stats.nodes) {
+    std::printf("  node %u     : %zu dp requests, %zu mp requests, %zu halo "
+                "tiles served\n",
+                node.rank, node.serving.requests, node.mp_requests,
+                node.halo_tiles_served);
   }
-
-  double correct = 0.0;
-  std::size_t samples = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    const serve::InferResult result = futures[i].get();
-    const auto [start, rows] = slices[i];
-    correct += static_cast<double>(rows) *
-               dnn::accuracy(result.logits,
-                             dnn::batch_labels(proxy.test, start, rows));
-    samples += rows;
-  }
-  const double wall_us =
-      std::chrono::duration<double, std::micro>(serve::Clock::now() - t0).count();
-  coordinator->stop();
-  const fleet::FleetStats stats = coordinator->stats();
-  const double accuracy = correct / static_cast<double>(samples);
-  const double fps = wall_us > 0.0 ? static_cast<double>(samples) * 1e6 / wall_us : 0.0;
-
-  if (json) {
-    api::JsonWriter writer;
-    writer.field("mode", "fleet");
-    writer.field("nodes", nodes);
-    writer.field("partition", coordinator->options().partition.summary());
-    writer.field("workers_per_node", workers);
-    writer.field("max_batch", max_batch);
-    writer.field("deadline_us", deadline_us);
-    api::write_effect_config(writer, session.config().vdp.effective_effects());
-    writer.field("wall_us", wall_us);
-    writer.field("achieved_fps", fps);
-    writer.field("served_accuracy", accuracy);
-    api::write_fleet_stats(writer, "fleet", stats);
-    std::fputs(writer.finish().c_str(), stdout);
-  } else {
-    std::printf("Fleet of %zu node(s) (%s partition), %zu worker(s)/node, "
-                "max batch %zu\n",
-                nodes, coordinator->options().partition.summary().c_str(),
-                workers, max_batch);
-    std::printf("  requests   : %zu routed (%zu samples)\n", stats.requests, samples);
-    for (const fleet::FleetNodeStats& node : stats.nodes) {
-      std::printf("  node %u     : %zu dp requests, %zu mp requests, %zu halo "
-                  "tiles served\n",
-                  node.rank, node.serving.requests, node.mp_requests,
-                  node.halo_tiles_served);
-    }
-    std::printf("  fabric     : %zu frames, %zu payload bytes (%zu halo bytes)\n",
-                static_cast<std::size_t>(stats.transport.frames),
-                static_cast<std::size_t>(stats.transport.payload_bytes),
-                static_cast<std::size_t>(stats.transport.halo_bytes));
-    std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", fps, wall_us * 1e-3);
-    std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", accuracy,
-                session.config().vdp.effective_effects().summary().c_str());
-  }
-  return 0;
+  std::printf("  fabric     : %zu frames, %zu payload bytes (%zu halo bytes)\n",
+              static_cast<std::size_t>(stats.transport.frames),
+              static_cast<std::size_t>(stats.transport.payload_bytes),
+              static_cast<std::size_t>(stats.transport.halo_bytes));
+  std::printf("  throughput : %.0f samples/s (wall %.1f ms)\n", outcome.achieved_fps,
+              outcome.wall_us * 1e-3);
+  std::printf("  accuracy   : %.3f (photonic, effects: %s)\n", outcome.served_accuracy,
+              spec.config.vdp.effective_effects().summary().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace xl;
-  int model_no = 2;
-  std::string backend_name = "crosslight:opt_ted";
-  api::SimConfig config;
+
+  // Flags layer over the scenario file (or the spec defaults): each *_set
+  // bool records an explicit flag so only those keys override the file.
+  std::string scenario_file;
+  int model_no = 0;
+  std::string backend_name;
+  std::size_t arch_N = 0, arch_K = 0, arch_n = 0, arch_m = 0;
+  int resolution_bits = 0;
+  std::string effects_csv;
+  bool effects_set = false;
+  std::size_t samples = 0;
+  std::size_t train_epochs = 0;
   bool json = false;
   bool run_schedule = false;
   bool list_only = false;
-  bool run_dse = false;
+  bool dse_flag = false;
   bool dse_serial = false;
-  // Default: full ranking in --json (machine consumers get every point),
-  // top 10 in the human-readable table.
   std::size_t dse_top_k = 0;
   bool dse_top_k_set = false;
-  std::size_t train_epochs = 20;
-  bool serve_mode = false;
-  std::size_t serve_workers = 2;
-  std::size_t serve_max_batch = 16;
-  double serve_deadline_us = 2000.0;
-  std::size_t serve_requests = 64;
-  std::size_t fleet_nodes = 0;  // 0 = fleet path off.
+  double dse_budget = 0.0;
+  bool dse_budget_set = false;
+  bool serve_flag = false;
+  std::size_t serve_workers = 0;
+  std::size_t serve_max_batch = 0;
+  double serve_deadline_us = -1.0;
+  std::size_t serve_requests = 0;
+  std::size_t fleet_nodes = 0;
   std::string fleet_partition;
   bool fleet_partition_set = false;
 
@@ -482,42 +286,45 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     try {
-      if (arg == "--model") {
+      if (arg == "--scenario") {
+        scenario_file = next();
+      } else if (arg == "--model") {
         model_no = std::atoi(next());
+        (void)model_token(model_no);  // Validate eagerly.
       } else if (arg == "--backend") {
         backend_name = next();
       } else if (arg == "--variant") {
         backend_name = backend_for_variant(next());
       } else if (arg == "--N") {
-        config.architecture.conv_unit_size = static_cast<std::size_t>(std::atoi(next()));
+        arch_N = parse_positive(next(), "--N");
       } else if (arg == "--K") {
-        config.architecture.fc_unit_size = static_cast<std::size_t>(std::atoi(next()));
+        arch_K = parse_positive(next(), "--K");
       } else if (arg == "--n") {
-        config.architecture.conv_units = static_cast<std::size_t>(std::atoi(next()));
+        arch_n = parse_positive(next(), "--n");
       } else if (arg == "--m") {
-        config.architecture.fc_units = static_cast<std::size_t>(std::atoi(next()));
+        arch_m = parse_positive(next(), "--m");
       } else if (arg == "--resolution") {
-        // Drives both views: the analytical DAC cap and the functional
-        // datapath quantizers.
-        config.architecture.resolution_bits = std::atoi(next());
-        config.vdp.resolution_bits = config.architecture.resolution_bits;
+        resolution_bits = static_cast<int>(parse_positive(next(), "--resolution"));
       } else if (arg == "--effects") {
-        config.vdp.effects = core::EffectConfig::parse(next());
+        effects_csv = next();
+        (void)core::EffectConfig::parse(effects_csv);  // Validate eagerly.
+        effects_set = true;
       } else if (arg == "--samples") {
-        config.functional_samples = static_cast<std::size_t>(std::atoi(next()));
+        samples = parse_positive(next(), "--samples");
       } else if (arg == "--train-epochs") {
-        train_epochs = static_cast<std::size_t>(std::atoi(next()));
+        train_epochs = parse_positive(next(), "--train-epochs");
       } else if (arg == "--dse") {
-        run_dse = true;
+        dse_flag = true;
       } else if (arg == "--top-k") {
         dse_top_k = static_cast<std::size_t>(std::atoi(next()));
         dse_top_k_set = true;
       } else if (arg == "--budget") {
-        config.dse.max_area_mm2 = std::atof(next());
+        dse_budget = parse_nonnegative(next(), "--budget");
+        dse_budget_set = true;
       } else if (arg == "--serial") {
         dse_serial = true;
       } else if (arg == "--serve") {
-        serve_mode = true;
+        serve_flag = true;
       } else if (arg == "--workers") {
         serve_workers = parse_positive(next(), "--workers");
       } else if (arg == "--max-batch") {
@@ -553,82 +360,151 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (model_no < 1 || model_no > 4) {
-    std::fprintf(stderr, "error: --model must be 1..4\n");
-    return 2;
-  }
-  if (fleet_partition_set && fleet_nodes == 0) {
+  if (fleet_partition_set && fleet_nodes == 0 && scenario_file.empty()) {
     std::fprintf(stderr, "error: --partition requires --fleet-nodes\n");
     return 2;
   }
-  if (fleet_nodes > 0 && run_dse) {
+  if (fleet_nodes > 0 && dse_flag) {
     std::fprintf(stderr, "error: --fleet-nodes drives the serving replay; it "
                          "cannot be combined with --dse\n");
     return 2;
   }
 
   try {
-    if (run_dse) {
+    // Base spec: the scenario file, or pure defaults (the legacy flag-only
+    // invocation is just an override stack on an empty scenario).
+    scenario::ScenarioSpec spec;
+    if (!scenario_file.empty()) {
+      spec = scenario::ScenarioSpec::load(scenario::scenario_path(scenario_file));
+    }
+
+    // Layer the explicit flags over the file.
+    if (model_no != 0) spec.models = {model_token(model_no)};
+    if (!backend_name.empty()) spec.backends = {backend_name};
+    if (arch_N != 0) spec.config.architecture.conv_unit_size = arch_N;
+    if (arch_K != 0) spec.config.architecture.fc_unit_size = arch_K;
+    if (arch_n != 0) spec.config.architecture.conv_units = arch_n;
+    if (arch_m != 0) spec.config.architecture.fc_units = arch_m;
+    if (resolution_bits != 0) {
+      // Drives both views: the analytical DAC cap and the functional
+      // datapath quantizers.
+      spec.config.architecture.resolution_bits = resolution_bits;
+      spec.config.vdp.resolution_bits = resolution_bits;
+    }
+    if (effects_set) spec.config.vdp.effects = core::EffectConfig::parse(effects_csv);
+    if (samples != 0) spec.config.functional_samples = samples;
+    if (train_epochs != 0) spec.train_epochs = train_epochs;
+    if (dse_flag) spec.mode = scenario::Mode::kDse;
+    if (dse_top_k_set) spec.dse_top_k = dse_top_k;
+    if (dse_budget_set) spec.config.dse.max_area_mm2 = dse_budget;
+    if (dse_serial) spec.dse_serial = true;
+    if (serve_flag) spec.mode = scenario::Mode::kServe;
+    if (serve_workers != 0) spec.serving.workers = serve_workers;
+    if (serve_max_batch != 0) spec.serving.max_batch = serve_max_batch;
+    if (serve_deadline_us >= 0.0) spec.serving.deadline_us = serve_deadline_us;
+    if (serve_requests != 0) spec.arrivals.requests = serve_requests;
+    if (fleet_nodes != 0) {
+      spec.mode = scenario::Mode::kFleet;
+      spec.fleet_nodes = fleet_nodes;
+    }
+    if (fleet_partition_set) spec.fleet_partition = fleet_partition;
+
+    const std::string backend = spec.backends.front();
+    if (spec.mode == scenario::Mode::kDse) {
       // The DSE grid enumerates CrossLight organizations; the selected
       // crosslight:* backend picks the variant the sweep explores.
-      bool matched = false;
-      for (core::Variant v : {core::Variant::kBase, core::Variant::kBaseTed,
-                              core::Variant::kOpt, core::Variant::kOptTed}) {
-        if (api::AnalyticalBackend::registry_key(v) == backend_name) {
-          config.dse.variant = v;
-          matched = true;
-        }
-      }
-      if (!matched) {
+      if (backend.rfind("crosslight:", 0) != 0) {
         std::fprintf(stderr, "error: --dse requires a crosslight:* backend\n");
         return 2;
       }
-      // An explicit --resolution sweeps the analytical and functional views
-      // at that depth, mirroring the single-evaluation path.
-      config.dse.base.resolution_bits = config.architecture.resolution_bits;
+      spec.config.architecture.variant = scenario::variant_from_name(
+          backend.substr(std::strlen("crosslight:")));
+    }
+    // Re-lower the architecture overrides into the sweep (parse() did this
+    // for file values; flags layered on top must reach the same places).
+    if (spec.config.dse.variants.empty()) {
+      spec.config.dse.variant = spec.config.architecture.variant;
+    }
+    spec.config.dse.base = spec.config.architecture;
+
+    api::Session session(spec.config);
+    if (list_only) return list_backends(session, json);
+
+    // The functional path is selected by a backend that executes real
+    // tensors, exactly as before the scenario layer existed.
+    if (spec.mode == scenario::Mode::kEvaluate &&
+        session.backend(backend).capabilities().needs_network) {
+      spec.mode = scenario::Mode::kFunctional;
     }
 
-    api::Session session(config);
-    if (list_only) return list_backends(session, json);
-    if (fleet_nodes > 0) {
-      return run_fleet(session, json, fleet_nodes, fleet_partition, serve_workers,
-                       serve_max_batch, serve_deadline_us, serve_requests,
-                       train_epochs);
+    if (spec.mode != scenario::Mode::kEvaluate) {
+      scenario::ScenarioRunner runner(std::move(spec));
+      const scenario::ScenarioOutcome outcome = runner.run();
+      if (json) {
+        std::fputs(outcome.json.c_str(), stdout);
+        return 0;
+      }
+      switch (outcome.mode) {
+        case scenario::Mode::kFunctional:
+          print_functional(runner.spec(), outcome);
+          break;
+        case scenario::Mode::kDse:
+          print_dse(runner.spec(), outcome, dse_top_k_set);
+          break;
+        case scenario::Mode::kServe:
+          print_serve(runner.spec(), outcome);
+          break;
+        case scenario::Mode::kFleet:
+          print_fleet(runner.spec(), outcome);
+          break;
+        case scenario::Mode::kEvaluate:
+          break;  // Unreachable: handled below.
+      }
+      return 0;
     }
-    if (serve_mode) {
-      return run_serve(session, json, serve_workers, serve_max_batch,
-                       serve_deadline_us, serve_requests, train_epochs);
-    }
-    if (run_dse) {
-      const std::size_t top_k = (json || dse_top_k_set) ? dse_top_k : 10;
-      return run_dse_cli(session, json, top_k, dse_serial);
+
+    // Evaluate mode. Scenario files (and multi-model/-backend selections)
+    // route through the runner's normalized report; the legacy single-model
+    // flag invocation keeps its detailed report (with --schedule).
+    const std::vector<dnn::ModelSpec> zoo = spec.model_zoo();
+    if (!scenario_file.empty() || zoo.size() != 1 || spec.backends.size() != 1) {
+      if (run_schedule) {
+        std::fprintf(stderr,
+                     "error: --schedule needs a single model and backend\n");
+        return 2;
+      }
+      scenario::ScenarioRunner runner(std::move(spec));
+      const scenario::ScenarioOutcome outcome = runner.run();
+      if (json) {
+        std::fputs(outcome.json.c_str(), stdout);
+      } else {
+        for (const auto& row : outcome.evals) {
+          std::printf("%-22s %-28s %10.4f pJ/bit %10.3f kFPS/W\n",
+                      row.backend.c_str(), row.model.c_str(), row.result.epb_pj(),
+                      row.result.kfps_per_watt());
+        }
+      }
+      return 0;
     }
 
     // Pool utilization comes from the event-driven scheduler, which models
     // the CrossLight organization only — reject the combination before any
-    // evaluation work (including the functional path below).
-    const bool is_crosslight = backend_name.rfind("crosslight:", 0) == 0;
+    // evaluation work.
+    const bool is_crosslight = backend.rfind("crosslight:", 0) == 0;
     if (run_schedule && !is_crosslight) {
       std::fprintf(stderr, "error: --schedule requires a crosslight:* backend\n");
       return 2;
     }
 
-    // Backends that execute real tensors take the functional path: trained
-    // proxy network + dataset + the configured effect pipeline.
-    if (session.backend(backend_name).capabilities().needs_network) {
-      return run_functional(session, backend_name, model_no, json, train_epochs);
-    }
-
-    const auto models = dnn::table1_models();
-    const auto& model = models[static_cast<std::size_t>(model_no - 1)];
-    const api::EvalResult result = session.evaluate(backend_name, model);
+    const dnn::ModelSpec& model = zoo.front();
+    const api::EvalResult result = session.evaluate(backend, model);
 
     double utilization_conv = 0.0;
     double utilization_fc = 0.0;
     if (run_schedule) {
-      core::ArchitectureConfig cfg = config.architecture;
-      cfg.variant = static_cast<api::AnalyticalBackend&>(session.backend(backend_name))
-                        .variant();
+      core::ArchitectureConfig cfg = spec.config.architecture;
+      cfg.variant =
+          static_cast<api::AnalyticalBackend&>(session.backend(backend)).variant();
       const core::CrossLightAccelerator accel(cfg);
       const auto schedule = core::EventScheduler(cfg).run(accel.map(model));
       utilization_conv = schedule.conv_pool_utilization;
@@ -639,14 +515,14 @@ int main(int argc, char** argv) {
       // Reference-only backend: literature constants, no per-model report.
       if (json) {
         api::JsonWriter writer;
-        writer.field("backend", backend_name);
+        writer.field("backend", backend);
         writer.field("platform", result.summary.accelerator);
         writer.field("avg_epb_pj_per_bit", result.summary.avg_epb_pj);
         writer.field("avg_kfps_per_watt", result.summary.avg_kfps_per_watt);
         writer.field("power_w", result.summary.avg_power_w);
         std::fputs(writer.finish().c_str(), stdout);
       } else {
-        std::printf("%s (%s): literature constants\n", backend_name.c_str(),
+        std::printf("%s (%s): literature constants\n", backend.c_str(),
                     result.summary.accelerator.c_str());
         std::printf("  power      : %.2f W\n", result.summary.avg_power_w);
         std::printf("  EPB        : %.4f pJ/bit\n", result.summary.avg_epb_pj);
@@ -656,11 +532,11 @@ int main(int argc, char** argv) {
     }
 
     const auto& report = result.report;
-    const auto& cfg = config.architecture;
+    const auto& cfg = spec.config.architecture;
     if (json) {
       api::JsonWriter writer;
       writer.field("model", model.name);
-      writer.field("backend", backend_name);
+      writer.field("backend", backend);
       writer.field("accelerator", report.accelerator);
       if (is_crosslight) {
         // Baselines carry their own organization (BaselineParams); the

@@ -1,23 +1,29 @@
 // Quickstart: the evaluation API in ~30 lines. One Session evaluates any
 // registered backend — CrossLight variants, prior-work baselines, the
-// functional datapath — and returns one unified EvalResult.
+// functional datapath — and returns one unified EvalResult. The workload
+// (model, backend, architecture) is declared in scenarios/quickstart.ini,
+// not assembled in code.
 //
 // Build & run:  ./build/quickstart
 #include <cstdio>
 
 #include "api/api.hpp"
-#include "dnn/models.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace xl;
 
-  // 1. A Session owns the unified SimConfig; defaults are the paper's
-  //    flagship: (N, K, n, m) = (20, 150, 100, 60), 16-bit datapath.
-  api::Session session;
+  // 1. Load the declared workload. The scenario carries the paper's
+  //    flagship config — (N, K, n, m) = (20, 150, 100, 60), 16-bit
+  //    datapath — plus the model/backend selection; a Session owns the
+  //    lowered SimConfig.
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(scenario::scenario_path("quickstart"));
+  api::Session session(spec.config);
 
-  // 2. Pick a workload from the Table I model zoo and a backend by name.
-  const dnn::ModelSpec model = dnn::cnn_cifar10_spec();
-  const api::EvalResult result = session.evaluate("crosslight:opt_ted", model);
+  // 2. Evaluate the scenario's model on its backend.
+  const dnn::ModelSpec model = spec.model_zoo().front();
+  const api::EvalResult result = session.evaluate(spec.backends.front(), model);
 
   std::printf("CrossLight quickstart — %s on %s\n", model.name.c_str(),
               result.report.accelerator.c_str());

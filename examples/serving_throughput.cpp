@@ -1,12 +1,14 @@
 // serving_throughput — the xl::serve subsystem in one tour.
 //
-// Demonstrates the queue -> micro-batcher -> shards pipeline end to end:
+// The workload (effect stack, proxy recipe, burst size, serving policy with
+// hardware-time pacing) is declared in scenarios/serving-demo.ini; this
+// binary replays it on 1 worker and on 2 workers:
 //   1. train the Table I proxy MLP once (the shared prototype network);
 //   2. build a ServingRuntime from an api::Session (shards clone their
 //      engines from the session's immutable VdpSimOptions);
-//   3. replay the same burst trace of mixed-size requests on 1 worker and
-//      on 2 workers, with hardware-time pacing on so each micro-batch
-//      occupies its shard for the simulated EventScheduler makespan;
+//   3. replay the same burst trace of mixed-size requests on both worker
+//      counts, with hardware-time pacing on so each micro-batch occupies
+//      its shard for the simulated EventScheduler makespan;
 //   4. show that throughput scales with the shard count while the logits
 //      stay bit-identical (the serving determinism contract).
 #include <chrono>
@@ -17,7 +19,7 @@
 #include "api/api.hpp"
 #include "dnn/datasets.hpp"
 #include "dnn/models.hpp"
-#include "numerics/rng.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/serving_runtime.hpp"
 
 namespace {
@@ -30,26 +32,18 @@ struct ReplayOutcome {
 };
 
 ReplayOutcome replay(xl::api::Session& session, xl::dnn::Table1ProxyMlp& proxy,
-                     std::size_t workers, std::size_t requests) {
+                     const xl::scenario::ScenarioSpec& spec, std::size_t workers) {
   using namespace xl;
-  serve::ServingOptions options;
+  serve::ServingOptions options = spec.serving;
   options.workers = workers;
-  options.max_batch = 8;
-  options.deadline_us = 500.0;
-  // Pace each micro-batch to the simulated accelerator makespan. The proxy
-  // MLP's batch makespan is ~0.06 us (the simulated chip runs at ~16M FPS),
-  // so a large scale makes simulated service time dominate host compute —
-  // only then does the demo measure shard scaling rather than the CPU.
-  options.pace_hardware_time = true;
-  options.pace_scale = 500000.0;
 
   auto runtime = session.serve(options);
   runtime->register_model(serve::table1_proxy_served_model(proxy.net));
   runtime->start();
 
   // The canonical mixed-size burst trace (sizes cycle 1..4).
-  const std::vector<xl::dnn::Tensor> trace =
-      serve::make_mixed_size_trace(proxy.test, requests, options.max_batch);
+  const std::vector<xl::dnn::Tensor> trace = serve::make_mixed_size_trace(
+      proxy.test, spec.arrivals.requests, options.max_batch);
   const auto t0 = serve::Clock::now();
   std::vector<std::future<serve::InferResult>> futures;
   for (const dnn::Tensor& input : trace) {
@@ -77,16 +71,15 @@ int main() {
   using namespace xl;
   std::printf("=== xl::serve — micro-batching inference over sharded engines ===\n\n");
 
-  api::SimConfig config;
-  config.vdp.effects = core::EffectConfig::parse("thermal,noise");
-  api::Session session(config);
-  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(8);
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(scenario::scenario_path("serving-demo"));
+  api::Session session(spec.config);
+  dnn::Table1ProxyMlp proxy = dnn::train_table1_proxy_mlp(spec.train_epochs);
   std::printf("prototype: Table I proxy MLP, float accuracy %.3f\n\n",
               proxy.float_accuracy);
 
-  const std::size_t requests = 48;
-  const ReplayOutcome one = replay(session, proxy, 1, requests);
-  const ReplayOutcome two = replay(session, proxy, 2, requests);
+  const ReplayOutcome one = replay(session, proxy, spec, 1);
+  const ReplayOutcome two = replay(session, proxy, spec, 2);
 
   auto describe = [](const char* tag, const ReplayOutcome& r) {
     const auto [p50, p99] = serve::latency_p50_p99_us(r.stats.latency_us);

@@ -1,5 +1,6 @@
 #include "core/effects.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace xl::core {
@@ -22,8 +23,16 @@ EffectConfig EffectConfig::parse(std::string_view csv) {
   std::size_t pos = 0;
   while (pos <= csv.size()) {
     const std::size_t comma = std::min(csv.find(',', pos), csv.size());
-    const std::string_view token = csv.substr(pos, comma - pos);
+    std::string_view token = csv.substr(pos, comma - pos);
     pos = comma + 1;
+    // Trim ASCII whitespace so "thermal, fpv" parses; unknown tokens are
+    // still rejected by name below (never silently ignored).
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.front()))) {
+      token.remove_prefix(1);
+    }
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.back()))) {
+      token.remove_suffix(1);
+    }
     if (token.empty()) continue;
     if (token == "thermal") {
       cfg.thermal = true;

@@ -1,0 +1,140 @@
+#include "scenario/expression.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace xl::scenario {
+namespace {
+
+// Recursive-descent parser over the classic three-level grammar:
+//   expr   := term (('+' | '-') term)*
+//   term   := factor (('*' | '/' | '%') factor)*
+//   factor := number | '(' expr ')' | ('+' | '-') factor
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  double parse() {
+    const double value = expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail("unexpected trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("expression '" + std::string(text_) + "': " +
+                                what + " at position " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double expr() {
+    double value = term();
+    for (;;) {
+      if (eat('+')) {
+        value += term();
+      } else if (eat('-')) {
+        value -= term();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double term() {
+    double value = factor();
+    for (;;) {
+      if (eat('*')) {
+        value *= factor();
+      } else if (eat('/')) {
+        const double rhs = factor();
+        if (rhs == 0.0) fail("division by zero");
+        value /= rhs;
+      } else if (eat('%')) {
+        const double rhs = factor();
+        if (rhs == 0.0) fail("modulo by zero");
+        value = std::fmod(value, rhs);
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (eat('(')) {
+      const double value = expr();
+      if (!eat(')')) fail("missing ')'");
+      return value;
+    }
+    if (eat('-')) return -factor();
+    if (eat('+')) return factor();
+    return number();
+  }
+
+  double number() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected a number");
+    const std::string rest(text_.substr(pos_));
+    char* end = nullptr;
+    double value = 0.0;
+    if (rest.size() > 2 && rest[0] == '0' && (rest[1] == 'x' || rest[1] == 'X')) {
+      // Hex literals (scenario seeds) go through strtoull so 64-bit seeds
+      // round-trip; the double conversion is exact up to 2^53, far beyond
+      // any knob that is not a seed (seeds are re-read as integers by the
+      // document layer).
+      value = static_cast<double>(std::strtoull(rest.c_str(), &end, 16));
+    } else {
+      value = std::strtod(rest.c_str(), &end);
+    }
+    if (end == rest.c_str()) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - rest.c_str());
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double eval_expression(std::string_view text) { return Parser(text).parse(); }
+
+bool looks_numeric(std::string_view text) {
+  // A numeric term starts with a digit, a sign, a dot, or '('; everything
+  // else is a bare string (backend names, model names, csv words).
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
+        c == '.' || c == '(') {
+      try {
+        (void)eval_expression(text);
+        return true;
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace xl::scenario

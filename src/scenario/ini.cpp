@@ -1,0 +1,381 @@
+#include "scenario/ini.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/expression.hpp"
+
+namespace xl::scenario {
+
+namespace {
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+/// Strip a trailing comment. `#` and `;` start a comment only when they are
+/// the first character or preceded by whitespace, so values like
+/// "model#4" or a quoted "#" survive.
+std::string strip_comment(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if ((line[i] == '#' || line[i] == ';') &&
+        (i == 0 || std::isspace(static_cast<unsigned char>(line[i - 1])))) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+[[noreturn]] void syntax_error(const std::string& file, int line,
+                               const std::string& what) {
+  throw std::invalid_argument("scenario: " + file + ":" + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::vector<std::string> split_csv(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    std::string token = trim(text.substr(pos, comma - pos));
+    if (!token.empty()) out.push_back(std::move(token));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+ScenarioDocument ScenarioDocument::parse_file(const std::string& path) {
+  ScenarioDocument doc;
+  doc.path_ = path;
+  std::vector<std::string> include_stack;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("scenario: cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  include_stack.push_back(path);
+  doc.parse_into(text.str(), path, include_stack);
+  return doc;
+}
+
+ScenarioDocument ScenarioDocument::parse_text(std::string_view text,
+                                              const std::string& virtual_path) {
+  ScenarioDocument doc;
+  doc.path_ = virtual_path;
+  std::vector<std::string> include_stack{virtual_path};
+  doc.parse_into(text, virtual_path, include_stack);
+  return doc;
+}
+
+void ScenarioDocument::parse_into(std::string_view text, const std::string& path,
+                                  std::vector<std::string>& include_stack) {
+  IniSection* current = nullptr;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string line = trim(strip_comment(std::string(text.substr(pos, eol - pos))));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') syntax_error(path, line_no, "unterminated section header");
+      const std::string name = trim(std::string_view(line).substr(1, line.size() - 2));
+      if (name.empty()) syntax_error(path, line_no, "empty section name");
+      current = nullptr;
+      for (IniSection& s : sections_) {
+        if (s.name == name) current = &s;  // Re-opened: merge (include overlay).
+      }
+      if (current == nullptr) {
+        sections_.push_back(IniSection{name, {}, {}});
+        current = &sections_.back();
+      }
+      continue;
+    }
+
+    if (line.rfind("include", 0) == 0 &&
+        (line.size() == 7 || std::isspace(static_cast<unsigned char>(line[7])))) {
+      std::string target = trim(std::string_view(line).substr(7));
+      if (target.empty()) syntax_error(path, line_no, "include without a path");
+      if (target.front() != '/') target = dirname_of(path) + target;
+      for (const std::string& open : include_stack) {
+        if (open == target) {
+          std::string chain;
+          for (const std::string& p : include_stack) chain += p + " -> ";
+          throw std::runtime_error("scenario: cyclic include: " + chain + target);
+        }
+      }
+      std::ifstream in(target);
+      if (!in) {
+        throw std::runtime_error("scenario: " + path + ":" + std::to_string(line_no) +
+                                 ": cannot read include '" + target + "'");
+      }
+      std::ostringstream included;
+      included << in.rdbuf();
+      include_stack.push_back(target);
+      parse_into(included.str(), target, include_stack);
+      include_stack.pop_back();
+      current = nullptr;  // Keys after an include need their own [section].
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      syntax_error(path, line_no, "expected 'key = value', got '" + line + "'");
+    }
+    if (current == nullptr) {
+      syntax_error(path, line_no, "'" + line + "' appears before any [section]");
+    }
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    if (key.empty()) syntax_error(path, line_no, "empty key");
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (current->values.count(key) == 0) current->order.push_back(key);
+    current->values[key] = IniValue{value, path, line_no};
+  }
+}
+
+const IniSection* ScenarioDocument::find(const std::string& name) const {
+  for (const IniSection& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioDocument::section_names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const IniSection& s : sections_) out.push_back(s.name);
+  return out;
+}
+
+std::string ScenarioDocument::substitute(const std::string& raw,
+                                         const std::string& context) const {
+  // Iterative re-scan with a depth cap: a var may expand to text containing
+  // further ${...} references (vars-of-vars); 16 rounds is far beyond any
+  // sane nesting and turns a cycle into a named error instead of a hang.
+  std::string text = raw;
+  for (int depth = 0; depth < 16; ++depth) {
+    const std::size_t open = text.find("${");
+    if (open == std::string::npos) return text;
+    const std::size_t close = text.find('}', open + 2);
+    if (close == std::string::npos) {
+      throw std::invalid_argument("scenario: " + context +
+                                  ": unterminated ${...} in '" + raw + "'");
+    }
+    const std::string name = trim(std::string_view(text).substr(open + 2, close - open - 2));
+    const IniSection* vars = find("vars");
+    const auto it = vars != nullptr ? vars->values.find(name)
+                                    : std::map<std::string, IniValue>::const_iterator{};
+    if (vars == nullptr || it == vars->values.end()) {
+      throw std::invalid_argument("scenario: " + context + ": undefined variable '${" +
+                                  name + "}' in '" + raw + "'");
+    }
+    text = text.substr(0, open) + it->second.raw + text.substr(close + 1);
+  }
+  throw std::invalid_argument("scenario: " + context +
+                              ": ${...} substitution cycle in '" + raw + "'");
+}
+
+SectionReader::SectionReader(const ScenarioDocument& doc, std::string section)
+    : doc_(doc), section_(std::move(section)), section_ptr_(doc.find(section_)) {}
+
+bool SectionReader::has(const std::string& key) const {
+  return section_ptr_ != nullptr && section_ptr_->has(key);
+}
+
+std::string SectionReader::where(const std::string& key) const {
+  return "[" + section_ + "]." + key;
+}
+
+void SectionReader::fail(const std::string& key, const std::string& what) const {
+  std::string at;
+  if (section_ptr_ != nullptr) {
+    const auto it = section_ptr_->values.find(key);
+    if (it != section_ptr_->values.end()) {
+      at = " (" + it->second.file + ":" + std::to_string(it->second.line) + ")";
+    }
+  }
+  throw std::invalid_argument("scenario: " + where(key) + ": " + what + at);
+}
+
+std::string SectionReader::resolved(const std::string& key, bool& found) {
+  consumed_.insert(key);
+  if (!has(key)) {
+    found = false;
+    return {};
+  }
+  found = true;
+  return doc_.substitute(section_ptr_->values.at(key).raw, where(key));
+}
+
+std::string SectionReader::get_string(const std::string& key,
+                                      const std::string& fallback) {
+  bool found = false;
+  std::string value = resolved(key, found);
+  return found ? value : fallback;
+}
+
+std::string SectionReader::require_string(const std::string& key) {
+  bool found = false;
+  std::string value = resolved(key, found);
+  if (!found) fail(key, "required key is missing");
+  return value;
+}
+
+double SectionReader::get_double(const std::string& key, double fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  try {
+    return eval_expression(value);
+  } catch (const std::invalid_argument& e) {
+    fail(key, std::string("expected a number: ") + e.what());
+  }
+}
+
+std::size_t SectionReader::get_size(const std::string& key, std::size_t fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  double parsed = 0.0;
+  try {
+    parsed = eval_expression(value);
+  } catch (const std::invalid_argument& e) {
+    fail(key, std::string("expected a non-negative integer: ") + e.what());
+  }
+  if (!(parsed >= 0.0) || parsed != std::floor(parsed)) {
+    fail(key, "expected a non-negative integer, got '" + value + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+int SectionReader::get_int(const std::string& key, int fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  double parsed = 0.0;
+  try {
+    parsed = eval_expression(value);
+  } catch (const std::invalid_argument& e) {
+    fail(key, std::string("expected an integer: ") + e.what());
+  }
+  if (parsed != std::floor(parsed)) {
+    fail(key, "expected an integer, got '" + value + "'");
+  }
+  return static_cast<int>(parsed);
+}
+
+bool SectionReader::get_bool(const std::string& key, bool fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  if (value == "true" || value == "on" || value == "yes" || value == "1") return true;
+  if (value == "false" || value == "off" || value == "no" || value == "0") return false;
+  fail(key, "expected a boolean (true/false/on/off/yes/no/1/0), got '" + value + "'");
+}
+
+std::uint64_t SectionReader::get_uint64(const std::string& key,
+                                        std::uint64_t fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  char* end = nullptr;
+  const int base = value.rfind("0x", 0) == 0 || value.rfind("0X", 0) == 0 ? 16 : 10;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, base);
+  if (end == value.c_str() || *end != '\0') {
+    fail(key, "expected a 64-bit integer (decimal or 0x hex), got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::vector<std::string> SectionReader::get_string_list(
+    const std::string& key, const std::vector<std::string>& fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  return found ? split_csv(value) : fallback;
+}
+
+std::vector<double> SectionReader::get_double_list(
+    const std::string& key, const std::vector<double>& fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  std::vector<double> out;
+  for (const std::string& token : split_csv(value)) {
+    try {
+      out.push_back(eval_expression(token));
+    } catch (const std::invalid_argument& e) {
+      fail(key, std::string("expected a list of numbers: ") + e.what());
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> SectionReader::get_size_list(
+    const std::string& key, const std::vector<std::size_t>& fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  std::vector<std::size_t> out;
+  for (const std::string& token : split_csv(value)) {
+    double parsed = 0.0;
+    try {
+      parsed = eval_expression(token);
+    } catch (const std::invalid_argument& e) {
+      fail(key, std::string("expected a list of non-negative integers: ") + e.what());
+    }
+    if (!(parsed >= 0.0) || parsed != std::floor(parsed)) {
+      fail(key, "expected a list of non-negative integers, got '" + token + "'");
+    }
+    out.push_back(static_cast<std::size_t>(parsed));
+  }
+  return out;
+}
+
+std::vector<int> SectionReader::get_int_list(const std::string& key,
+                                             const std::vector<int>& fallback) {
+  bool found = false;
+  const std::string value = resolved(key, found);
+  if (!found) return fallback;
+  std::vector<int> out;
+  for (const std::string& token : split_csv(value)) {
+    double parsed = 0.0;
+    try {
+      parsed = eval_expression(token);
+    } catch (const std::invalid_argument& e) {
+      fail(key, std::string("expected a list of integers: ") + e.what());
+    }
+    if (parsed != std::floor(parsed)) {
+      fail(key, "expected a list of integers, got '" + token + "'");
+    }
+    out.push_back(static_cast<int>(parsed));
+  }
+  return out;
+}
+
+void SectionReader::finish() const {
+  if (section_ptr_ == nullptr) return;
+  for (const std::string& key : section_ptr_->order) {
+    if (consumed_.count(key) != 0) continue;
+    const IniValue& value = section_ptr_->values.at(key);
+    throw std::invalid_argument("scenario: unknown key " + where(key) + " (" +
+                                value.file + ":" + std::to_string(value.line) + ")");
+  }
+}
+
+}  // namespace xl::scenario

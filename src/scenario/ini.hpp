@@ -1,0 +1,152 @@
+// INI-style scenario documents: the untyped layer of the workload DSL.
+//
+// A scenario file is a sequence of `[section]` headers and `key = value`
+// lines, with `#`/`;` comments, `include <path>` composition (paths are
+// resolved relative to the including file; cycles are an error naming the
+// chain), and `${var}` substitution from the `[vars]` section. Values are
+// raw text here; SectionReader resolves substitutions and types them on
+// access (strings, numbers through the expression grammar, booleans,
+// comma-separated lists), and `finish()` rejects unknown keys by name —
+// the same fail-loudly contract as crosslight_cli's unknown-flag handling,
+// so a typo in a scenario file can never be silently ignored.
+//
+// Typical use:
+//   ScenarioDocument doc = ScenarioDocument::parse_file("flash-crowd.ini");
+//   SectionReader serving(doc, "serving");
+//   std::size_t workers = serving.get_size("workers", 2);
+//   serving.finish();   // throws on unconsumed (unknown) keys
+//
+// The typed ScenarioSpec built on top of this lives in scenario/spec.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xl::scenario {
+
+/// One `key = value` entry with its source position (for error messages).
+struct IniValue {
+  std::string raw;   ///< Right-hand side, comments stripped, trimmed.
+  std::string file;  ///< Source file the line came from (includes resolved).
+  int line = 0;
+};
+
+/// One `[section]`, keys in first-seen order. Re-opening a section (e.g. an
+/// include overlaying a base file) merges: later keys override earlier ones
+/// without disturbing the order of the survivors.
+struct IniSection {
+  std::string name;
+  std::vector<std::string> order;            ///< Keys, first-seen order.
+  std::map<std::string, IniValue> values;    ///< key -> value.
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) != 0;
+  }
+};
+
+/// A parsed scenario document: ordered sections plus the merged `[vars]`
+/// table every `${var}` reference resolves against.
+class ScenarioDocument {
+ public:
+  /// Parse a file from disk, following `include` directives. Throws
+  /// std::invalid_argument on syntax errors (naming file:line) and
+  /// std::runtime_error on unreadable files or cyclic includes (naming the
+  /// include chain).
+  [[nodiscard]] static ScenarioDocument parse_file(const std::string& path);
+
+  /// Parse from a string. `virtual_path` names the text in errors and
+  /// anchors relative `include` paths (its directory part is used).
+  [[nodiscard]] static ScenarioDocument parse_text(std::string_view text,
+                                                   const std::string& virtual_path);
+
+  [[nodiscard]] const IniSection* find(const std::string& name) const;
+  [[nodiscard]] bool has_section(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+  /// Section names in first-seen order.
+  [[nodiscard]] std::vector<std::string> section_names() const;
+
+  /// Resolve every `${var}` reference in `raw` against [vars] (recursively,
+  /// depth-capped). Throws std::invalid_argument naming an undefined
+  /// variable or a substitution cycle; `context` (e.g. "serving.workers")
+  /// prefixes the message.
+  [[nodiscard]] std::string substitute(const std::string& raw,
+                                       const std::string& context) const;
+
+  /// Path the document was parsed from (diagnostics only).
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void parse_into(std::string_view text, const std::string& path,
+                  std::vector<std::string>& include_stack);
+
+  std::string path_;
+  std::vector<IniSection> sections_;  ///< First-seen order, names unique.
+};
+
+/// Typed, consumption-tracked view of one section. Every getter records the
+/// key it touched; `finish()` then throws std::invalid_argument naming any
+/// key that exists in the file but was never consumed ("unknown key
+/// section.key in file:line") so scenario typos fail loudly. A missing
+/// section behaves as empty — all defaults apply, finish() passes.
+class SectionReader {
+ public:
+  SectionReader(const ScenarioDocument& doc, std::string section);
+
+  [[nodiscard]] bool present() const noexcept { return section_ptr_ != nullptr; }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  // Each getter comes in a defaulted and a required flavor; the required
+  // flavor throws std::invalid_argument naming section.key when absent.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback);
+  [[nodiscard]] std::string require_string(const std::string& key);
+  [[nodiscard]] double get_double(const std::string& key, double fallback);
+  [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t fallback);
+  [[nodiscard]] int get_int(const std::string& key, int fallback);
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback);
+  /// 64-bit integers (seeds) parse directly — never through the double
+  /// expression path, which would round above 2^53. Decimal or 0x hex.
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& key,
+                                         std::uint64_t fallback);
+
+  // Comma-separated lists; empty value -> empty list.
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& key, const std::vector<std::string>& fallback);
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, const std::vector<double>& fallback);
+  [[nodiscard]] std::vector<std::size_t> get_size_list(
+      const std::string& key, const std::vector<std::size_t>& fallback);
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
+                                              const std::vector<int>& fallback);
+
+  /// Throw std::invalid_argument naming every present-but-unconsumed key
+  /// ("scenario: unknown key [section].key (file:line)").
+  void finish() const;
+
+  /// The error-message prefix "[section].key".
+  [[nodiscard]] std::string where(const std::string& key) const;
+
+ private:
+  /// Substituted raw text of a key; nullopt-style via `found`.
+  [[nodiscard]] std::string resolved(const std::string& key, bool& found);
+  [[noreturn]] void fail(const std::string& key, const std::string& what) const;
+
+  const ScenarioDocument& doc_;
+  std::string section_;
+  const IniSection* section_ptr_;
+  std::set<std::string> consumed_;
+};
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Split on top-level commas and trim each element; empty elements are
+/// dropped (so trailing commas are harmless, mirroring EffectConfig::parse).
+[[nodiscard]] std::vector<std::string> split_csv(std::string_view text);
+
+}  // namespace xl::scenario

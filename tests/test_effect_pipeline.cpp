@@ -245,6 +245,25 @@ TEST(EffectPipeline, ConfigParseAndSummaryRoundTrip) {
                std::invalid_argument);
 }
 
+TEST(EffectPipeline, ConfigParseTrimsWhitespaceButRejectsUnknownTokensByName) {
+  // Scenario files write padded lists ("thermal, fpv"); padding must parse.
+  const core::EffectConfig padded =
+      core::EffectConfig::parse(" thermal , fpv ,\tnoise ");
+  EXPECT_TRUE(padded.thermal);
+  EXPECT_TRUE(padded.fpv);
+  EXPECT_TRUE(padded.noise);
+  // Empty elements (trailing / doubled commas) are harmless, not errors.
+  EXPECT_TRUE(core::EffectConfig::parse("thermal,,fpv,").thermal);
+  // Unknown tokens still fail loudly, named, never silently ignored —
+  // whatever whitespace surrounds them.
+  try {
+    (void)core::EffectConfig::parse("thermal, bogus ");
+    FAIL() << "unknown effect token accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'bogus'"), std::string::npos) << e.what();
+  }
+}
+
 TEST(EffectPipeline, ValidationRejectsNonPhysicalConfigs) {
   core::VdpSimOptions bad;
   bad.effects.thermal_stage.pitch_um = 0.0;

@@ -23,7 +23,13 @@ portable signal. A value fails the gate when it drops more than
 
 Usage:
   check_bench_regression.py CURRENT.json [--baseline BASELINE.json]
-                            [--threshold 0.10]
+                            [--threshold 0.10] [--mask PATH ...]
+
+``--mask`` names dotted key paths (see :func:`flatten_json`) whose values are
+non-deterministic — wall-clock metrics, host info — and must be excluded from
+comparison. The same flatten/mask/diff helpers back
+``check_scenario_golden.py`` so there is exactly one JSON-walking
+implementation in the tree.
 
 A missing baseline file reports without gating (exit 0) so a new bench can
 land before its first committed baseline — except the hard-zero alloc gate,
@@ -40,6 +46,53 @@ import sys
 
 SCALAR_SUFFIX = "_Scalar"
 DISPATCH_SUFFIX = "_Dispatch"
+
+
+# --- Shared JSON walking (also imported by check_scenario_golden.py) -------
+
+def flatten_json(node, prefix=""):
+    """Flatten a JSON document into {dotted.path: scalar}.
+
+    Objects nest with ``.`` (``serving.workers``), arrays index with
+    ``[i]`` (``results[0].model``). Scalars (str/num/bool/null) are the
+    leaves; an empty object or array flattens to nothing.
+    """
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(flatten_json(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(flatten_json(value, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = node
+    return out
+
+
+def is_masked(path, masks):
+    """True when `path` equals a mask entry or lives under one."""
+    return any(path == mask or path.startswith(mask + ".")
+               or path.startswith(mask + "[") for mask in masks)
+
+
+def diff_flat(current, golden, masks=()):
+    """Compare two flattened documents, ignoring masked paths.
+
+    Returns ``[(path, kind, current_value, golden_value)]`` where kind is
+    ``mismatch`` / ``missing`` (golden-only) / ``unexpected`` (current-only).
+    Values compare exactly — deterministic fields must be bit-identical.
+    """
+    rows = []
+    for path in sorted(set(current) | set(golden)):
+        if is_masked(path, masks):
+            continue
+        if path not in golden:
+            rows.append((path, "unexpected", current[path], None))
+        elif path not in current:
+            rows.append((path, "missing", None, golden[path]))
+        elif current[path] != golden[path]:
+            rows.append((path, "mismatch", current[path], golden[path]))
+    return rows
 
 
 def load_runs(path):
@@ -91,6 +144,11 @@ def load_metrics(path):
 def check_metrics(args):
     """Gate a "metrics"-style bench JSON; returns the process exit status."""
     current = load_metrics(args.current)
+    masked = sorted(name for name in current if is_masked(name, args.mask))
+    for name in masked:
+        del current[name]
+    if masked:
+        print("masked:", ", ".join(masked))
     if not current:
         print("error: no usable 'metrics' object in", args.current)
         return 1
@@ -149,6 +207,10 @@ def main():
                     help="committed baseline JSON to gate against")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="allowed fractional speedup drop vs baseline")
+    ap.add_argument("--mask", action="append", default=[],
+                    help="metric name / kernel label (or prefix) that is "
+                         "non-deterministic and excluded from comparison; "
+                         "repeatable")
     args = ap.parse_args()
 
     with open(args.current, "r", encoding="utf-8") as fh:
@@ -157,6 +219,8 @@ def main():
         return check_metrics(args)
 
     current = pair_speedups(load_runs(args.current))
+    current = {label: row for label, row in current.items()
+               if not is_masked(label, args.mask)}
     if not current:
         print("error: no BM_Kernel*_Scalar/_Dispatch pairs in", args.current)
         return 1

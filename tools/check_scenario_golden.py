@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diff a ScenarioRunner JSON report against its committed golden.
+
+Every scenario in ``scenarios/*.ini`` has a golden report under
+``scenarios/golden/<name>.json``. The runner's determinism contract says the
+*numerics* of a run — evaluated metrics, DSE rankings, served accuracy and
+the logits FNV-1a checksum — are bit-identical across machines, worker
+counts, and batch groupings; only wall-clock-derived values move, and the
+runner groups all of those under the top-level ``"timing"`` object. This
+checker flattens both documents into dotted key paths (one shared
+implementation in ``check_bench_regression.py`` — no duplicated JSON
+walking), masks ``timing`` (plus any extra ``--mask`` paths), and fails on
+any other difference, naming the scenario and the exact key path that
+drifted.
+
+Usage:
+  check_scenario_golden.py CURRENT.json GOLDEN.json [--mask PATH ...]
+                           [--update]
+
+``--update`` rewrites GOLDEN.json from CURRENT.json (normalized, sorted
+keys) instead of diffing — the one sanctioned way to refresh a golden after
+an intentional behavior change.
+
+Exit status: 0 on match, 1 on drift or malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from check_bench_regression import diff_flat, flatten_json  # noqa: E402
+
+DEFAULT_MASKS = ("timing",)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="ScenarioRunner JSON report from this run")
+    ap.add_argument("golden", help="committed golden JSON to diff against")
+    ap.add_argument("--mask", action="append", default=[],
+                    help="additional non-deterministic key path to exclude "
+                         "(the top-level 'timing' object is always masked); "
+                         "repeatable")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite GOLDEN from CURRENT instead of diffing")
+    args = ap.parse_args()
+
+    current_doc = load(args.current)
+    scenario = current_doc.get("scenario", os.path.basename(args.current))
+
+    if args.update:
+        with open(args.golden, "w", encoding="utf-8") as fh:
+            json.dump(current_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated: {scenario}: wrote {args.golden}")
+        return 0
+
+    if not os.path.exists(args.golden):
+        print(f"FAIL: {scenario}: golden '{args.golden}' does not exist "
+              "(generate it with --update)")
+        return 1
+
+    masks = list(DEFAULT_MASKS) + args.mask
+    drift = diff_flat(flatten_json(current_doc), flatten_json(load(args.golden)),
+                      masks)
+    if drift:
+        for path, kind, cur, gold in drift:
+            print(f"drift: {scenario}: {path}: {kind} "
+                  f"(current={cur!r}, golden={gold!r})")
+        print(f"FAIL: {scenario}: {len(drift)} deterministic field(s) drifted "
+              f"(masked: {', '.join(masks)})")
+        return 1
+    print(f"PASS: {scenario}: matches golden on all deterministic fields "
+          f"(masked: {', '.join(masks)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
