@@ -15,7 +15,9 @@
 #include "core/dse_engine.hpp"
 #include "dnn/models.hpp"
 
-#ifdef _OPENMP
+#include "exec/task_pool.hpp"
+
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
 #include <omp.h>
 #endif
 
@@ -53,10 +55,10 @@ int main() {
   const DseSweep sweep;  // Full default sweep.
   const auto models = xl::dnn::table1_models();
 
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
   const int threads = omp_get_max_threads();
 #else
-  const int threads = 1;
+  const int threads = static_cast<int>(xl::exec::width());
 #endif
 
   // Serial reference: the pre-engine sweep shape (no memo, no parallelism).

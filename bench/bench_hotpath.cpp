@@ -1,7 +1,7 @@
 // bench_hotpath — the zero-allocation steady-state contract plus the
 // planned-vs-legacy hot-path speedup, tracked per PR as BENCH_hotpath.json.
 //
-// Two measurements over the Table I proxy MLP with the full effect stack:
+// Three measurements over the Table I proxy MLP with the full effect stack:
 //
 //   * engine — the shard inner loop in isolation: {reset_effects;
 //     infer} over a fixed max-batch of samples, legacy infer_batch vs the
@@ -12,8 +12,16 @@
 //
 //   * serving — the full single-worker runtime (submit -> queue -> batcher ->
 //     shard -> future) over the canonical mixed-size burst trace, with
-//     use_execution_plan off vs on. Requests/s must improve; logits must be
-//     bit-identical.
+//     use_execution_plan off vs on, plus a third arm with use_executor on
+//     (drain tasks on the xl::exec pool instead of a dedicated worker
+//     thread). Requests/s must improve; logits must be bit-identical across
+//     all three arms.
+//
+//   * dispatch latency — sequential lone 1-sample requests with deadline 0:
+//     p50/p99 of submit -> get in thread mode vs executor mode. Gated as
+//     threads/executor ratios (higher = executor dispatches faster); the
+//     executor's inline dispatch removes the cross-thread wakeup from the
+//     lone-request tail.
 //
 // The JSON carries a top-level "metrics" object of machine-portable numbers
 // (ratios and the alloc count — never absolute times), gated by
@@ -53,6 +61,8 @@ constexpr std::size_t kMaxBatch = 8;
 constexpr std::size_t kEngineIters = 60;
 constexpr std::size_t kRequests = 96;
 constexpr std::size_t kServingRepeats = 3;
+constexpr std::size_t kLatencyRequests = 64;
+constexpr std::size_t kLatencyRepeats = 3;
 /// ISSUE acceptance floor: planned single-worker serving throughput must be
 /// at least this multiple of the legacy path on the same machine and trace.
 constexpr double kMinSpeedup = 1.3;
@@ -144,13 +154,15 @@ struct ServingResult {
 };
 
 ServingResult run_serving(xl::dnn::Network& prototype,
-                          const std::vector<Tensor>& trace, bool use_plan) {
+                          const std::vector<Tensor>& trace, bool use_plan,
+                          bool use_executor = false) {
   using namespace xl;
   serve::ServingOptions options;
   options.workers = 1;
   options.max_batch = kMaxBatch;
   options.deadline_us = 200.0;
   options.use_execution_plan = use_plan;
+  options.use_executor = use_executor;
 
   serve::ServingRuntime runtime(full_effects_vdp(), options);
   runtime.register_model(serve::table1_proxy_served_model(prototype));
@@ -180,6 +192,50 @@ ServingResult run_serving(xl::dnn::Network& prototype,
     r.samples_per_s = static_cast<double>(samples) * 1e6 / r.wall_us;
     // Best of N: queue scheduling jitter only ever slows a run down.
     if (best.wall_us == 0.0 || r.wall_us < best.wall_us) best = std::move(r);
+  }
+  runtime.stop();
+  return best;
+}
+
+struct LatencyResult {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Single-request dispatch latency: sequential submit -> get over lone
+/// one-sample requests with deadline 0, so each measured interval is queue
+/// wakeup + dispatch + one planned inference — the exact path the executor
+/// rework targets (no batching, no pipelining to hide the wakeup).
+LatencyResult run_dispatch_latency(xl::dnn::Network& prototype,
+                                   bool use_executor) {
+  using namespace xl;
+  serve::ServingOptions options;
+  options.workers = 1;
+  options.max_batch = kMaxBatch;
+  options.deadline_us = 0.0;
+  options.use_execution_plan = true;
+  options.use_executor = use_executor;
+
+  serve::ServingRuntime runtime(full_effects_vdp(), options);
+  runtime.register_model(serve::table1_proxy_served_model(prototype));
+  runtime.start();
+
+  const Tensor lone = make_batch(1);
+  for (std::size_t i = 0; i < 4; ++i) {  // Warm plan + thread/lane caches.
+    runtime.submit("table1-proxy-mlp", lone).get();
+  }
+  LatencyResult best;
+  for (std::size_t repeat = 0; repeat < kLatencyRepeats; ++repeat) {
+    std::vector<double> latencies;
+    latencies.reserve(kLatencyRequests);
+    for (std::size_t i = 0; i < kLatencyRequests; ++i) {
+      const auto t0 = Clock::now();
+      runtime.submit("table1-proxy-mlp", lone).get();
+      latencies.push_back(elapsed_us(t0, Clock::now()));
+    }
+    const auto [p50, p99] = serve::latency_p50_p99_us(std::move(latencies));
+    // Best of N by p50: scheduling jitter only ever slows a run down.
+    if (best.p50_us == 0.0 || p50 < best.p50_us) best = {p50, p99};
   }
   runtime.stop();
   return best;
@@ -223,11 +279,21 @@ int main(int argc, char** argv) {
       serve::make_mixed_size_trace(data, kRequests, kMaxBatch);
   const ServingResult serve_legacy = run_serving(prototype, trace, false);
   const ServingResult serve_planned = run_serving(prototype, trace, true);
+  const ServingResult serve_executor =
+      run_serving(prototype, trace, true, /*use_executor=*/true);
   const double serving_speedup =
       serve_legacy.wall_us / serve_planned.wall_us;
+  const double executor_speedup = serve_planned.wall_us / serve_executor.wall_us;
   bool serving_identical = serve_legacy.logits.size() == serve_planned.logits.size();
   for (std::size_t i = 0; serving_identical && i < serve_legacy.logits.size(); ++i) {
     serving_identical = bit_identical(serve_legacy.logits[i], serve_planned.logits[i]);
+  }
+  bool executor_identical =
+      serve_planned.logits.size() == serve_executor.logits.size();
+  for (std::size_t i = 0; executor_identical && i < serve_planned.logits.size();
+       ++i) {
+    executor_identical =
+        bit_identical(serve_planned.logits[i], serve_executor.logits[i]);
   }
 
   std::printf("\nserving (1 worker, %zu mixed-size requests, best of %zu):\n",
@@ -237,10 +303,31 @@ int main(int argc, char** argv) {
   std::printf("  planned : %8.0f samples/s (%.0f req/s) -> %.2fx\n",
               serve_planned.samples_per_s, serve_planned.requests_per_s,
               serving_speedup);
-  std::printf("  logits bit-identical: %s\n", serving_identical ? "yes" : "NO");
+  std::printf("  executor: %8.0f samples/s (%.0f req/s) -> %.2fx vs threads\n",
+              serve_executor.samples_per_s, serve_executor.requests_per_s,
+              executor_speedup);
+  std::printf("  logits bit-identical: %s (executor: %s)\n",
+              serving_identical ? "yes" : "NO", executor_identical ? "yes" : "NO");
   std::printf("  speedup >= %.2fx: %s\n", kMinSpeedup,
               serving_speedup >= kMinSpeedup ? "yes" : "NO");
-  pass = pass && serving_identical && serving_speedup >= kMinSpeedup;
+  pass = pass && serving_identical && executor_identical &&
+         serving_speedup >= kMinSpeedup;
+
+  // --- Single-request dispatch latency -----------------------------------
+  const LatencyResult lat_threads = run_dispatch_latency(prototype, false);
+  const LatencyResult lat_executor = run_dispatch_latency(prototype, true);
+  // Gated as ratios (threads / executor; higher = executor dispatches
+  // faster) — absolute microseconds are machine-bound and informational.
+  const double lat_p50_ratio = lat_threads.p50_us / lat_executor.p50_us;
+  const double lat_p99_ratio = lat_threads.p99_us / lat_executor.p99_us;
+  std::printf("\ndispatch latency (1 worker, lone 1-sample requests, "
+              "deadline 0, best of %zu x %zu):\n",
+              kLatencyRepeats, kLatencyRequests);
+  std::printf("  threads : p50 %8.1f us | p99 %8.1f us\n", lat_threads.p50_us,
+              lat_threads.p99_us);
+  std::printf("  executor: p50 %8.1f us | p99 %8.1f us -> %.2fx / %.2fx\n",
+              lat_executor.p50_us, lat_executor.p99_us, lat_p50_ratio,
+              lat_p99_ratio);
 
   // --- JSON ---------------------------------------------------------------
   api::JsonWriter writer;
@@ -254,15 +341,24 @@ int main(int argc, char** argv) {
   writer.field("engine_us_per_batch_planned", planned.us_per_batch);
   writer.field("serving_samples_per_s_legacy", serve_legacy.samples_per_s);
   writer.field("serving_samples_per_s_planned", serve_planned.samples_per_s);
+  writer.field("serving_samples_per_s_executor", serve_executor.samples_per_s);
   writer.field("engine_logits_bit_identical", engine_identical);
   writer.field("serving_logits_bit_identical", serving_identical);
+  writer.field("executor_logits_bit_identical", executor_identical);
   writer.field("arena_regrows_steady_state", planned.arena_regrows);
+  writer.field("dispatch_p50_us_threads", lat_threads.p50_us);
+  writer.field("dispatch_p99_us_threads", lat_threads.p99_us);
+  writer.field("dispatch_p50_us_executor", lat_executor.p50_us);
+  writer.field("dispatch_p99_us_executor", lat_executor.p99_us);
   // Machine-portable gated metrics: ratios of same-machine runs plus the
   // hard-zero allocation count (see tools/check_bench_regression.py).
   writer.begin_object("metrics");
   writer.field("allocs_per_request", planned.allocs_per_request);
   writer.field("engine_speedup_planned_vs_legacy", engine_speedup);
   writer.field("serving_speedup_planned_vs_legacy", serving_speedup);
+  writer.field("serving_speedup_executor_vs_threads", executor_speedup);
+  writer.field("latency_p50_executor_vs_threads", lat_p50_ratio);
+  writer.field("latency_p99_executor_vs_threads", lat_p99_ratio);
   writer.end_object();
 
   std::ofstream out(out_path);

@@ -6,11 +6,12 @@
 #include <stdexcept>
 #include <vector>
 
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
 #include <omp.h>
 #endif
 
 #include "core/effect_pipeline.hpp"
+#include "exec/exec.hpp"
 #include "numerics/gemm.hpp"
 #include "photonics/crosstalk.hpp"
 
@@ -18,7 +19,8 @@ namespace xl::core {
 
 namespace {
 /// Output tile edge: 32x32 pairs keep the per-sample activation row and the
-/// per-output detuning row hot in cache while giving OpenMP enough tiles.
+/// per-output detuning row hot in cache while giving the executor (or the
+/// legacy OpenMP schedule) enough tiles to balance.
 constexpr std::size_t kTile = 32;
 
 /// Arena span granularity (matches Arena's 64-byte bump alignment).
@@ -102,47 +104,66 @@ numerics::Matrix BatchedVdpEngine::photonic_matmul(const numerics::Matrix& x,
     }
   }
 
-  const auto row_tiles = static_cast<std::int64_t>((batch + kTile - 1) / kTile);
-  const auto col_tiles = static_cast<std::int64_t>((outputs + kTile - 1) / kTile);
+  const std::size_t row_tiles = (batch + kTile - 1) / kTile;
+  const std::size_t col_tiles = (outputs + kTile - 1) / kTile;
 
-#ifdef _OPENMP
+  // One flattened (batch-tile, output-tile) pair per work item. Tiles write
+  // disjoint y blocks and PD noise is operand-keyed, so execution order and
+  // placement are bit-free.
+  const auto run_pair_tile = [&](std::size_t f,
+                                 xl::photonics::VdpScratch& scratch,
+                                 unsigned char* neg) {
+    const std::size_t b0 = (f / col_tiles) * kTile;
+    const std::size_t b1 = std::min(batch, b0 + kTile);
+    const std::size_t o0 = (f % col_tiles) * kTile;
+    const std::size_t o1 = std::min(outputs, o0 + kTile);
+    for (std::size_t b = b0; b < b1; ++b) {
+      if (sx[b] == 0.0) continue;  // y row already zero.
+      const double* a_row = a_mag.data() + b * k;
+      const unsigned char* xs = x_neg.data() + b * k;
+      for (std::size_t o = o0; o < o1; ++o) {
+        if (sw[o] == 0.0) continue;
+        const double* det_row = w_det.data() + o * k;
+        const unsigned char* ws = w_neg.data() + o * k;
+        const unsigned char* wz = w_zero.data() + o * k;
+        // Fold the activation sign into the weight: the folded weight is
+        // negative iff signs differ and the weight is nonzero (a zero
+        // weight lands on the positive arm, as in the scalar path).
+        for (std::size_t i = 0; i < k; ++i) {
+          neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
+        }
+        y(b, o) = lut.vdp_dot({a_row, k}, {det_row, k}, {neg, k}, crosstalk,
+                              scratch, fx) *
+                  sx[b] * sw[o];
+      }
+    }
+  };
+
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
 #pragma omp parallel
-#endif
   {
     xl::photonics::VdpScratch scratch;
     std::vector<unsigned char> neg(k);
-#ifdef _OPENMP
 #pragma omp for collapse(2) schedule(static)
-#endif
-    for (std::int64_t bt = 0; bt < row_tiles; ++bt) {
-      for (std::int64_t ot = 0; ot < col_tiles; ++ot) {
-        const std::size_t b0 = static_cast<std::size_t>(bt) * kTile;
-        const std::size_t b1 = std::min(batch, b0 + kTile);
-        const std::size_t o0 = static_cast<std::size_t>(ot) * kTile;
-        const std::size_t o1 = std::min(outputs, o0 + kTile);
-        for (std::size_t b = b0; b < b1; ++b) {
-          if (sx[b] == 0.0) continue;  // y row already zero.
-          const double* a_row = a_mag.data() + b * k;
-          const unsigned char* xs = x_neg.data() + b * k;
-          for (std::size_t o = o0; o < o1; ++o) {
-            if (sw[o] == 0.0) continue;
-            const double* det_row = w_det.data() + o * k;
-            const unsigned char* ws = w_neg.data() + o * k;
-            const unsigned char* wz = w_zero.data() + o * k;
-            // Fold the activation sign into the weight: the folded weight is
-            // negative iff signs differ and the weight is nonzero (a zero
-            // weight lands on the positive arm, as in the scalar path).
-            for (std::size_t i = 0; i < k; ++i) {
-              neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
-            }
-            y(b, o) = lut.vdp_dot({a_row, k}, {det_row, k}, {neg.data(), k},
-                                  crosstalk, scratch, fx) *
-                      sx[b] * sw[o];
-          }
-        }
+    for (std::int64_t bt = 0; bt < static_cast<std::int64_t>(row_tiles); ++bt) {
+      for (std::int64_t ot = 0; ot < static_cast<std::int64_t>(col_tiles); ++ot) {
+        run_pair_tile(static_cast<std::size_t>(bt) * col_tiles +
+                          static_cast<std::size_t>(ot),
+                      scratch, neg.data());
       }
     }
   }
+#else
+  auto& pool = thread_pool();  // Sized before the region; hot loop never grows it.
+  exec::parallel_for(0, row_tiles * col_tiles, 1,
+                     [&](std::size_t f0, std::size_t f1, std::size_t lane) {
+                       ThreadScratch& ts = *pool[lane];
+                       if (ts.neg.size() < k) ts.neg.resize(k);
+                       for (std::size_t f = f0; f < f1; ++f) {
+                         run_pair_tile(f, ts.scratch, ts.neg.data());
+                       }
+                     });
+#endif
   return y;
 }
 
@@ -196,9 +217,13 @@ std::size_t BatchedVdpEngine::gemm_table_elems(std::size_t k) const {
 
 std::vector<std::unique_ptr<BatchedVdpEngine::ThreadScratch>>&
 BatchedVdpEngine::thread_pool() {
-  std::size_t want = 1;
-#ifdef _OPENMP
-  want = static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+  // One scratch entry per lane/thread that can execute tiles: the OpenMP
+  // build covers omp_get_max_threads(), the executor build covers the
+  // current pool's width (lane ids are always < width()).
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
+  const auto want = static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+  const std::size_t want = exec::width();
 #endif
   while (thread_scratch_.size() < want) {
     thread_scratch_.push_back(std::make_unique<ThreadScratch>());
@@ -295,78 +320,98 @@ void BatchedVdpEngine::photonic_matmul(const float* x, std::size_t batch,
     lut.build_idle_table(k, crosstalk, fx, tables.idle.data());
   }
 
-  const auto row_tiles = static_cast<std::int64_t>((batch + kTile - 1) / kTile);
-  const auto col_tiles = static_cast<std::int64_t>((outputs + kTile - 1) / kTile);
+  const std::size_t row_tiles = (batch + kTile - 1) / kTile;
+  const std::size_t col_tiles = (outputs + kTile - 1) / kTile;
 
   // The scratch pool is sized serially, before the parallel region, so the
   // hot loop never touches the pool vector itself.
   auto& pool = thread_pool();
 
-#ifdef _OPENMP
-#pragma omp parallel
-#endif
-  {
-#ifdef _OPENMP
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-#else
-    const std::size_t tid = 0;
-#endif
-    ThreadScratch& ts = *pool[tid];
-    if (ts.neg.size() < k) ts.neg.resize(k);  // No-op after warm_thread_scratch.
+  // Carry-table rebuild, one output row per iteration. Rows are disjoint, so
+  // any partition is bit-free; the parallel region's barrier publishes the
+  // tables to every thread/lane before the pair loop reads any.
+  const auto rebuild_carry_row = [&](std::size_t o) {
+    if (w.sw[o] == 0.0) return;  // Row skipped by the pair loop too.
+    lut.build_carry_table({w.det.data() + o * k, k}, crosstalk, fx,
+                          tables.carry.data() + o * te);
+  };
+  // One flattened (batch-tile, output-tile) pair per work item, output-major
+  // within the tile: output o's carry table is read once and stays cache-hot
+  // across every batch row (pairs are independent, noise is operand-keyed —
+  // iteration order and placement are bit-free).
+  const auto run_pair_tile = [&](std::size_t f, ThreadScratch& ts) {
     xl::photonics::VdpScratch& scratch = ts.scratch;
     unsigned char* neg = ts.neg.data();
-    // Stale cache: rebuild the carry tables, one output row per iteration
-    // (the implicit barrier publishes them to every thread before the pair
-    // loop reads any). `rebuild_tables` is computed before the parallel
-    // region, so every thread takes the same branch around the worksharing
-    // construct.
-    if (rebuild_tables) {
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (std::int64_t o = 0; o < static_cast<std::int64_t>(outputs); ++o) {
-        if (w.sw[o] == 0.0) continue;  // Row skipped by the pair loop too.
-        lut.build_carry_table(
-            {w.det.data() + static_cast<std::size_t>(o) * k, k}, crosstalk, fx,
-            tables.carry.data() + static_cast<std::size_t>(o) * te);
+    const std::size_t b0 = (f / col_tiles) * kTile;
+    const std::size_t b1 = std::min(batch, b0 + kTile);
+    const std::size_t o0 = (f % col_tiles) * kTile;
+    const std::size_t o1 = std::min(outputs, o0 + kTile);
+    for (std::size_t o = o0; o < o1; ++o) {
+      if (w.sw[o] == 0.0) continue;
+      const double* det_row = w.det.data() + o * k;
+      const unsigned char* ws = w.neg.data() + o * k;
+      const unsigned char* wz = w.zero.data() + o * k;
+      const double* carry_o = carry + o * te;
+      for (std::size_t b = b0; b < b1; ++b) {
+        if (sx[b] == 0.0) continue;  // y row already zero.
+        const double* a_row = a_mag.data() + b * k;
+        const unsigned char* xs = x_neg.data() + b * k;
+        // Fold the activation sign into the weight, exactly as the
+        // Matrix overload does.
+        for (std::size_t i = 0; i < k; ++i) {
+          neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
+        }
+        y[b * outputs + o] =
+            lut.vdp_dot_tbl({a_row, k}, {det_row, k}, {neg, k}, crosstalk,
+                            scratch, fx, carry_o, idle) *
+            sx[b] * w.sw[o];
       }
     }
-#ifdef _OPENMP
+  };
+
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    ThreadScratch& ts = *pool[tid];
+    if (ts.neg.size() < k) ts.neg.resize(k);  // No-op after warm_thread_scratch.
+    // `rebuild_tables` is computed before the parallel region, so every
+    // thread takes the same branch around the worksharing construct.
+    if (rebuild_tables) {
+#pragma omp for schedule(static)
+      for (std::int64_t o = 0; o < static_cast<std::int64_t>(outputs); ++o) {
+        rebuild_carry_row(static_cast<std::size_t>(o));
+      }
+    }
 #pragma omp for collapse(2) schedule(static)
-#endif
-    for (std::int64_t bt = 0; bt < row_tiles; ++bt) {
-      for (std::int64_t ot = 0; ot < col_tiles; ++ot) {
-        const std::size_t b0 = static_cast<std::size_t>(bt) * kTile;
-        const std::size_t b1 = std::min(batch, b0 + kTile);
-        const std::size_t o0 = static_cast<std::size_t>(ot) * kTile;
-        const std::size_t o1 = std::min(outputs, o0 + kTile);
-        // Output-major within the tile: output o's carry table is read once
-        // and stays cache-hot across every batch row (pairs are independent,
-        // noise is operand-keyed — iteration order is bit-free).
-        for (std::size_t o = o0; o < o1; ++o) {
-          if (w.sw[o] == 0.0) continue;
-          const double* det_row = w.det.data() + o * k;
-          const unsigned char* ws = w.neg.data() + o * k;
-          const unsigned char* wz = w.zero.data() + o * k;
-          const double* carry_o = carry + o * te;
-          for (std::size_t b = b0; b < b1; ++b) {
-            if (sx[b] == 0.0) continue;  // y row already zero.
-            const double* a_row = a_mag.data() + b * k;
-            const unsigned char* xs = x_neg.data() + b * k;
-            // Fold the activation sign into the weight, exactly as the
-            // Matrix overload does.
-            for (std::size_t i = 0; i < k; ++i) {
-              neg[i] = static_cast<unsigned char>(!wz[i] && (ws[i] != xs[i]));
-            }
-            y[b * outputs + o] =
-                lut.vdp_dot_tbl({a_row, k}, {det_row, k}, {neg, k}, crosstalk,
-                                scratch, fx, carry_o, idle) *
-                sx[b] * w.sw[o];
-          }
-        }
+    for (std::int64_t bt = 0; bt < static_cast<std::int64_t>(row_tiles); ++bt) {
+      for (std::int64_t ot = 0; ot < static_cast<std::int64_t>(col_tiles); ++ot) {
+        run_pair_tile(static_cast<std::size_t>(bt) * col_tiles +
+                          static_cast<std::size_t>(ot),
+                      ts);
       }
     }
   }
+#else
+  if (rebuild_tables) {
+    // parallel_for's return is the barrier: every carry row happens-before
+    // the pair loop below on every lane.
+    exec::parallel_for(0, outputs, 0,
+                       [&](std::size_t o0, std::size_t o1, std::size_t) {
+                         for (std::size_t o = o0; o < o1; ++o) {
+                           rebuild_carry_row(o);
+                         }
+                       });
+  }
+  exec::parallel_for(0, row_tiles * col_tiles, 1,
+                     [&](std::size_t f0, std::size_t f1, std::size_t lane) {
+                       ThreadScratch& ts = *pool[lane];
+                       if (ts.neg.size() < k) ts.neg.resize(k);
+                       for (std::size_t f = f0; f < f1; ++f) {
+                         run_pair_tile(f, ts);
+                       }
+                     });
+#endif
   if (rebuild_tables) tables.stamp = frame_stamp;
   workspace.rewind(marker);
 }

@@ -1,6 +1,7 @@
 #include "core/dse_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -11,9 +12,11 @@
 #include <type_traits>
 #include <utility>
 
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
 #include <omp.h>
 #endif
+
+#include "exec/exec.hpp"
 
 namespace xl::core {
 namespace {
@@ -311,36 +314,63 @@ std::vector<DseMemoEntry> DseEngine::evaluate_missing(
   // identical for any thread count, schedule, and completion order.
   std::vector<AcceleratorReport> reports(jobs.size());
   const auto total = jobs.size();
-  std::size_t done = 0;
-  std::exception_ptr failure;
-  const auto run_job = [&](std::size_t i) {
-    reports[i] = evaluate(*jobs[i].candidate, *jobs[i].model);
-    if (options_.progress) {
-      // Increment and report under one critical section so the observed
-      // counts are monotone even when worker threads race to report.
-#ifdef _OPENMP
-#pragma omp critical(xl_dse_progress)
-#endif
-      options_.progress(++done, total);
-    }
-  };
   if (options_.parallel) {
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
+    std::size_t done = 0;
+    std::exception_ptr failure;
 #pragma omp parallel for schedule(dynamic)
-#endif
     for (long long i = 0; i < static_cast<long long>(jobs.size()); ++i) {
       try {
-        run_job(static_cast<std::size_t>(i));
+        reports[i] = evaluate(*jobs[i].candidate, *jobs[i].model);
+        if (options_.progress) {
+          // Increment and report under one critical section so the observed
+          // counts are monotone even when worker threads race to report.
+#pragma omp critical(xl_dse_progress)
+          options_.progress(++done, total);
+        }
       } catch (...) {
-#ifdef _OPENMP
 #pragma omp critical(xl_dse_failure)
-#endif
         if (!failure) failure = std::current_exception();
       }
     }
     if (failure) std::rethrow_exception(failure);
+#else
+    // Executor build: the progress counter and first-failure capture are
+    // mutex-free accumulators. fetch_add gives each completion a unique
+    // monotone count; the exchange elects the one lane that records the
+    // exception, published with release and re-read with acquire below.
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failure_claimed{false};
+    std::atomic<bool> failure_published{false};
+    std::exception_ptr failure;
+    exec::parallel_for(
+        0, jobs.size(), 1,
+        [&](std::size_t i0, std::size_t i1, std::size_t) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            try {
+              reports[i] = evaluate(*jobs[i].candidate, *jobs[i].model);
+              if (options_.progress) {
+                options_.progress(
+                    done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+              }
+            } catch (...) {
+              if (!failure_claimed.exchange(true, std::memory_order_acq_rel)) {
+                failure = std::current_exception();
+                failure_published.store(true, std::memory_order_release);
+              }
+            }
+          }
+        });
+    if (failure_published.load(std::memory_order_acquire)) {
+      std::rethrow_exception(failure);
+    }
+#endif
   } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      reports[i] = evaluate(*jobs[i].candidate, *jobs[i].model);
+      if (options_.progress) options_.progress(++done, total);
+    }
   }
 
   std::vector<DseMemoEntry> fresh;

@@ -113,10 +113,15 @@ struct DseResult {
 class DseEngine {
  public:
   struct Options {
-    bool parallel = true;      ///< OpenMP-parallel candidate evaluation.
+    bool parallel = true;      ///< Parallel candidate evaluation (xl::exec
+                               ///< pool, or OpenMP under XL_USE_OPENMP).
     bool cache_enabled = true; ///< Memoize reports across run() calls.
     std::size_t top_k = 0;     ///< Keep only the k best points (0 = all).
-    DseProgress progress;      ///< Optional progress callback.
+    /// Optional progress callback. Counts are unique and each call observes
+    /// done <= total, but under parallel evaluation calls may arrive from
+    /// concurrent lanes (and slightly out of count order) — the callback
+    /// must be thread-safe.
+    DseProgress progress;
   };
 
   DseEngine() = default;

@@ -1,0 +1,245 @@
+// xl::exec — the persistent work-stealing executor under the whole
+// parallel spine (numerics GEMM, core batched VDP + DSE, serve, fleet).
+//
+// Why it exists: PR 6/8 removed compute and allocator overhead from the
+// hot path, but every inference still paid OpenMP fork-join setup and
+// barrier cost per GEMM region, and serve/fleet parked one dedicated OS
+// thread per component. This pool is created once per process (or per
+// test scope), keeps its workers parked on a condvar parking lot between
+// bursts, and exposes two primitives:
+//
+//   * parallel_for(begin, end, grain, fn) — CPU lanes. The range is cut
+//     into canonical tiles [begin + t*grain, min(end, begin+(t+1)*grain));
+//     the tile set is a PURE FUNCTION of (range, grain, pool width) and
+//     never of runtime stealing order, so any value computed per index is
+//     bit-identical for every thread count and every steal interleaving.
+//     fn is invoked once per tile as fn(i0, i1, lane) where lane ∈
+//     [0, lanes()) uniquely identifies the executing hand *within this
+//     call* (lane 0 = the calling thread) — safe to index per-lane
+//     scratch pools with. The call blocks until every tile ran, which is
+//     also the memory barrier: all tile writes happen-before the return.
+//   * submit_blocking(fn) — the blocking lane. Runs fn on a cached
+//     service thread (grown on demand, parked when idle, reused across
+//     runtimes/nodes) for loops that sleep or block on I/O, pacing, or
+//     condition variables. Blocking tasks never occupy a CPU lane, so a
+//     serve drain waiting out a batching deadline cannot starve a GEMM.
+//
+// Distribution (deterministic decomposition, dynamic placement): the
+// caller keeps a leading share of tiles for itself and publishes the rest
+// as per-worker chunks in a fixed job slot; the parking lot wakes exactly
+// as many workers as there are chunks. A woken worker claims a chunk,
+// owner-pushes it onto its Chase-Lev deque (work_deque.hpp) and splits it
+// lazily from the bottom; idle workers steal halves from the top. Tiles
+// are executed exactly once regardless of who runs them — placement
+// affects wall-clock only, never values.
+//
+// Zero-allocation contract: parallel_for never touches the heap — jobs
+// live in a fixed slot array, chunk descriptors are embedded, deque rings
+// are preallocated, and fn travels as a raw function pointer + context
+// (exec.hpp provides the lambda trampoline). When every slot is busy or
+// the pool has one lane, the call degrades to inline serial execution of
+// the same tile set. Nested parallel_for calls (from inside a tile) are
+// serialized inline, matching OpenMP's nested-disabled default.
+//
+// Width resolution mirrors XL_DISABLE_SIMD: the XL_EXEC_THREADS
+// environment variable overrides the default hardware_concurrency width
+// (resolved once, at first use); tests pin widths in-process with
+// ScopedPool. CMake's XL_USE_OPENMP=ON keeps the original OpenMP regions
+// for A/B benching — this pool is the default.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/work_deque.hpp"
+
+namespace xl::exec {
+
+/// Hard lane cap: bounds the embedded per-job chunk array (and therefore
+/// the zero-allocation guarantee). XL_EXEC_THREADS and TaskPool widths
+/// clamp to it.
+inline constexpr std::size_t kMaxLanes = 64;
+
+/// Raw tile callback: fn(ctx, i0, i1, lane) runs indices [i0, i1).
+using TileFn = void (*)(void* ctx, std::size_t i0, std::size_t i1,
+                        std::size_t lane);
+
+/// Completion handle of one blocking-lane task (see submit_blocking).
+/// Copyable; wait() blocks until the task body returned. A
+/// default-constructed handle is empty and wait() is a no-op.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  void wait();
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class TaskPool;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class TaskPool {
+ public:
+  /// A pool of `lanes` total hands: lanes-1 background CPU workers plus
+  /// the participating caller of each parallel_for. Clamped to
+  /// [1, kMaxLanes]. Width 1 spawns no threads at all — every
+  /// parallel_for runs inline (the 1-core container's fast path).
+  explicit TaskPool(std::size_t lanes);
+
+  /// Joins CPU workers and blocking-lane threads. Every submit_blocking
+  /// task must have completed (the serve/fleet stop paths wait on their
+  /// handles before tearing the pool down) — a task still blocked inside
+  /// its body would hang the join, by design: losing it silently would be
+  /// worse.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Run fn over [begin, end) in grain-sized tiles (grain 0 = auto, a
+  /// pure function of range and width). Blocks until every tile ran.
+  /// See the file header for the determinism and allocation contracts.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    TileFn fn, void* ctx);
+
+  /// Run fn on a cached blocking-service thread. Returns immediately;
+  /// the handle's wait() blocks until fn returned. Threads are grown on
+  /// demand, parked when idle, and reused across submissions — replacing
+  /// the one-std::thread-per-component pattern in serve and fleet.
+  /// Throws std::runtime_error after shutdown began.
+  TaskHandle submit_blocking(std::function<void()> fn);
+
+ private:
+  static constexpr std::size_t kJobSlots = 32;
+  /// Tile index/count budget of one packed work ref (24 bits each).
+  static constexpr std::size_t kMaxTiles = (1u << 24) - 1;
+  static constexpr std::size_t kDequeCapacity = 8192;
+
+  enum JobState : std::uint32_t { kFree = 0, kBuilding = 1, kActive = 2 };
+
+  /// One in-flight parallel_for. Fields before `remaining` are written by
+  /// the submitting thread during kBuilding and published by the release
+  /// stores on the chunk claim flags / job state; they are immutable
+  /// while kActive.
+  struct alignas(64) ParallelJob {
+    TileFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::atomic<std::uint32_t> nchunks{0};
+    /// Worker-share chunk descriptors. `claimed` rests at 1; the builder
+    /// writes bounds then release-stores 0, and exactly one worker wins
+    /// the 0->1 CAS (acquiring the bounds and the job fields).
+    struct Chunk {
+      std::uint32_t t0 = 0;
+      std::uint32_t t1 = 0;
+      std::atomic<std::uint32_t> claimed{1};
+    };
+    std::array<Chunk, kMaxLanes> chunks;
+    /// Tiles not yet finished; the caller waits for 0. fetch_sub is
+    /// acq_rel, so every tile's writes happen-before the caller's return.
+    alignas(64) std::atomic<std::uint64_t> remaining{0};
+    alignas(64) std::atomic<std::uint32_t> state{kFree};
+  };
+
+  /// One cached blocking-lane service thread.
+  struct BlockingWorker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::function<void()> fn;  ///< Non-empty = a task is pending.
+    std::shared_ptr<TaskHandle::State> handle;
+    std::size_t index = 0;
+    bool quit = false;
+  };
+
+  static std::uint64_t pack_ref(std::size_t slot, std::size_t t0,
+                                std::size_t count) {
+    return (static_cast<std::uint64_t>(slot) << 48) |
+           (static_cast<std::uint64_t>(t0) << 24) |
+           static_cast<std::uint64_t>(count);
+  }
+
+  void run_inline(std::size_t begin, std::size_t end, std::size_t grain,
+                  std::size_t tiles, TileFn fn, void* ctx);
+  void run_tiles(ParallelJob& job, std::size_t t0, std::size_t t1,
+                 std::size_t lane);
+  void run_ref(std::uint64_t ref, std::size_t lane);
+  void finish_tiles(ParallelJob& job, std::uint64_t count);
+  ParallelJob* claim_slot();
+  bool claim_chunk(std::size_t lane);
+  bool steal(std::size_t lane, std::uint64_t* ref);
+  void unpark(std::size_t count);
+  void worker_main(std::size_t lane);
+  void blocking_worker_main(BlockingWorker* worker);
+
+  const std::size_t lanes_;
+  std::array<ParallelJob, kJobSlots> jobs_;
+  std::vector<std::unique_ptr<WorkDeque>> deques_;  ///< [lane - 1].
+  std::vector<std::thread> workers_;                ///< Lanes 1..lanes_-1.
+
+  // Parking lot: workers with no claimable work wait on the condvar; a
+  // submitter bumps the epoch (under the mutex, so a worker between its
+  // last work scan and the wait cannot miss it) and wakes exactly as many
+  // workers as it published chunks.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> park_epoch_{0};
+  std::atomic<std::size_t> idle_{0};
+  std::atomic<bool> quit_{false};
+
+  // Blocking lane.
+  std::mutex blocking_mutex_;
+  std::vector<std::unique_ptr<BlockingWorker>> blocking_;
+  std::vector<std::size_t> blocking_idle_;
+  bool blocking_quit_ = false;
+};
+
+/// The process-wide pool. Width resolves once, at first use: the
+/// XL_EXEC_THREADS environment variable (>= 1, clamped to kMaxLanes) when
+/// set and valid, else std::thread::hardware_concurrency().
+TaskPool& global_pool();
+
+/// The pool parallel_for and submit_blocking route through on this
+/// thread: the innermost live ScopedPool override, else the global pool.
+TaskPool& current();
+
+/// current().lanes() — the lane count per-lane scratch pools must cover.
+std::size_t width();
+
+/// RAII width override for the current thread (tests pin widths 1/2/8 in
+/// one process, where the global pool's env-resolved width is fixed).
+/// Owns a private TaskPool; restores the previous override on scope exit.
+/// The override is thread-local: it governs calls made on this thread
+/// (and the pool's own workers), not threads spawned by other components.
+class ScopedPool {
+ public:
+  explicit ScopedPool(std::size_t lanes);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+  [[nodiscard]] TaskPool& pool() noexcept { return *pool_; }
+
+ private:
+  std::unique_ptr<TaskPool> pool_;
+  TaskPool* previous_;
+};
+
+}  // namespace xl::exec

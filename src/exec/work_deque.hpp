@@ -1,0 +1,106 @@
+// Chase-Lev work-stealing deque over 64-bit work refs.
+//
+// One deque per pool worker: the owning worker pushes and pops at the
+// bottom (LIFO, cache-warm), thieves steal from the top (FIFO, oldest —
+// which for lazily split tile ranges is the largest outstanding chunk).
+// The implementation follows the weak-memory formulation of Le, Pop,
+// Cohen & Zappa Nardelli (PPoPP'13), with two deliberate deviations:
+//
+//   * Every shared cell is a std::atomic and every cross-thread edge is a
+//     seq_cst operation on `top_`/`bottom_` instead of standalone fences.
+//     ThreadSanitizer does not model fences, so the fence-based original
+//     reports false races; this formulation is TSan-clean by construction
+//     and the extra cost is irrelevant next to a tile's work.
+//   * The buffer is a fixed-capacity ring (no growth): push_bottom()
+//     reports failure when full and the caller runs the ref inline. The
+//     pool sizes the ring so that never happens in practice, and the
+//     fallback keeps the hot path allocation-free either way.
+//
+// A steal may read a cell that a concurrent pop_bottom also claims; the
+// CAS on `top_` arbitrates, and the loser discards its (possibly stale)
+// read — stale values are never executed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace xl::exec {
+
+class WorkDeque {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  explicit WorkDeque(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buffer_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only. False when the ring is full (caller runs the ref inline).
+  bool push_bottom(std::uint64_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<std::int64_t>(mask_)) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(value,
+                                                       std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. False when empty (or the last element lost to a thief).
+  bool pop_bottom(std::uint64_t* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      const std::uint64_t value =
+          buffer_[static_cast<std::size_t>(b) & mask_].load(
+              std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via the top CAS.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        if (!won) return false;
+      }
+      *out = value;
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Any thread. False when empty or the CAS lost a race (caller retries
+  /// elsewhere); a lost CAS also discards the speculative cell read.
+  bool steal_top(std::uint64_t* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    const std::uint64_t value =
+        buffer_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t mask_ = 1;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buffer_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace xl::exec

@@ -66,18 +66,15 @@ FleetNode::FleetNode(std::uint32_t rank, std::unique_ptr<Transport> transport,
 
 void FleetNode::start() {
   if (runtime_) runtime_->start();
-  completer_ = std::thread(&FleetNode::completer_loop, this);
-  halo_ = std::thread(&FleetNode::halo_loop, this);
-  pump_ = std::thread(&FleetNode::pump_loop, this);
+  exec::TaskPool& pool = exec::current();
+  completer_task_ = pool.submit_blocking([this] { completer_loop(); });
+  halo_task_ = pool.submit_blocking([this] { halo_loop(); });
+  pump_task_ = pool.submit_blocking([this] { pump_loop(); });
 }
 
-void FleetNode::join_pump() {
-  if (pump_.joinable()) pump_.join();
-}
+void FleetNode::join_pump() { pump_task_.wait(); }
 
-void FleetNode::join_halo() {
-  if (halo_.joinable()) halo_.join();
-}
+void FleetNode::join_halo() { halo_task_.wait(); }
 
 FleetNodeStats FleetNode::stats() const {
   FleetNodeStats stats;
@@ -125,8 +122,9 @@ void FleetNode::pump_loop() {
           std::lock_guard<std::mutex> lock(completer_mutex_);
           completer_closed_ = true;
         }
-        completer_cv_.notify_all();
-        if (completer_.joinable()) completer_.join();
+        // Single consumer (the completer loop): notify_one suffices.
+        completer_cv_.notify_one();
+        completer_task_.wait();
         if (runtime_) runtime_->stop();
         return;
       }
@@ -177,7 +175,8 @@ void FleetNode::handle_infer(std::uint64_t sequence, Message message) {
       std::lock_guard<std::mutex> lock(completer_mutex_);
       completer_queue_.push_back(PendingResult{sequence, std::move(future)});
     }
-    completer_cv_.notify_all();
+    // Single consumer (the completer loop): notify_one suffices.
+    completer_cv_.notify_one();
   } catch (const std::exception& error) {
     send_error(sequence, error.what());
   }

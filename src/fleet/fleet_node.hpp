@@ -3,20 +3,25 @@
 // model-parallel model, and a DseEngine for its stripe of the candidate
 // grid. All work arrives as typed frames from the coordinator (rank N).
 //
-// Thread model (the deadlock-freedom argument):
-//   * pump thread      — blocks on Channel::kServe only. Executes control
+// Task model (the deadlock-freedom argument). The three loops run as
+// blocking-lane tasks on the shared xl::exec pool (cached service threads —
+// reused across nodes and runtimes — rather than three dedicated
+// std::threads per node):
+//   * pump task      — blocks on Channel::kServe only. Executes control
 //     frames, submits data-parallel requests to the runtime, and runs
 //     model-parallel requests inline (trunk -> halo fan-out -> own tile ->
 //     collect on Channel::kHaloReply -> tail).
-//   * halo thread      — blocks on Channel::kHaloRequest only. Serves
+//   * halo task      — blocks on Channel::kHaloRequest only. Serves
 //     boundary tiles to *other* owners, so it is always available even
 //     while this node's own pump is blocked waiting for halo replies.
-//   * completer thread — drains a local queue of (sequence, future) pairs
+//   * completer task — drains a local queue of (sequence, future) pairs
 //     and ships each resolved future back to the coordinator, so the pump
 //     never blocks on a micro-batch.
-// Each thread owns one receive channel and any per-(node, model) engine it
-// touches is driven by exactly one thread (the pump when this node owns the
-// model, the halo thread when a peer does), so no engine locking is needed.
+// Blocking-lane tasks each own a service thread for their whole lifetime
+// (they never share a CPU lane), so the ownership argument is unchanged:
+// each loop owns one receive channel, and any per-(node, model) engine is
+// driven by exactly one loop (the pump when this node owns the model, the
+// halo task when a peer does) — no engine locking needed.
 #pragma once
 
 #include <atomic>
@@ -29,11 +34,11 @@
 #include <mutex>
 #include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/dse_engine.hpp"
 #include "core/vdp_simulator.hpp"
+#include "exec/task_pool.hpp"
 #include "fleet/fleet_types.hpp"
 #include "fleet/model_parallel.hpp"
 #include "fleet/transport.hpp"
@@ -69,7 +74,8 @@ class FleetNode {
   FleetNode(const FleetNode&) = delete;
   FleetNode& operator=(const FleetNode&) = delete;
 
-  /// Start the local runtime (if any) and the pump/halo/completer threads.
+  /// Start the local runtime (if any) and launch the pump/halo/completer
+  /// loops on the executor's blocking lane.
   void start();
 
   /// Join the pump (and, transitively, the completer and local runtime).
@@ -115,9 +121,9 @@ class FleetNode {
   std::set<std::string> owned_mp_;  ///< Model-parallel models this rank owns.
   core::DseEngine dse_engine_;
 
-  std::thread pump_;
-  std::thread halo_;
-  std::thread completer_;
+  exec::TaskHandle pump_task_;
+  exec::TaskHandle halo_task_;
+  exec::TaskHandle completer_task_;
 
   std::mutex completer_mutex_;
   std::condition_variable completer_cv_;

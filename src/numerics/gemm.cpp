@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "numerics/aligned.hpp"
 #include "numerics/kernels.hpp"
 
@@ -52,12 +53,12 @@ Matrix matmul_transposed(const Matrix& a, const Matrix& b, std::size_t tile) {
     }
   }
 
-  const auto row_tiles = static_cast<std::int64_t>((m + tile - 1) / tile);
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
-    const std::size_t r0 = static_cast<std::size_t>(rt) * tile;
+  const std::size_t row_tiles = (m + tile - 1) / tile;
+  // Each work item is one `tile`-row panel of C; rows never overlap, so the
+  // tiles write disjoint output and results are bit-identical under any
+  // threading (the per-element k accumulation is strictly sequential).
+  const auto run_row_tile = [&](std::size_t rt) {
+    const std::size_t r0 = rt * tile;
     const std::size_t r1 = std::min(m, r0 + tile);
     for (std::size_t r = r0; r < r1; ++r) {
       const std::span<const double> arow = a.row(r);
@@ -76,7 +77,18 @@ Matrix matmul_transposed(const Matrix& a, const Matrix& b, std::size_t tile) {
         c(r, col) = acc;
       }
     }
+  };
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::int64_t rt = 0; rt < static_cast<std::int64_t>(row_tiles); ++rt) {
+    run_row_tile(static_cast<std::size_t>(rt));
   }
+#else
+  exec::parallel_for(0, row_tiles, 1,
+                     [&](std::size_t t0, std::size_t t1, std::size_t) {
+                       for (std::size_t rt = t0; rt < t1; ++rt) run_row_tile(rt);
+                     });
+#endif
   return c;
 }
 

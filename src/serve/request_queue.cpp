@@ -19,6 +19,10 @@ bool RequestQueue::push(PendingRequest&& pending) {
   pending.enqueued_at = Clock::now();
   queue_.push_back(std::move(pending));
   lock.unlock();
+  // One enqueued request is one unit of consumer progress: notify_one. A
+  // woken coalescing batcher that cannot take it (model mismatch) dispatches
+  // its batch and re-polls the queue immediately, so the unit is never
+  // stranded behind a swallowed wakeup.
   not_empty_.notify_one();
   return true;
 }
@@ -27,6 +31,19 @@ std::optional<PendingRequest> RequestQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
   if (queue_.empty()) return std::nullopt;  // Closed and drained.
+  PendingRequest out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  // One freed slot admits exactly one blocked producer: notify_one. (Each
+  // subsequent pop frees another slot and issues its own wake, so multiple
+  // blocked producers drain one-for-one without a broadcast.)
+  not_full_.notify_one();
+  return out;
+}
+
+std::optional<PendingRequest> RequestQueue::try_pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
   PendingRequest out = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
@@ -60,6 +77,8 @@ void RequestQueue::close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
   }
+  // Closing flips the wait predicate of every blocked producer AND consumer
+  // simultaneously — this is the one transition that must broadcast.
   not_empty_.notify_all();
   not_full_.notify_all();
 }

@@ -6,6 +6,16 @@
 // FIFO order: the batcher may only skip *ahead* within the same model via
 // try_pop_same(), never reorder across models, so a replay trace drains in
 // a deterministic request order.
+//
+// Condition-variable discipline (audited): every state transition that
+// creates exactly one unit of progress — one enqueued request, one freed
+// capacity slot — uses notify_one; a single woken waiter either consumes
+// the unit or (a coalescing batcher hitting a model mismatch) dispatches
+// and immediately re-polls, so no wakeup is ever absorbed without progress.
+// Only close()/close_and_drain() use notify_all: closing changes the
+// predicate of EVERY blocked producer and consumer at once, and all of them
+// must wake to observe it (regression-tested in tests/test_serving.cpp,
+// ShutdownWakesAllBlockedProducersAndConsumers).
 #pragma once
 
 #include <condition_variable>
@@ -54,6 +64,11 @@ class RequestQueue {
   /// Pop the front request, blocking until one is available or the queue is
   /// closed and drained (then nullopt).
   [[nodiscard]] std::optional<PendingRequest> pop();
+
+  /// Pop the front request if one is queued; never blocks. nullopt means
+  /// empty (or closed and drained) — the executor-mode batcher's first-pop
+  /// primitive, where drain tasks poll instead of parking in pop().
+  [[nodiscard]] std::optional<PendingRequest> try_pop();
 
   /// Pop the front request only if it is for `model` and carries at most
   /// `max_rows` rows; never blocks.

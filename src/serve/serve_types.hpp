@@ -86,6 +86,14 @@ struct ServingOptions {
   /// bit-identical to the legacy per-batch path (tests/test_hotpath.cpp);
   /// turning this off recovers the pre-plan execution for A/B comparison.
   bool use_execution_plan = true;
+  /// Run shards as demand-dispatched drain tasks on the xl::exec blocking
+  /// lane instead of `workers` dedicated threads parked in queue.pop().
+  /// submit() hands an idle shard its own request directly — for a lone
+  /// request there is no cross-thread queue wakeup on the dispatch path, so
+  /// single-request latency drops. Logits are bit-identical either way (the
+  /// mode changes who runs a batch, never what it computes); `workers` still
+  /// bounds the number of concurrently draining shards.
+  bool use_executor = false;
   core::ArchitectureConfig architecture{};  ///< Drives pacing makespans.
 
   /// Rejects zero workers/max_batch/queue capacity, negative deadline, and

@@ -10,8 +10,9 @@
 
 #include "core/dse_engine.hpp"
 #include "dnn/models.hpp"
+#include "exec/task_pool.hpp"
 
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
 #include <omp.h>
 #endif
 
@@ -181,7 +182,7 @@ TEST(DseEngine, SerialVsParallelBitIdentityAcrossThreadCounts) {
   const DseResult serial = serial_engine.run(small_sweep(), models);
   ASSERT_FALSE(serial.points.empty());
 
-#ifdef _OPENMP
+#if defined(XL_USE_OPENMP) && defined(_OPENMP)
   const int saved = omp_get_max_threads();
   for (int threads : {1, 4, 16}) {
     omp_set_num_threads(threads);
@@ -192,9 +193,13 @@ TEST(DseEngine, SerialVsParallelBitIdentityAcrossThreadCounts) {
   }
   omp_set_num_threads(saved);
 #else
-  DseEngine parallel_engine;
-  const DseResult parallel = parallel_engine.run(small_sweep(), models);
-  expect_points_identical(serial.points, parallel.points);
+  for (std::size_t lanes : {1u, 4u, 16u}) {
+    xl::exec::ScopedPool scoped(lanes);
+    DseEngine parallel_engine;
+    const DseResult parallel = parallel_engine.run(small_sweep(), models);
+    expect_points_identical(serial.points, parallel.points);
+    expect_points_identical(serial.pareto, parallel.pareto);
+  }
 #endif
 }
 

@@ -1,0 +1,271 @@
+// xl::exec executor tests: canonical tile decomposition, exactly-once
+// execution, lane discipline, nesting, the blocking lane, and the headline
+// acceptance criterion — engine results bit-identical across pool widths
+// {1, 2, 8} for every effect set and batch shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/batched_vdp_engine.hpp"
+#include "exec/exec.hpp"
+#include "numerics/gemm.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace xl;
+
+/// Run parallel_for and collect the invoked (i0, i1) tiles, order-free.
+std::set<std::pair<std::size_t, std::size_t>> collect_tiles(std::size_t begin,
+                                                            std::size_t end,
+                                                            std::size_t grain) {
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> tiles;
+  exec::parallel_for(begin, end, grain,
+                     [&](std::size_t i0, std::size_t i1, std::size_t) {
+                       std::lock_guard<std::mutex> lock(mutex);
+                       tiles.emplace(i0, i1);
+                     });
+  return tiles;
+}
+
+TEST(TaskPool, TileDecompositionIsCanonical) {
+  // With an explicit grain the tile set is a pure function of (range,
+  // grain): every pool width must invoke exactly the same tiles.
+  const std::size_t begin = 3, end = 103, grain = 7;
+  std::set<std::pair<std::size_t, std::size_t>> expected;
+  for (std::size_t t0 = begin; t0 < end; t0 += grain) {
+    expected.emplace(t0, std::min(end, t0 + grain));
+  }
+  for (std::size_t lanes : {1u, 2u, 8u}) {
+    exec::ScopedPool scoped(lanes);
+    EXPECT_EQ(collect_tiles(begin, end, grain), expected)
+        << "width " << lanes << " deviated from the canonical tile set";
+  }
+}
+
+TEST(TaskPool, EveryIndexRunsExactlyOnce) {
+  for (std::size_t lanes : {1u, 2u, 8u}) {
+    exec::ScopedPool scoped(lanes);
+    for (std::size_t grain : {0u, 1u, 3u, 1000u}) {
+      const std::size_t n = 977;  // Prime: never divides evenly into tiles.
+      std::vector<std::atomic<int>> hits(n);
+      exec::parallel_for(0, n, grain,
+                         [&](std::size_t i0, std::size_t i1, std::size_t) {
+                           for (std::size_t i = i0; i < i1; ++i) {
+                             hits[i].fetch_add(1, std::memory_order_relaxed);
+                           }
+                         });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " at width " << lanes << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(TaskPool, EmptyAndDegenerateRangesAreSafe) {
+  exec::ScopedPool scoped(4);
+  std::atomic<int> calls{0};
+  exec::parallel_for(5, 5, 1,
+                     [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0) << "empty range must invoke nothing";
+  exec::parallel_for(7, 8, 3, [&](std::size_t i0, std::size_t i1, std::size_t) {
+    ++calls;
+    EXPECT_EQ(i0, 7u);
+    EXPECT_EQ(i1, 8u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(TaskPool, LaneIdsStayWithinWidth) {
+  const std::size_t lanes = 4;
+  exec::ScopedPool scoped(lanes);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  exec::parallel_for(0, 4096, 1,
+                     [&](std::size_t, std::size_t, std::size_t lane) {
+                       std::lock_guard<std::mutex> lock(mutex);
+                       seen.insert(lane);
+                     });
+  ASSERT_FALSE(seen.empty());
+  EXPECT_LT(*seen.rbegin(), lanes);
+  // Lane 0 is the caller's private share — it always participates.
+  EXPECT_EQ(*seen.begin(), 0u);
+}
+
+TEST(TaskPool, NestedParallelForRunsInlineUnderEnclosingLane) {
+  exec::ScopedPool scoped(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::atomic<int>> inner_hits(64);
+  exec::parallel_for(0, 8, 1,
+                     [&](std::size_t i0, std::size_t, std::size_t outer_lane) {
+                       exec::parallel_for(
+                           0, 8, 1,
+                           [&](std::size_t j0, std::size_t, std::size_t lane) {
+                             if (lane != outer_lane) ++mismatches;
+                             inner_hits[i0 * 8 + j0].fetch_add(1);
+                           });
+                     });
+  EXPECT_EQ(mismatches.load(), 0)
+      << "nested tiles must run inline under the enclosing lane";
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    EXPECT_EQ(inner_hits[i].load(), 1) << "nested index " << i;
+  }
+}
+
+TEST(TaskPool, ScopedPoolOverridesAndRestoresWidth) {
+  const std::size_t outside = exec::width();
+  {
+    exec::ScopedPool scoped(3);
+    EXPECT_EQ(exec::width(), 3u);
+    {
+      exec::ScopedPool inner(2);
+      EXPECT_EQ(exec::width(), 2u);
+    }
+    EXPECT_EQ(exec::width(), 3u);
+  }
+  EXPECT_EQ(exec::width(), outside);
+}
+
+TEST(TaskPool, SubmitBlockingRunsAndWaitCompletes) {
+  exec::ScopedPool scoped(2);
+  std::atomic<bool> ran{false};
+  exec::TaskHandle handle = scoped.pool().submit_blocking([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ran.store(true);
+  });
+  ASSERT_TRUE(handle.valid());
+  handle.wait();
+  EXPECT_TRUE(ran.load());
+  // Service threads are cached: a second task reuses the lane and a
+  // default handle is inert.
+  std::atomic<bool> again{false};
+  scoped.pool().submit_blocking([&] { again.store(true); }).wait();
+  EXPECT_TRUE(again.load());
+  exec::TaskHandle empty;
+  EXPECT_FALSE(empty.valid());
+  empty.wait();  // No-op, must not hang.
+}
+
+TEST(TaskPool, BlockingTasksDoNotStarveParallelFor) {
+  // A blocking task parked on a condition would deadlock a CPU lane;
+  // the blocking lane guarantees parallel_for keeps making progress.
+  exec::ScopedPool scoped(2);
+  std::atomic<bool> release{false};
+  exec::TaskHandle gate = scoped.pool().submit_blocking([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::atomic<int> sum{0};
+  exec::parallel_for(0, 100, 1,
+                     [&](std::size_t i0, std::size_t i1, std::size_t) {
+                       sum.fetch_add(static_cast<int>(i1 - i0));
+                     });
+  EXPECT_EQ(sum.load(), 100);
+  release.store(true);
+  gate.wait();
+}
+
+// --- bit-identity across widths (the acceptance criterion) ------------------
+
+numerics::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                               numerics::Rng& rng) {
+  numerics::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void expect_matrices_bit_identical(const numerics::Matrix& a,
+                                   const numerics::Matrix& b,
+                                   const std::string& context) {
+  ASSERT_EQ(a.rows(), b.rows()) << context;
+  ASSERT_EQ(a.cols(), b.cols()) << context;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      // EXPECT_EQ on doubles is exact — the contract is bit-identity, not
+      // tolerance.
+      ASSERT_EQ(a(r, c), b(r, c)) << context << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(TaskPool, GemmBitIdenticalAcrossWidths) {
+  numerics::Rng rng(2024);
+  const auto a = random_matrix(37, 53, rng);
+  const auto b = random_matrix(29, 53, rng);
+  numerics::Matrix reference;
+  {
+    exec::ScopedPool scoped(1);
+    reference = numerics::matmul_transposed(a, b, 8);
+  }
+  for (std::size_t lanes : {2u, 8u}) {
+    exec::ScopedPool scoped(lanes);
+    const numerics::Matrix wide = numerics::matmul_transposed(a, b, 8);
+    expect_matrices_bit_identical(reference, wide,
+                                  "gemm width " + std::to_string(lanes));
+  }
+}
+
+TEST(TaskPool, EngineLogitsBitIdenticalAcrossWidthsEffectsAndShapes) {
+  // Every effect set x batch shape x pool width must produce the exact
+  // same bytes as the width-1 run: tile decomposition is canonical and
+  // noise is operand-keyed, so threading cannot leak into values.
+  struct EffectCase {
+    const char* name;
+    core::VdpSimOptions opts;
+  };
+  std::vector<EffectCase> cases;
+  {
+    EffectCase ideal{"ideal", {}};
+    ideal.opts.model_crosstalk = false;
+    cases.push_back(ideal);
+    EffectCase crosstalk{"crosstalk", {}};  // Default datapath.
+    cases.push_back(crosstalk);
+    EffectCase all{"thermal+fpv+noise+crosstalk", {}};
+    all.opts.effects.thermal = true;
+    all.opts.effects.fpv = true;
+    all.opts.effects.noise = true;
+    cases.push_back(all);
+  }
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {1, 33},   // Lone sample: the single-request serving shape.
+      {5, 37},   // Small ragged batch.
+      {33, 70},  // Multiple 32-row tiles + tail, multiple output tiles.
+  };
+  numerics::Rng rng(7);
+  for (const EffectCase& ec : cases) {
+    for (const auto& [batch, k] : shapes) {
+      const auto x = random_matrix(batch, k, rng);
+      const auto w = random_matrix(40, k, rng);
+      numerics::Matrix reference;
+      {
+        exec::ScopedPool scoped(1);
+        core::BatchedVdpEngine engine(ec.opts);
+        reference = engine.photonic_matmul(x, w);
+      }
+      for (std::size_t lanes : {2u, 8u}) {
+        exec::ScopedPool scoped(lanes);
+        // Fresh engine per width: identical boot state for every run.
+        core::BatchedVdpEngine engine(ec.opts);
+        const numerics::Matrix wide = engine.photonic_matmul(x, w);
+        expect_matrices_bit_identical(
+            reference, wide,
+            std::string(ec.name) + " batch=" + std::to_string(batch) +
+                " k=" + std::to_string(k) + " width=" + std::to_string(lanes));
+      }
+    }
+  }
+}
+
+}  // namespace

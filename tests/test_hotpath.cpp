@@ -393,6 +393,80 @@ TEST(Arena, ResetCoalescesOverflowBlocks) {
   EXPECT_EQ(arena.stats().regrows, 0U);
 }
 
+TEST(Arena, NestedMarksRewindLifo) {
+  // The mark()/rewind() discipline is LIFO: an inner mark/rewind pair must
+  // restore exactly to the inner mark, leaving the outer scope's
+  // allocations (and their contents) untouched, and the outer rewind then
+  // peels back to the outer mark. This is the shape of a planned engine
+  // call that itself marks around per-tile scratch.
+  numerics::Arena arena(512);
+  const std::span<double> persistent = arena.make_span<double>(4);
+  persistent[0] = 42.0;
+  const numerics::Arena::Marker outer = arena.mark();
+  const std::size_t outer_used = arena.stats().used_bytes;
+
+  const std::span<float> outer_scratch = arena.make_span<float>(8);
+  outer_scratch[7] = 7.0F;
+  const numerics::Arena::Marker inner = arena.mark();
+  const std::size_t inner_used = arena.stats().used_bytes;
+
+  (void)arena.make_span<float>(16);
+  arena.rewind(inner);
+  EXPECT_EQ(arena.stats().used_bytes, inner_used);
+  // The outer scope's scratch survived the inner rewind.
+  EXPECT_EQ(outer_scratch[7], 7.0F);
+
+  arena.rewind(outer);
+  EXPECT_EQ(arena.stats().used_bytes, outer_used);
+  EXPECT_EQ(persistent[0], 42.0);
+}
+
+TEST(Arena, RegrowAccountingUnderInterleavedMarks) {
+  // Marks interleaved with regrows: rewinding across an overflow block
+  // must keep the block (empty, for reuse) rather than free it, so the
+  // regrow counter only ever counts blocks *appended* — a rewound-and-
+  // replayed epoch of identical allocations reuses the kept blocks and
+  // adds zero new regrows.
+  numerics::Arena arena(64);
+  const numerics::Arena::Marker epoch_start = arena.mark();
+  (void)arena.make_span<float>(12);  // Fits block 0.
+  ASSERT_EQ(arena.stats().regrows, 0U);
+
+  const std::span<float> spill = arena.make_span<float>(64);  // Regrow #1.
+  ASSERT_EQ(arena.stats().regrows, 1U);
+  spill[0] = 1.0F;
+  const numerics::Arena::Marker mid = arena.mark();  // Inside overflow block.
+
+  (void)arena.make_span<float>(256);  // Regrow #2.
+  ASSERT_EQ(arena.stats().regrows, 2U);
+  const std::size_t grown_capacity = arena.stats().capacity_bytes;
+
+  // Rewind to the marker inside overflow block #1: block #2 is kept empty,
+  // capacity and regrow accounting unchanged, spill data intact.
+  arena.rewind(mid);
+  EXPECT_EQ(arena.stats().capacity_bytes, grown_capacity);
+  EXPECT_EQ(arena.stats().regrows, 2U);
+  EXPECT_EQ(spill[0], 1.0F);
+
+  // Replaying the tail of the epoch reuses the kept block: no new regrow.
+  (void)arena.make_span<float>(256);
+  EXPECT_EQ(arena.stats().regrows, 2U);
+
+  // Full rewind + replay of the whole epoch: still no new regrow.
+  arena.rewind(epoch_start);
+  EXPECT_EQ(arena.stats().used_bytes, 0U);
+  (void)arena.make_span<float>(12);
+  (void)arena.make_span<float>(64);
+  (void)arena.make_span<float>(256);
+  EXPECT_EQ(arena.stats().regrows, 2U);
+  EXPECT_EQ(arena.stats().capacity_bytes, grown_capacity);
+
+  // reset() clears the debt: one coalesced block, counter back to zero.
+  arena.reset();
+  EXPECT_EQ(arena.stats().regrows, 0U);
+  EXPECT_EQ(arena.stats().capacity_bytes, grown_capacity);
+}
+
 TEST(Arena, ReserveRequiresEmptyArena) {
   numerics::Arena arena(64);
   arena.reserve(256);

@@ -132,35 +132,63 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def load_metrics(path):
-    """Top-level "metrics" object of a bench JSON; {} when absent."""
+def load_metrics(path, masks=()):
+    """Validated top-level "metrics" object of a bench JSON.
+
+    Returns ``(metrics, errors)``: name -> float for every usable metric,
+    plus a list of per-metric complaints for everything that is not a real
+    finite number. A bool is not a metric (``True`` satisfies
+    ``isinstance(v, int)`` but carries no magnitude), and ``NaN``/``Inf``
+    survive ``json.load`` yet make every ``<`` comparison silently false —
+    a NaN metric would sail through the regression gate looking healthy.
+    Both must fail loudly, naming the metric, instead of being dropped.
+    Masked names are exempt: they are excluded from comparison anyway and
+    are allowed to hold junk (wall-clock, host info).
+    """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    metrics = doc.get("metrics", {})
-    return {k: float(v) for k, v in metrics.items()
-            if isinstance(v, (int, float))}
+    metrics_obj = doc.get("metrics", {})
+    if not isinstance(metrics_obj, dict):
+        return {}, [f"'metrics' is {type(metrics_obj).__name__}, "
+                    "not an object"]
+    metrics, errors = {}, []
+    for name, value in metrics_obj.items():
+        if is_masked(name, masks):
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"metric '{name}': non-numeric value {value!r} "
+                          f"({type(value).__name__})")
+        elif not math.isfinite(value):
+            errors.append(f"metric '{name}': non-finite value {value!r}")
+        else:
+            metrics[name] = float(value)
+    return metrics, errors
 
 
 def check_metrics(args):
     """Gate a "metrics"-style bench JSON; returns the process exit status."""
-    current = load_metrics(args.current)
-    masked = sorted(name for name in current if is_masked(name, args.mask))
-    for name in masked:
-        del current[name]
-    if masked:
-        print("masked:", ", ".join(masked))
-    if not current:
+    current, errors = load_metrics(args.current, args.mask)
+    for err in errors:
+        print(f"error: {args.current}: {err}")
+    if not current and not errors:
         print("error: no usable 'metrics' object in", args.current)
         return 1
 
     baseline = {}
     if args.baseline:
         if os.path.exists(args.baseline):
-            baseline = load_metrics(args.baseline)
+            baseline, base_errors = load_metrics(args.baseline, args.mask)
+            for err in base_errors:
+                print(f"error: {args.baseline}: {err}")
+            errors += base_errors
         else:
             print(f"skip: baseline '{args.baseline}' not found; "
                   "reporting metrics without a regression gate "
                   "(commit the baseline to enable gating)")
+    if errors:
+        print(f"FAIL: {len(errors)} malformed metric value(s); every gated "
+              "metric must be a finite number")
+        return 1
 
     print(f"{'metric':<40} {'current':>10} {'baseline':>10} "
           f"{'delta':>8} {'status':>10}")
